@@ -1,0 +1,27 @@
+# Convenience targets for the EMPROF reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench reproduce examples selftest clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+reproduce:
+	$(PYTHON) -m repro reproduce -o results/
+
+examples:
+	@for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done
+
+selftest:
+	$(PYTHON) -m repro selftest
+
+clean:
+	rm -rf results/ .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,21 @@
+"""Bench harness helpers.
+
+Every bench regenerates one of the paper's tables or figures, prints
+it in the paper's layout, and asserts its qualitative claims (who
+wins, by roughly what factor, where the crossovers are).  Each bench
+runs its experiment exactly once under pytest-benchmark timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run an experiment exactly once under benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

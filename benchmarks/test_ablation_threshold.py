@@ -1,0 +1,50 @@
+"""Ablation A2: detection threshold level vs false positives/negatives.
+
+The threshold must sit between the stalled level (~0) and the busy
+level (~1) of the normalized signal.  Too low: noise near the stall
+floor fragments and misses dips.  Too high: busy-level fluctuations
+read as stalls (false positives).  The paper picks a mid threshold;
+the default here is 0.45.
+"""
+
+from repro.core.detect import DetectorConfig
+from repro.core.profiler import Emprof, EmprofConfig
+from repro.core.validate import validate_profile
+from repro.devices import olimex
+from repro.experiments.runner import run_device
+from repro.workloads import spec_workload
+
+THRESHOLDS = (0.1, 0.3, 0.45, 0.6, 0.85)
+
+
+def test_threshold_sweep(once):
+    def sweep():
+        base = run_device(spec_workload("parser"), olimex(), bandwidth_hz=40e6)
+        truth = base.result.ground_truth
+        results = {}
+        for thr in THRESHOLDS:
+            cfg = EmprofConfig(
+                detector=DetectorConfig(
+                    threshold=thr, recover_threshold=max(0.7, thr + 0.05)
+                )
+            )
+            report = Emprof.from_capture(base.capture, config=cfg).profile()
+            v = validate_profile(report, truth)
+            results[thr] = (
+                v.group_accuracy,
+                v.match.false_positives,
+                v.match.false_negatives,
+            )
+        return results
+
+    results = once(sweep)
+    print("\nAblation A2 - threshold vs detection quality (parser/Olimex)")
+    for thr, (acc, fp, fn) in results.items():
+        print(f"  threshold {thr:.2f}: group acc {100 * acc:6.2f}%  FP {fp:4d}  FN {fn:4d}")
+
+    best_acc = results[0.45][0]
+    assert best_acc > 0.9
+    # Mid thresholds beat the extremes.
+    assert results[0.1][0] < best_acc
+    # A threshold close to the busy level floods in false positives.
+    assert results[0.85][1] > 3 * max(1, results[0.45][1])

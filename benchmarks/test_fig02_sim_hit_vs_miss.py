@@ -1,0 +1,33 @@
+"""Fig. 2: LLC-hit vs LLC-miss stalls in the SESC power trace.
+
+The same load loop run over (a) an LLC-resident array and (b) an
+array of cold lines.  The paper's claim: the LLC miss produces an
+"order-of-magnitude longer low-power-consumption period".
+"""
+
+from repro.experiments.figures import fig2_hit_vs_miss
+
+
+def test_fig2_hit_vs_miss(once):
+    hit, miss = once(fig2_hit_vs_miss)
+
+    print("\nFig. 2 - simulator stalls: (a) LLC hit vs (b) LLC miss")
+    print(
+        f"  (a) LLC hit : {hit.annotations['memory_stalls']:.0f} memory stalls, "
+        f"brief stalls mean {hit.annotations['mean_brief_stall_cycles']:.1f} cycles"
+    )
+    print(
+        f"  (b) LLC miss: {miss.annotations['memory_stalls']:.0f} memory stalls, "
+        f"mean {miss.annotations['mean_memory_stall_cycles']:.1f} cycles"
+    )
+
+    # (a) the resident array causes only brief (LLC-hit) stalls.
+    assert hit.annotations["memory_stalls"] <= 2
+    assert 0 < hit.annotations["mean_brief_stall_cycles"] < 30
+    # (b) every measured load stalls for the main-memory latency.
+    assert miss.annotations["memory_stalls"] >= 55
+    # Order-of-magnitude contrast, as the paper states.
+    assert (
+        miss.annotations["mean_memory_stall_cycles"]
+        > 8 * hit.annotations["mean_brief_stall_cycles"]
+    )

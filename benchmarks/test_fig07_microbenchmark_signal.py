@@ -1,0 +1,27 @@
+"""Fig. 7: the microbenchmark's EM signal, overview and CM-group zoom.
+
+One run with CM=10 on the Olimex model: the marker loops delimit the
+measurement window, and the zoom shows one group of ten distinguishable
+misses.
+"""
+
+from repro.experiments.figures import fig7_microbenchmark_signal
+
+
+def test_fig7_signal_and_zoom(once):
+    r = once(fig7_microbenchmark_signal, tm=100, cm=10)
+
+    print("\nFig. 7 - microbenchmark EM signal (Olimex, TM=100, CM=10)")
+    print(f"  overview samples : {len(r.overview.signal)}")
+    print(
+        f"  marker window    : [{r.overview.annotations['window_begin']:.0f}, "
+        f"{r.overview.annotations['window_end']:.0f})"
+    )
+    print(f"  zoom samples     : {len(r.zoom.signal)}")
+    print(f"  detected / TM    : {r.detected_in_window} / {r.expected}")
+
+    # The window was found and the count matches the engineered TM.
+    assert r.overview.annotations["window_end"] > r.overview.annotations["window_begin"]
+    assert abs(r.detected_in_window - r.expected) <= 2
+    # The zoom contains the first CM group's dips.
+    assert r.zoom.signal.min() < 0.5 * r.zoom.signal.max()

@@ -1,0 +1,26 @@
+"""Fig. 8: the same microbenchmark in the simulator and on the device.
+
+The paper's point: the simulator power trace and the real EM capture
+agree on everything EMPROF needs - marker loops are recognizable and
+the engineered misses produce the same countable dips - so the
+simulator is a valid validation substrate.
+"""
+
+from repro.experiments.figures import fig8_sim_vs_device
+
+
+def test_fig8_simulator_matches_device(once):
+    sim, dev = once(fig8_sim_vs_device, tm=100, cm=10)
+
+    print("\nFig. 8 - SESC simulator vs Olimex device, TM=100 CM=10")
+    print(f"  simulator: detected {sim.detected_in_window} / {sim.expected}")
+    print(f"  device   : detected {dev.detected_in_window} / {dev.expected}")
+
+    # Both paths count the engineered misses correctly.
+    assert abs(sim.detected_in_window - sim.expected) <= 2
+    assert abs(dev.detected_in_window - dev.expected) <= 3
+    # And they agree with each other.
+    assert abs(sim.detected_in_window - dev.detected_in_window) <= 3
+    # Both signals carry recognizable marker windows.
+    assert sim.overview.annotations["window_end"] > sim.overview.annotations["window_begin"]
+    assert dev.overview.annotations["window_end"] > dev.overview.annotations["window_begin"]

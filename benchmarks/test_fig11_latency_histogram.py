@@ -1,0 +1,39 @@
+"""Fig. 11: stall-latency histograms for mcf on the three devices.
+
+The paper: "Most stalls are brief in duration ... However, a
+significant number of stalls last hundreds of cycles, and we observe
+that, compared to the IoT board, the two phones have a thicker 'tail'
+in the stall time histogram."
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig11_latency_histograms
+
+
+def test_fig11_mcf_latency_histograms(once):
+    results = once(fig11_latency_histograms, benchmark="mcf", scale=1.0)
+
+    print("\nFig. 11 - mcf stall-latency histograms")
+    by_dev = {}
+    for r in results:
+        by_dev[r.device] = r
+        print(
+            f"  {r.device:8s}: n={int(r.counts.sum()):5d} mean={r.mean_cycles:6.0f} "
+            f"p99={r.p99_cycles:6.0f} tail(>=600cyc)={100 * r.tail_fraction_600:.2f}%"
+        )
+
+    for r in results:
+        # Histograms are populated and dominated by the main mode.
+        assert r.counts.sum() > 100
+        peak_bin = int(np.argmax(r.counts))
+        peak_cycles = r.edges_cycles[peak_bin]
+        assert peak_cycles < 500  # most stalls are "brief"
+        # A real tail exists: some stalls run into many hundreds of cycles.
+        assert r.p99_cycles > 1.5 * r.mean_cycles
+
+    # The phones' tails are thicker than the IoT board's (contention
+    # from sibling cores / Android background activity).
+    oli = by_dev["olimex"].tail_fraction_600
+    assert by_dev["alcatel"].tail_fraction_600 > 0.8 * oli
+    assert by_dev["samsung"].tail_fraction_600 > oli

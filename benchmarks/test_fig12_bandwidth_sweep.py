@@ -1,0 +1,44 @@
+"""Fig. 12: effect of the measurement bandwidth (20-160 MHz).
+
+Paper (Section VI-B): on the Alcatel phone the lowest bandwidths miss
+most stalls - "at 20 MHz EMPROF detects only the very few stalls that
+have extremely long durations (their average duration is 1100 clock
+cycles)" - while on the IoT board low bandwidth mostly degrades the
+latency measurement.  "For both devices, the average stall time
+stabilizes at 60 MHz or more."
+"""
+
+from repro.experiments.figures import fig12_bandwidth_sweep
+
+
+def test_fig12_bandwidth_sweep(once):
+    points = once(fig12_bandwidth_sweep, benchmark="mcf", scale=1.0)
+
+    print("\nFig. 12 - measurement-bandwidth sweep, mcf")
+    by_key = {}
+    for p in points:
+        by_key[(p.device, p.bandwidth_hz)] = p
+        print(
+            f"  {p.device:8s} {p.bandwidth_hz / 1e6:5.0f} MHz: "
+            f"stalls={p.detected_stalls:5d} mean={p.mean_stall_cycles:7.1f} cycles"
+        )
+
+    MHZ = 1e6
+    alc20 = by_key[("alcatel", 20 * MHZ)]
+    alc60 = by_key[("alcatel", 60 * MHZ)]
+    alc160 = by_key[("alcatel", 160 * MHZ)]
+    oli20 = by_key[("olimex", 20 * MHZ)]
+    oli60 = by_key[("olimex", 60 * MHZ)]
+    oli160 = by_key[("olimex", 160 * MHZ)]
+
+    # Alcatel at 20 MHz: only a small fraction of stalls survive, and
+    # the survivors are the extreme-duration ones.
+    assert alc20.detected_stalls < 0.3 * alc160.detected_stalls
+    assert alc20.mean_stall_cycles > 2.5 * alc160.mean_stall_cycles
+
+    # Olimex detects fine even at 20 MHz (longer stalls in samples).
+    assert oli20.detected_stalls > 0.8 * oli160.detected_stalls
+
+    # Stabilization at 60 MHz and beyond, for both devices.
+    assert alc60.detected_stalls > 0.85 * alc160.detected_stalls
+    assert abs(oli60.mean_stall_cycles - oli160.mean_stall_cycles) < 0.2 * oli160.mean_stall_cycles

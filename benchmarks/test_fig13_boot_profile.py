@@ -1,0 +1,51 @@
+"""Fig. 13: profiling the boot sequence.
+
+EMPROF profiles two boots of the IoT device - something no on-device
+profiler can do, since during boot nothing is initialized.  The two
+runs show the same characteristic miss-rate-vs-time shape with small
+run-to-run variation.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig13_boot_profile
+
+
+def test_fig13_boot_miss_rate_timeline(once):
+    runs = once(fig13_boot_profile, seeds=(0, 1), scale=1.0)
+
+    print("\nFig. 13 - boot-sequence miss rate over time (two runs)")
+    for r in runs:
+        peak = float(r.miss_rate.max())
+        t_end = float(r.time_ms[-1]) if len(r.time_ms) else 0.0
+        print(
+            f"  run {r.run_id}: {r.total_misses} misses over {t_end:.2f} ms, "
+            f"peak rate {peak:.0f} misses/ms"
+        )
+
+    a, b = runs
+    assert a.total_misses > 300
+    assert b.total_misses > 300
+
+    # Same boot flow: totals agree within ~25%.
+    assert abs(a.total_misses - b.total_misses) < 0.25 * a.total_misses
+
+    # The profile is structured, not flat: the miss-heavy early phases
+    # (bootloader/kernel image streaming) against the quieter tail
+    # once services are up.
+    n = len(a.miss_rate)
+    early = a.miss_rate[: n // 2].mean()
+    late = a.miss_rate[-n // 5 :].mean()
+    assert early > 2 * max(late, 1e-9)
+    # The rate peak sits in the first half of the boot.
+    assert int(np.argmax(a.miss_rate)) < n // 2
+
+    # Distinct runs: the timelines differ sample-by-sample.
+    m = min(len(a.miss_rate), len(b.miss_rate))
+    assert not np.array_equal(a.miss_rate[:m], b.miss_rate[:m])
+
+    # ... but correlate strongly (same boot structure).
+    if m > 10:
+        corr = np.corrcoef(a.miss_rate[:m], b.miss_rate[:m])[0, 1]
+        print(f"  run-to-run correlation: {corr:.3f}")
+        assert corr > 0.3

@@ -1,0 +1,34 @@
+"""Fig. 14: spectrogram of the parser benchmark.
+
+Three distinct regions are visible in the parser spectrogram, each a
+different function; spectral attribution segments the timeline into
+those regions (the dashed lines the paper marks manually).
+"""
+
+from repro.experiments.figures import fig14_parser_spectrogram
+
+PARSER_REGIONS = {"read_dictionary", "init_randtable", "batch_process"}
+
+
+def test_fig14_parser_spectrogram(once):
+    r = once(fig14_parser_spectrogram, scale=1.0)
+
+    print("\nFig. 14 - parser spectrogram and attributed regions")
+    print(f"  spectrogram: {r.spectrogram.magnitude.shape} (freqs x frames)")
+    print(f"  segments   : {len(r.timeline.segments)}")
+    print(f"  regions    : {r.regions_found}")
+    shares = r.timeline.samples_per_region()
+    total = sum(shares.values())
+    for name, samples in sorted(shares.items(), key=lambda kv: -kv[1]):
+        print(f"    {name:18s} {100 * samples / total:5.1f}% of timeline")
+
+    # The spectrogram exists and carries energy.
+    assert r.spectrogram.n_frames > 10
+    assert float(r.spectrogram.magnitude.max()) > 0
+
+    # All three parser functions appear in the attribution.
+    assert PARSER_REGIONS <= set(r.regions_found)
+
+    # batch_process occupies the largest share of the timeline, as in
+    # Table V (it has by far the most cycles).
+    assert max(shares, key=shares.get) == "batch_process"

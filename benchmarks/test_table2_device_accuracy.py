@@ -1,0 +1,25 @@
+"""Table II: EMPROF miss-count accuracy on the three devices.
+
+The full TM/CM grid of the paper - (256,1), (256,5), (1024,10),
+(4096,50) - through the complete EM measurement chain on each device
+model.  The paper reports >= 98.98% accuracy everywhere, averaging
+99.52%.
+"""
+
+import numpy as np
+
+from repro.experiments.tables import MICRO_GRID, format_table2, table2_rows
+
+
+def test_table2_microbenchmark_accuracy(once):
+    rows = once(table2_rows, grid=MICRO_GRID, scale=1.0)
+
+    print("\nTable II - EMPROF accuracy for microbenchmarks (device path)")
+    print(format_table2(rows))
+    mean_acc = float(np.mean([r.accuracy for r in rows]))
+    print(f"Average accuracy: {100 * mean_acc:.2f}% (paper: 99.52%)")
+
+    # Every grid point on every device stays in the paper's band.
+    for r in rows:
+        assert r.accuracy > 0.96, (r.tm, r.cm, r.device, r.accuracy)
+    assert mean_acc > 0.98

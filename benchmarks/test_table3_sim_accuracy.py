@@ -1,0 +1,47 @@
+"""Table III: EMPROF accuracy against simulator ground truth.
+
+Microbenchmarks (miss count vs the engineered TM) and the ten SPEC
+CPU2000 models (miss count and stall cycles vs the simulator's
+records).  The paper reports 97.7-99.8% / 99.3-99.9% on the
+microbenchmarks and 93.2-100% / 98.4-100% on SPEC.
+"""
+
+import numpy as np
+
+from repro.experiments.tables import (
+    MICRO_GRID,
+    format_table3,
+    table3_micro_rows,
+    table3_spec_rows,
+)
+
+
+def test_table3_microbenchmarks(once):
+    rows = once(table3_micro_rows, grid=MICRO_GRID, scale=1.0)
+    print("\nTable III (top) - microbenchmarks on the simulator")
+    print(format_table3(rows))
+    for r in rows:
+        assert r.miss_accuracy > 0.96, r
+        assert r.stall_accuracy > 0.97, r
+
+
+def test_table3_spec(once):
+    rows = once(table3_spec_rows, scale=1.0)
+    print("\nTable III (bottom) - SPEC CPU2000 on the simulator")
+    print(format_table3(rows))
+    miss_accs = [r.miss_accuracy for r in rows]
+    stall_accs = [r.stall_accuracy for r in rows]
+    print(
+        f"Average: miss {100 * np.mean(miss_accs):.2f}% "
+        f"(paper 98.5%), stall {100 * np.mean(stall_accs):.2f}% (paper 99.5%)"
+    )
+
+    assert len(rows) == 10
+    # Per-benchmark floors: the paper's worst case is equake at 93.2%
+    # miss / 98.4% stall; our scaled runs sit a few points lower on
+    # miss count (overlap undercounting bites harder at small scale).
+    for r in rows:
+        assert r.miss_accuracy > 0.85, r
+        assert r.stall_accuracy > 0.97, r
+    assert np.mean(miss_accs) > 0.90
+    assert np.mean(stall_accs) > 0.98

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""How much receiver bandwidth does EMPROF need?  (Fig. 12)
+
+Equipment cost scales steeply with capture bandwidth, so Section VI-B
+asks the practical question: how narrow can the measurement be before
+profiling degrades?  This example sweeps 20-160 MHz on the Alcatel
+phone and Olimex board models running mcf and prints detected-stall
+counts and mean stall durations per bandwidth.
+
+The paper's findings, visible in the output:
+* at 20 MHz the (faster-clocked, shorter-stall) Alcatel loses almost
+  every stall, keeping only extreme-duration outliers;
+* the IoT board still detects at 20 MHz but measures durations more
+  coarsely;
+* both devices stabilize by 60 MHz - ~6% of the clock frequency.
+"""
+
+from repro.experiments.figures import fig12_bandwidth_sweep
+
+
+def main() -> None:
+    print("Measurement-bandwidth sweep - SPEC CPU2000 mcf (Fig. 12)")
+    print("=" * 64)
+    points = fig12_bandwidth_sweep(benchmark="mcf")
+
+    by_device = {}
+    for p in points:
+        by_device.setdefault(p.device, []).append(p)
+
+    for device, series in by_device.items():
+        print(f"\n{device}")
+        print(f"  {'BW (MHz)':>9s} {'stalls':>7s} {'mean (cyc)':>11s} {'total (cyc)':>12s}")
+        for p in series:
+            print(
+                f"  {p.bandwidth_hz / 1e6:9.0f} {p.detected_stalls:7d} "
+                f"{p.mean_stall_cycles:11.1f} {p.total_stall_cycles:12.0f}"
+            )
+        full = series[-1]
+        narrow = series[0]
+        if narrow.detected_stalls < 0.5 * full.detected_stalls:
+            print(f"  -> at {narrow.bandwidth_hz / 1e6:.0f} MHz this device keeps only "
+                  f"{narrow.detected_stalls} stalls (mean "
+                  f"{narrow.mean_stall_cycles:.0f} cycles - the extreme tail)")
+        else:
+            print("  -> detection survives even the narrowest capture; only "
+                  "duration resolution degrades")
+
+    print("\nRule of thumb from the paper: bandwidth equal to ~6% of the")
+    print("target's clock frequency (60 MHz for ~1 GHz parts) suffices.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Profile a device's boot sequence - where no other profiler works.
+
+Section VI-C's headline capability: during boot there is no OS, no
+perf, no initialized performance counters, and nowhere to store
+profiling data - but the EM signal exists from the first instruction
+fetch.  EMPROF profiles it from outside.
+
+This example boots the IoT device model twice and prints the LLC
+miss-rate timeline of each run (the Fig. 13 series), then summarizes
+where the memory time goes - the input a developer would use to decide
+whether memory-locality work could speed up boot.
+"""
+
+import numpy as np
+
+from repro.core.profiler import Emprof
+from repro.devices import default_channel, olimex
+from repro.emsignal import measure
+from repro.sim.machine import simulate
+from repro.workloads.boot import BootWorkload
+
+
+def ascii_sparkline(values, width=60) -> str:
+    """Render a rate series as a one-line ASCII chart."""
+    blocks = " .:-=+*#%@"
+    if len(values) == 0:
+        return ""
+    folded = np.array_split(np.asarray(values, dtype=float), width)
+    folded = np.array([chunk.mean() if len(chunk) else 0.0 for chunk in folded])
+    top = folded.max() or 1.0
+    return "".join(blocks[int(v / top * (len(blocks) - 1))] for v in folded)
+
+
+def profile_boot(seed: int):
+    device = olimex()
+    boot = BootWorkload(seed=seed)
+    result = simulate(boot, device)
+    capture = measure(result, bandwidth_hz=40e6,
+                      channel=default_channel(device.name, seed=seed))
+    report = Emprof.from_capture(capture).profile()
+    return device, report
+
+
+def main() -> None:
+    print("EMPROF boot profiling (two runs, Fig. 13)")
+    print("=" * 64)
+    for seed in (0, 1):
+        device, report = profile_boot(seed)
+        bin_ms = 0.05
+        bin_cycles = bin_ms * 1e-3 * device.clock_hz
+        starts, counts = report.miss_rate_timeline(bin_cycles)
+        rate = counts / bin_ms  # misses per millisecond
+        duration_ms = report.total_cycles / device.clock_hz * 1e3
+
+        print(f"\nboot run {seed}: {report.miss_count} LLC-miss stalls over "
+              f"{duration_ms:.2f} ms "
+              f"({100 * report.stall_fraction:.1f}% of boot spent stalled)")
+        print(f"  rate/ms  [{ascii_sparkline(rate)}]")
+        print(f"  peak     {rate.max():.0f} misses/ms at "
+              f"t = {starts[np.argmax(rate)] / device.clock_hz * 1e3:.2f} ms")
+
+        # Where would locality work pay off?  The early image-streaming
+        # phases dominate the miss budget.
+        half = len(counts) // 2
+        early = counts[:half].sum()
+        print(f"  first half of boot: {early} misses "
+              f"({100 * early / max(1, counts.sum()):.0f}% of total)")
+
+    print("\nInterpretation: the bootloader/kernel-image streaming phases")
+    print("dominate the boot's memory stalls; locality or prefetch work")
+    print("there shortens boot the most (the Section VI-C decision).")
+
+
+if __name__ == "__main__":
+    main()

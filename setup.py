@@ -1,0 +1,11 @@
+"""Setup shim; all metadata lives in setup.cfg.
+
+The project intentionally ships setup.cfg + setup.py and no
+pyproject.toml: the presence of pyproject.toml makes pip build in an
+isolated environment that must download setuptools/wheel, which fails
+offline.  The legacy path installs editable with no network at all.
+"""
+
+from setuptools import setup
+
+setup()

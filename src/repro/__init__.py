@@ -1,0 +1,43 @@
+"""EMPROF reproduction: memory profiling via EM emanations (MICRO 2018).
+
+The package is organized as the paper's system is:
+
+* :mod:`repro.sim` - SESC-like cycle-level machine producing a power
+  side-channel trace plus ground-truth miss/stall records.
+* :mod:`repro.emsignal` - EM signal chain: emission synthesis, probe /
+  channel distortions, bandwidth-limited receiver, DSP helpers.
+* :mod:`repro.core` - EMPROF itself: normalization, stall detection,
+  profiling reports, validation metrics.
+* :mod:`repro.workloads` - microbenchmark, SPEC CPU2000 models, boot.
+* :mod:`repro.attribution` - spectral code attribution (Table V).
+* :mod:`repro.baselines` - perf-style sampled hardware counters.
+* :mod:`repro.devices` - Alcatel / Samsung / Olimex presets (Table I).
+* :mod:`repro.experiments` - drivers regenerating every table/figure.
+
+Quickstart::
+
+    from repro import Emprof, Microbenchmark, simulate
+    from repro.devices import olimex
+
+    result = simulate(Microbenchmark(total_misses=256, consecutive_misses=5),
+                      olimex())
+    profile = Emprof.from_simulation(result).profile()
+    print(profile.summary())
+"""
+
+from .core.profiler import Emprof
+from .core.streaming import StreamingEmprof
+from .sim.machine import Machine, SimulationResult, simulate
+from .workloads.microbenchmark import Microbenchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Emprof",
+    "StreamingEmprof",
+    "Machine",
+    "SimulationResult",
+    "simulate",
+    "Microbenchmark",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Spectral-Profiling-style code attribution (Section VI-D, Table V)."""
+
+from .report import RegionReport, attribute_stalls, format_region_table
+from .spectral import (
+    RegionSegment,
+    RegionTimeline,
+    SpectralProfiler,
+    timeline_accuracy,
+)
+from .zop import ZopMatcher, ZopResult, ZopSegment, sequence_accuracy
+
+__all__ = [
+    "SpectralProfiler",
+    "ZopMatcher",
+    "ZopResult",
+    "ZopSegment",
+    "sequence_accuracy",
+    "RegionSegment",
+    "RegionTimeline",
+    "RegionReport",
+    "attribute_stalls",
+    "format_region_table",
+    "timeline_accuracy",
+]

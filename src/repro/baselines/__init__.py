@@ -1,0 +1,27 @@
+"""Baseline profilers EMPROF is compared against, and their costs."""
+
+from .instrumentation import (
+    INTERRUPT_REGION,
+    InstrumentationConfig,
+    InstrumentedWorkload,
+    ObserverEffect,
+    observer_effect,
+)
+from .perf_counters import (
+    PerfCounterConfig,
+    PerfCounterModel,
+    PerfSampler,
+    SamplerResult,
+)
+
+__all__ = [
+    "InstrumentationConfig",
+    "InstrumentedWorkload",
+    "ObserverEffect",
+    "observer_effect",
+    "INTERRUPT_REGION",
+    "PerfCounterConfig",
+    "PerfCounterModel",
+    "PerfSampler",
+    "SamplerResult",
+]

@@ -1,0 +1,316 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors a real measurement campaign's workflow:
+
+* ``devices``    - list the modelled targets and their parameters;
+* ``capture``    - run a workload on a device model through the EM
+  apparatus and save the capture (.npz);
+* ``profile``    - run EMPROF over a saved capture and save/print the
+  report (.json);
+* ``selftest``   - engineered-microbenchmark accuracy check (the
+  Table II experiment at one grid point);
+* ``table``      - regenerate one of the paper's tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import io as repro_io
+from .analysis import boundedness, speedup_headroom
+from .core.detect import DetectorConfig
+from .core.markers import find_marker_window
+from .core.normalize import NormalizerConfig
+from .core.profiler import Emprof, EmprofConfig
+from .core.validate import count_accuracy
+from .devices import DEVICE_NAMES, by_name, default_channel
+from .emsignal import measure
+from .sim.machine import simulate
+from .workloads import BootWorkload, Microbenchmark, SPEC_BENCHMARKS, spec_workload
+
+
+def _build_workload(args: argparse.Namespace):
+    name = args.workload
+    if name == "micro":
+        return Microbenchmark(
+            total_misses=args.tm,
+            consecutive_misses=args.cm,
+            seed=args.seed,
+        )
+    if name == "boot":
+        return BootWorkload(seed=args.seed, scale=args.scale)
+    if name in SPEC_BENCHMARKS:
+        return spec_workload(name, seed=args.seed or 11, scale=args.scale)
+    raise SystemExit(
+        f"unknown workload {name!r}; expected 'micro', 'boot' or one of "
+        f"{', '.join(SPEC_BENCHMARKS)}"
+    )
+
+
+def cmd_devices(_args: argparse.Namespace) -> int:
+    print(f"{'device':10s} {'clock':>9s} {'LLC':>7s} {'width':>5s} "
+          f"{'mem lat':>8s} {'prefetch':>8s}")
+    for name in DEVICE_NAMES:
+        cfg = by_name(name)
+        print(
+            f"{name:10s} {cfg.clock_hz / 1e9:7.3f}G {cfg.llc.size_bytes // 1024:5d}KB "
+            f"{cfg.core.width:5d} {cfg.memory.access_latency:6d}cy "
+            f"{'yes' if cfg.prefetcher_enabled else 'no':>8s}"
+        )
+    return 0
+
+
+def cmd_capture(args: argparse.Namespace) -> int:
+    device = by_name(args.device)
+    workload = _build_workload(args)
+    print(f"simulating {workload.name} on {device.name} ...")
+    result = simulate(workload, device, seed=args.seed)
+    capture = measure(
+        result,
+        bandwidth_hz=args.bandwidth_mhz * 1e6,
+        channel=default_channel(device.name, seed=args.seed),
+    )
+    repro_io.save_capture(args.output, capture)
+    truth = result.ground_truth
+    print(
+        f"captured {len(capture.magnitude)} samples "
+        f"({capture.duration_s * 1e3:.2f} ms at {args.bandwidth_mhz:.0f} MHz) "
+        f"-> {args.output}"
+    )
+    if args.ground_truth:
+        repro_io.save_ground_truth(args.ground_truth, truth)
+        print(f"ground truth ({truth.miss_count()} misses) -> {args.ground_truth}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    capture = repro_io.load_capture(args.capture)
+    config = EmprofConfig(
+        normalizer=NormalizerConfig(window_samples=args.window),
+        detector=DetectorConfig(
+            threshold=args.threshold,
+            min_duration_cycles=args.min_duration,
+        ),
+    )
+    profiler = Emprof.from_capture(capture, config=config)
+    if args.isolate_window:
+        window = find_marker_window(profiler.signal, marker_min_samples=200)
+        report = profiler.profile_window(window.begin_sample, window.end_sample)
+        print(f"marker window: samples [{window.begin_sample}, {window.end_sample})")
+    else:
+        report = profiler.profile()
+    if args.plot:
+        from .render import report_panel
+
+        print(report_panel(report, signal=profiler.signal))
+    else:
+        print(report.summary())
+
+    verdict = boundedness(report)
+    print(f"classification : {verdict.label} "
+          f"({100 * verdict.stall_fraction:.1f}% stalled)")
+    if verdict.stall_fraction < 1.0:
+        print(f"Amdahl headroom: {speedup_headroom(report):.2f}x if all "
+              f"miss stalls were eliminated")
+    if args.output:
+        repro_io.save_report(args.output, report)
+        print(f"report -> {args.output}")
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    device = by_name(args.device)
+    workload = Microbenchmark(total_misses=args.tm, consecutive_misses=args.cm)
+    result = simulate(workload, device, seed=args.seed)
+    capture = measure(
+        result, bandwidth_hz=40e6, channel=default_channel(device.name, seed=args.seed)
+    )
+    profiler = Emprof.from_capture(capture)
+    window = find_marker_window(profiler.signal, marker_min_samples=200)
+    report = profiler.profile_window(window.begin_sample, window.end_sample)
+    acc = count_accuracy(report.miss_count, workload.total_misses)
+    print(
+        f"{device.name}: detected {report.miss_count} / {workload.total_misses} "
+        f"engineered misses ({100 * acc:.2f}%)"
+    )
+    if acc < 0.97:
+        print("SELFTEST FAILED (expected >= 97%)")
+        return 1
+    print("selftest passed")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments.reportgen import generate_report
+
+    include = args.only.split(",") if args.only else None
+    path = generate_report(args.output, scale=args.scale, include=include)
+    print(f"results -> {path}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import compare_reports
+
+    before = repro_io.load_report(args.before)
+    after = repro_io.load_report(args.after)
+    delta = compare_reports(before, after)
+    print(f"misses        : {before.miss_count} -> {after.miss_count} "
+          f"({delta.miss_delta:+d})")
+    print(f"stall cycles  : {before.stall_cycles:.0f} -> {after.stall_cycles:.0f} "
+          f"({delta.stall_cycle_delta:+.0f})")
+    print(f"stall fraction: {100 * delta.stall_fraction_before:.2f}% -> "
+          f"{100 * delta.stall_fraction_after:.2f}%")
+    print(f"time speedup  : {delta.time_speedup:.3f}x")
+    print("verdict       : " + ("improved" if delta.improved else "not improved"))
+    return 0
+
+
+def cmd_attribute(args: argparse.Namespace) -> int:
+    from .attribution.report import format_region_table
+    from .attribution.spectral import SpectralProfiler
+    from .attribution.report import attribute_stalls
+    from .experiments.runner import run_device
+    from .workloads.spec import SpecWorkload
+
+    device = by_name(args.device)
+    workload = spec_workload(args.benchmark, scale=args.scale)
+    profiler_s = SpectralProfiler(window_samples=128, smoothing_frames=7)
+    print(f"training region spectra for {args.benchmark} on {device.name} ...")
+    for phase in workload.phases:
+        solo = SpecWorkload(f"train_{phase.region}", [phase], seed=workload.seed)
+        train = run_device(solo, device, bandwidth_hz=40e6, seed=args.seed)
+        profiler_s.train(phase.region, train.signal, train.capture.sample_rate_hz)
+    run = run_device(workload, device, bandwidth_hz=40e6, seed=args.seed)
+    timeline = profiler_s.attribute(run.signal, run.capture.sample_rate_hz)
+    rows = attribute_stalls(run.report, timeline)
+    print(format_region_table(rows))
+    worst = max(rows, key=lambda r: r.stall_percent)
+    print(f"=> optimization target: {worst.region!r} "
+          f"({worst.stall_percent:.1f}% of its time stalled)")
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    from .experiments import tables
+
+    which = args.which
+    if which == 2:
+        rows = tables.table2_rows(scale=args.scale)
+        print(tables.format_table2(rows))
+    elif which == 3:
+        micro = tables.table3_micro_rows(scale=args.scale)
+        spec = tables.table3_spec_rows(scale=args.scale)
+        print(tables.format_table3(micro + spec))
+    elif which == 4:
+        rows = tables.table4_rows(scale=args.scale)
+        print(tables.format_table4(rows))
+    elif which == 5:
+        from .attribution.report import format_region_table
+
+        print(format_region_table(tables.table5_rows(scale=args.scale)))
+    else:
+        raise SystemExit("supported tables: 2, 3, 4, 5")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EMPROF reproduction - EM-emanation memory profiling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list modelled devices").set_defaults(
+        func=cmd_devices
+    )
+
+    cap = sub.add_parser("capture", help="record an EM capture of a workload")
+    cap.add_argument("--device", default="olimex", choices=list(DEVICE_NAMES))
+    cap.add_argument(
+        "--workload",
+        default="micro",
+        help="'micro', 'boot', or a SPEC name: " + ", ".join(SPEC_BENCHMARKS),
+    )
+    cap.add_argument("--tm", type=int, default=256, help="microbenchmark TM")
+    cap.add_argument("--cm", type=int, default=5, help="microbenchmark CM")
+    cap.add_argument("--scale", type=float, default=1.0, help="workload scale")
+    cap.add_argument("--bandwidth-mhz", type=float, default=40.0)
+    cap.add_argument("--seed", type=int, default=0)
+    cap.add_argument("-o", "--output", required=True, help="capture .npz path")
+    cap.add_argument("--ground-truth", help="also save ground truth (.npz)")
+    cap.set_defaults(func=cmd_capture)
+
+    prof = sub.add_parser("profile", help="run EMPROF over a saved capture")
+    prof.add_argument("capture", help="capture .npz path")
+    prof.add_argument("-o", "--output", help="report .json path")
+    prof.add_argument("--threshold", type=float, default=0.45)
+    prof.add_argument("--window", type=int, default=2001)
+    prof.add_argument("--min-duration", type=float, default=70.0)
+    prof.add_argument(
+        "--isolate-window",
+        action="store_true",
+        help="restrict to the marker-loop window (microbenchmark captures)",
+    )
+    prof.add_argument(
+        "--plot",
+        action="store_true",
+        help="render the signal and latency histogram as ASCII art",
+    )
+    prof.set_defaults(func=cmd_profile)
+
+    st = sub.add_parser("selftest", help="engineered-miss accuracy check")
+    st.add_argument("--device", default="olimex", choices=list(DEVICE_NAMES))
+    st.add_argument("--tm", type=int, default=256)
+    st.add_argument("--cm", type=int, default=5)
+    st.add_argument("--seed", type=int, default=0)
+    st.set_defaults(func=cmd_selftest)
+
+    att = sub.add_parser(
+        "attribute", help="per-region memory profile of a SPEC model (Table V style)"
+    )
+    att.add_argument("--benchmark", default="parser", choices=list(SPEC_BENCHMARKS))
+    att.add_argument("--device", default="olimex", choices=list(DEVICE_NAMES))
+    att.add_argument("--scale", type=float, default=1.0)
+    att.add_argument("--seed", type=int, default=0)
+    att.set_defaults(func=cmd_attribute)
+
+    rep = sub.add_parser(
+        "reproduce", help="regenerate results and write results.md"
+    )
+    rep.add_argument("-o", "--output", required=True, help="output directory")
+    rep.add_argument("--scale", type=float, default=1.0)
+    rep.add_argument(
+        "--only",
+        help="comma-separated subset: table2,table3,table4,table5,perf,"
+        "fig5,fig11,fig12,fig13",
+    )
+    rep.set_defaults(func=cmd_reproduce)
+
+    cmp_ = sub.add_parser(
+        "compare", help="before/after comparison of two report .json files"
+    )
+    cmp_.add_argument("before")
+    cmp_.add_argument("after")
+    cmp_.set_defaults(func=cmd_compare)
+
+    tab = sub.add_parser("table", help="regenerate one of the paper's tables")
+    tab.add_argument("which", type=int, choices=(2, 3, 4, 5))
+    tab.add_argument("--scale", type=float, default=1.0)
+    tab.set_defaults(func=cmd_table)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Dip detection: from a normalized magnitude to stall events.
+
+"EMPROF then identifies each significant dip in the signal whose
+duration exceeds a threshold.  The threshold is selected to be
+significantly shorter than the LLC latency but significantly longer
+than typical on-chip latencies." (Section IV)
+
+Detection runs in three stages:
+
+1. threshold the normalized signal into below-dip runs,
+2. merge runs separated by gaps shorter than ``merge_gap_samples``
+   (one noisy sample inside a stall must not split it in two),
+3. keep runs whose duration exceeds ``min_duration_cycles`` and refine
+   their boundaries by linear interpolation of the threshold crossing,
+   so measured durations are not quantized to whole sample periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .events import DetectedStall
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Stall-detection parameters.
+
+    Attributes:
+        threshold: normalized level below which the processor is
+            considered stalled.
+        recover_threshold: hysteresis level - two dips are merged into
+            one stall unless the signal between them recovers above
+            this.  A single noisy sample poking above ``threshold``
+            inside a stall must not split it in two, while a genuine
+            busy gap (which returns to full-rate switching, i.e. near
+            1.0) does separate consecutive misses.
+        min_duration_cycles: minimum dip duration to report - longer
+            than on-chip (LLC-hit) latencies, shorter than a memory
+            access.
+        min_duration_samples: minimum *whole samples* below threshold
+            for a dip to count.  One or two low samples cannot be told
+            apart from noise, whatever the sample period; this is what
+            makes low measurement bandwidths blind to short stalls
+            (the 20 MHz behaviour of Fig. 12).
+        merge_gap_samples: dips separated by at most this many samples
+            are merged unconditionally (0 disables).
+        refresh_min_cycles: dips at least this long are classified as
+            refresh-coincident (the 2-3 us stalls of Fig. 5).
+    """
+
+    threshold: float = 0.45
+    recover_threshold: float = 0.70
+    min_duration_cycles: float = 70.0
+    min_duration_samples: int = 4
+    merge_gap_samples: int = 0
+    refresh_min_cycles: float = 1200.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        if not self.threshold <= self.recover_threshold < 1.0:
+            raise ValueError("recover threshold must be in [threshold, 1)")
+        if self.min_duration_cycles <= 0:
+            raise ValueError("min duration must be positive")
+        if self.min_duration_samples < 1:
+            raise ValueError("min sample count must be at least 1")
+        if self.merge_gap_samples < 0:
+            raise ValueError("merge gap cannot be negative")
+        if self.refresh_min_cycles <= self.min_duration_cycles:
+            raise ValueError("refresh threshold must exceed min duration")
+
+
+def _runs_below(mask: np.ndarray) -> List[Tuple[int, int]]:
+    """Half-open [start, end) index runs where ``mask`` is True."""
+    if len(mask) == 0:
+        return []
+    padded = np.concatenate(([False], mask, [False]))
+    edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    starts = edges[0::2]
+    ends = edges[1::2]
+    return list(zip(starts.tolist(), ends.tolist()))
+
+
+def _merge_runs(
+    runs: List[Tuple[int, int]], max_gap: int
+) -> List[Tuple[int, int]]:
+    """Merge runs whose separating gap is at most ``max_gap`` samples."""
+    if not runs or max_gap <= 0:
+        return runs
+    merged = [runs[0]]
+    for start, end in runs[1:]:
+        last_start, last_end = merged[-1]
+        if start - last_end <= max_gap:
+            merged[-1] = (last_start, end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _merge_hysteresis(
+    runs: List[Tuple[int, int]], normalized: np.ndarray, recover: float
+) -> List[Tuple[int, int]]:
+    """Merge runs unless the signal between them recovers above ``recover``."""
+    if not runs:
+        return runs
+    merged = [runs[0]]
+    for start, end in runs[1:]:
+        last_start, last_end = merged[-1]
+        if float(normalized[last_end:start].max()) < recover:
+            merged[-1] = (last_start, end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _refine_edge(normalized: np.ndarray, index: int, threshold: float) -> float:
+    """Fractional sample position of the threshold crossing at ``index``.
+
+    Runs are half-open, so both edges interpolate between sample
+    ``index - 1`` and sample ``index`` (one of the pair is above the
+    threshold and the other below, for either edge direction).  Falls
+    back to the integer boundary at array edges or degenerate slopes.
+    """
+    n = len(normalized)
+    lo, hi = index - 1, index
+    if lo < 0 or hi >= n:
+        return float(index)
+    a = float(normalized[lo])
+    b = float(normalized[hi])
+    if a == b:
+        return float(index)
+    frac = (threshold - a) / (b - a)
+    if not 0.0 <= frac <= 1.0:
+        return float(index)
+    return lo + frac
+
+
+def detect_stalls(
+    normalized: np.ndarray,
+    sample_period_cycles: float,
+    config: DetectorConfig = None,
+) -> List[DetectedStall]:
+    """Find LLC-miss-induced stalls in a normalized signal.
+
+    Args:
+        normalized: output of :func:`repro.core.normalize.normalize`.
+        sample_period_cycles: processor cycles per signal sample
+            (e.g. 20 for the paper's 50 MHz trace of a 1 GHz core).
+        config: detection parameters.
+
+    Returns:
+        Detected stalls in time order, with fractional boundaries and
+        refresh classification applied.
+    """
+    cfg = config if config is not None else DetectorConfig()
+    x = np.asarray(normalized, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("signal must be one-dimensional")
+    if sample_period_cycles <= 0:
+        raise ValueError("sample period must be positive")
+
+    runs = _runs_below(x < cfg.threshold)
+    runs = _merge_runs(runs, cfg.merge_gap_samples)
+    runs = _merge_hysteresis(runs, x, cfg.recover_threshold)
+
+    stalls: List[DetectedStall] = []
+    for start, end in runs:
+        if end - start < cfg.min_duration_samples:
+            continue
+        begin = _refine_edge(x, start, cfg.threshold)
+        finish = _refine_edge(x, end, cfg.threshold)
+        if finish <= begin:
+            continue
+        duration_cycles = (finish - begin) * sample_period_cycles
+        if duration_cycles < cfg.min_duration_cycles:
+            continue
+        stalls.append(
+            DetectedStall(
+                begin_sample=begin,
+                end_sample=finish,
+                begin_cycle=begin * sample_period_cycles,
+                end_cycle=finish * sample_period_cycles,
+                min_level=float(x[start:end].min()) if end > start else float(x[start]),
+                is_refresh=duration_cycles >= cfg.refresh_min_cycles,
+            )
+        )
+    return stalls

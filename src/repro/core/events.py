@@ -1,0 +1,144 @@
+"""Event and report types produced by the EMPROF profiler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DetectedStall:
+    """One LLC-miss-induced stall found in the side-channel signal.
+
+    Sample positions are fractional: run boundaries are refined by
+    linear interpolation of the threshold crossing, so durations are
+    not quantized to whole sample periods.
+
+    Attributes:
+        begin_sample / end_sample: half-open interval in the analyzed
+            signal (fractional samples).
+        begin_cycle / end_cycle: the same interval in processor cycles.
+        min_level: deepest normalized level inside the dip.
+        is_refresh: True when classified as a refresh-coincident stall
+            (Fig. 5): the stall is long enough to include a DRAM
+            refresh window.
+        region: code-region id once attribution has run, else None.
+    """
+
+    begin_sample: float
+    end_sample: float
+    begin_cycle: float
+    end_cycle: float
+    min_level: float
+    is_refresh: bool = False
+    region: Optional[int] = None
+
+    @property
+    def duration_cycles(self) -> float:
+        """Stall length in processor cycles."""
+        return self.end_cycle - self.begin_cycle
+
+    @property
+    def duration_samples(self) -> float:
+        """Stall length in signal samples."""
+        return self.end_sample - self.begin_sample
+
+    def with_region(self, region: int) -> "DetectedStall":
+        """Copy of this stall attributed to ``region``."""
+        return DetectedStall(
+            self.begin_sample,
+            self.end_sample,
+            self.begin_cycle,
+            self.end_cycle,
+            self.min_level,
+            self.is_refresh,
+            region,
+        )
+
+
+@dataclass
+class ProfileReport:
+    """EMPROF's output for one profiled execution.
+
+    The report follows the paper's accounting: each detected stall is
+    one MISS (one LLC miss or a group of highly-overlapped misses,
+    Section II-B), and its duration is that MISS's latency.
+    """
+
+    stalls: List[DetectedStall]
+    total_cycles: float
+    clock_hz: float
+    sample_period_cycles: float
+    region_names: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def miss_count(self) -> int:
+        """Number of detected LLC-miss-induced stalls."""
+        return len(self.stalls)
+
+    @property
+    def refresh_count(self) -> int:
+        """Detected stalls classified as refresh-coincident."""
+        return sum(1 for s in self.stalls if s.is_refresh)
+
+    @property
+    def stall_cycles(self) -> float:
+        """Total stalled cycles across all detected misses."""
+        return float(sum(s.duration_cycles for s in self.stalls))
+
+    @property
+    def stall_fraction(self) -> float:
+        """Miss latency as a fraction of total execution time."""
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.stall_cycles / self.total_cycles
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        """Average detected stall duration, in cycles."""
+        if not self.stalls:
+            return 0.0
+        return self.stall_cycles / len(self.stalls)
+
+    def latencies_cycles(self) -> np.ndarray:
+        """Detected stall durations in cycles, in time order."""
+        return np.array([s.duration_cycles for s in self.stalls], dtype=np.float64)
+
+    def stalls_between(self, begin_cycle: float, end_cycle: float) -> List[DetectedStall]:
+        """Stalls whose midpoint falls inside [begin_cycle, end_cycle)."""
+        out = []
+        for s in self.stalls:
+            mid = 0.5 * (s.begin_cycle + s.end_cycle)
+            if begin_cycle <= mid < end_cycle:
+                out.append(s)
+        return out
+
+    def miss_rate_timeline(self, bin_cycles: float):
+        """(bin_start_cycles, counts): detected misses per time bin.
+
+        The Fig. 13 boot-profile series is this timeline on a boot
+        capture.
+        """
+        if bin_cycles <= 0:
+            raise ValueError("bin width must be positive")
+        nbins = max(1, int(np.ceil(self.total_cycles / bin_cycles)))
+        counts = np.zeros(nbins, dtype=np.int64)
+        for s in self.stalls:
+            idx = min(int(s.begin_cycle // bin_cycles), nbins - 1)
+            counts[idx] += 1
+        return np.arange(nbins) * bin_cycles, counts
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        total_s = self.total_cycles / self.clock_hz
+        lines = [
+            f"EMPROF profile: {self.miss_count} LLC-miss stalls over "
+            f"{total_s * 1e3:.3f} ms ({self.total_cycles:.0f} cycles)",
+            f"  miss latency: {self.stall_cycles:.0f} cycles "
+            f"({100.0 * self.stall_fraction:.2f}% of execution time)",
+            f"  mean stall: {self.mean_latency_cycles:.1f} cycles",
+            f"  refresh-coincident stalls: {self.refresh_count}",
+        ]
+        return "\n".join(lines)

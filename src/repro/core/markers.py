@@ -1,0 +1,116 @@
+"""Locating the microbenchmark's marker-loop window in the signal.
+
+The microbenchmark brackets its engineered miss section with tight
+loops whose signal is "a very stable signal pattern that can be easily
+recognized, which allows us to identify the point in the signal where
+this loop ends and the part of the application with LLC miss activity
+begins" (Section V-B).  This module finds those stable stretches
+purely from the signal - no ground-truth side information - so the
+Table II device experiments measure what a real EMPROF deployment
+would.
+
+A marker is a long run where (a) the local standard deviation is a
+small fraction of the local mean and (b) the level is high (the loop
+keeps the core busy).  The measurement window is the span between the
+end of the first marker and the start of the last one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy.ndimage import maximum_filter1d, uniform_filter1d
+
+
+@dataclass(frozen=True)
+class MarkerWindow:
+    """Measurement window located between two marker loops.
+
+    Attributes:
+        begin_sample / end_sample: half-open window in signal samples.
+        markers: the [start, end) runs recognized as marker loops.
+    """
+
+    begin_sample: int
+    end_sample: int
+    markers: List[Tuple[int, int]]
+
+    @property
+    def width(self) -> int:
+        """Window width in samples."""
+        return self.end_sample - self.begin_sample
+
+
+def _stable_mask(
+    signal: np.ndarray, window: int, rel_std: float, min_level_ratio: float
+) -> np.ndarray:
+    """True where the signal is locally flat and high.
+
+    Stability is judged on the *detrended* signal: a short moving
+    average is subtracted first, so the slow multiplicative drift the
+    supply imposes (Section IV) does not read as instability, while
+    stall dips - abrupt against any trend - still do.
+    """
+    x = np.asarray(signal, dtype=np.float64)
+    trend_window = max(4, window // 4)
+    trend = uniform_filter1d(x, size=trend_window, mode="nearest")
+    resid = x - trend
+    var = uniform_filter1d(resid * resid, size=window, mode="nearest")
+    std = np.sqrt(np.maximum(var, 0.0))
+    mean = uniform_filter1d(x, size=window, mode="nearest")
+    # The "high level" reference is local too: under supply drift the
+    # absolute busy level wanders, but a marker always sits near the
+    # *local* busy peak, while a stall plateau sits far below it.
+    local_max = maximum_filter1d(x, size=max(8 * window, 512), mode="nearest")
+    level_floor = min_level_ratio * np.maximum(local_max, 1e-30)
+    return (std < rel_std * np.maximum(mean, 1e-30)) & (mean > level_floor)
+
+
+def find_marker_window(
+    signal: np.ndarray,
+    marker_min_samples: int = 300,
+    rel_std: float = 0.05,
+    min_level_ratio: float = 0.6,
+) -> MarkerWindow:
+    """Locate the window between the first and last marker loop.
+
+    Args:
+        signal: raw (or lightly smoothed) magnitude samples.
+        marker_min_samples: minimum length of a stable run to qualify
+            as a marker loop.
+        rel_std: local std must stay below this fraction of the local
+            mean inside a marker.
+        min_level_ratio: marker level must exceed this fraction of the
+            signal's 95th-percentile level (markers are busy loops).
+
+    Raises:
+        ValueError: when fewer than two markers are found - the signal
+            then does not look like a bracketed microbenchmark run.
+    """
+    if marker_min_samples < 4:
+        raise ValueError("marker_min_samples must be at least 4")
+    x = np.asarray(signal, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("signal must be one-dimensional")
+    if len(x) < 3 * marker_min_samples:
+        raise ValueError("signal too short to contain a marked window")
+
+    mask = _stable_mask(x, max(4, marker_min_samples // 4), rel_std, min_level_ratio)
+    padded = np.concatenate(([False], mask, [False]))
+    edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    runs = [
+        (int(s), int(e))
+        for s, e in zip(edges[0::2], edges[1::2])
+        if e - s >= marker_min_samples
+    ]
+    if len(runs) < 2:
+        raise ValueError(
+            f"found {len(runs)} marker loop(s); need at least 2 to bracket a window"
+        )
+    begin = runs[0][1]
+    end = runs[-1][0]
+    if end <= begin:
+        raise ValueError("marker loops do not bracket a non-empty window")
+    return MarkerWindow(begin_sample=begin, end_sample=end, markers=runs)

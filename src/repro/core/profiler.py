@@ -1,0 +1,155 @@
+"""The EMPROF profiler facade.
+
+Ties the pipeline together exactly as Section IV describes the
+prototype: magnitude in, moving-min/max normalization, dip detection
+with a duration threshold, and a :class:`ProfileReport` out.  The
+profiler is agnostic about where the magnitude signal came from - the
+simulator's power trace (Section V-C) and the receiver's EM capture
+(Section V-B) go through the identical code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .detect import DetectorConfig, detect_stalls
+from .events import ProfileReport
+from .normalize import NormalizerConfig, normalize
+
+
+@dataclass(frozen=True)
+class EmprofConfig:
+    """Complete EMPROF parameter set (normalization + detection)."""
+
+    normalizer: NormalizerConfig = field(default_factory=NormalizerConfig)
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+
+
+class Emprof:
+    """Profile one captured (or simulated) side-channel signal.
+
+    Args:
+        signal: magnitude samples (non-negative).
+        sample_rate_hz: sampling rate of ``signal``.
+        clock_hz: target processor's clock frequency; converts sample
+            positions into cycle counts ("the number of cycles this
+            stall corresponds to can be computed by multiplying dt with
+            the processor's clock frequency", Section III-A).
+        config: EMPROF parameters; defaults are tuned for the device
+            models in :mod:`repro.devices`.
+        region_names: optional region-id -> name map carried into the
+            report for attribution experiments.
+    """
+
+    def __init__(
+        self,
+        signal: np.ndarray,
+        sample_rate_hz: float,
+        clock_hz: float,
+        config: Optional[EmprofConfig] = None,
+        region_names: Optional[Dict[int, str]] = None,
+    ):
+        sig = np.asarray(signal, dtype=np.float64)
+        if sig.ndim != 1:
+            raise ValueError("signal must be one-dimensional")
+        if sample_rate_hz <= 0 or clock_hz <= 0:
+            raise ValueError("rates must be positive")
+        self.signal = sig
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.clock_hz = float(clock_hz)
+        self.config = config if config is not None else EmprofConfig()
+        self.region_names = dict(region_names or {})
+        self._normalized: Optional[np.ndarray] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_simulation(cls, result, config: Optional[EmprofConfig] = None) -> "Emprof":
+        """Analyze a simulator power trace (the Section V-C path)."""
+        return cls(
+            result.power_trace,
+            sample_rate_hz=result.sample_rate_hz,
+            clock_hz=result.config.clock_hz,
+            config=config,
+            region_names=result.ground_truth.region_names,
+        )
+
+    @classmethod
+    def from_capture(cls, capture, config: Optional[EmprofConfig] = None) -> "Emprof":
+        """Analyze a received EM capture (the Section V-B path).
+
+        ``capture`` is a :class:`repro.emsignal.receiver.Capture`:
+        its magnitude, sample rate and carrier (clock) frequency are
+        used directly.
+        """
+        return cls(
+            capture.magnitude,
+            sample_rate_hz=capture.sample_rate_hz,
+            clock_hz=capture.clock_hz,
+            config=config,
+            region_names=dict(getattr(capture, "region_names", {}) or {}),
+        )
+
+    # -- analysis ----------------------------------------------------------
+
+    @property
+    def sample_period_cycles(self) -> float:
+        """Processor cycles represented by one signal sample."""
+        return self.clock_hz / self.sample_rate_hz
+
+    def normalized(self) -> np.ndarray:
+        """Normalized magnitude in [0, 1]; computed once and cached."""
+        if self._normalized is None:
+            self._normalized = normalize(self.signal, self.config.normalizer)
+        return self._normalized
+
+    def profile(self) -> ProfileReport:
+        """Run detection over the whole signal and build the report."""
+        stalls = detect_stalls(
+            self.normalized(), self.sample_period_cycles, self.config.detector
+        )
+        total_cycles = len(self.signal) * self.sample_period_cycles
+        return ProfileReport(
+            stalls=stalls,
+            total_cycles=total_cycles,
+            clock_hz=self.clock_hz,
+            sample_period_cycles=self.sample_period_cycles,
+            region_names=dict(self.region_names),
+        )
+
+    def profile_window(self, begin_sample: int, end_sample: int) -> ProfileReport:
+        """Profile only samples [begin_sample, end_sample).
+
+        Normalization still uses the full signal (the moving extrema
+        need surrounding context); only detection is windowed.  Used
+        for the microbenchmark experiments, where the measurement
+        window between the two marker loops is isolated first.
+        """
+        if not 0 <= begin_sample <= end_sample <= len(self.signal):
+            raise ValueError("window out of signal bounds")
+        norm = self.normalized()[begin_sample:end_sample]
+        stalls = detect_stalls(norm, self.sample_period_cycles, self.config.detector)
+        offset_cycles = begin_sample * self.sample_period_cycles
+        shifted = [
+            type(s)(
+                s.begin_sample + begin_sample,
+                s.end_sample + begin_sample,
+                s.begin_cycle + offset_cycles,
+                s.end_cycle + offset_cycles,
+                s.min_level,
+                s.is_refresh,
+                s.region,
+            )
+            for s in stalls
+        ]
+        window_cycles = (end_sample - begin_sample) * self.sample_period_cycles
+        return ProfileReport(
+            stalls=shifted,
+            total_cycles=window_cycles,
+            clock_hz=self.clock_hz,
+            sample_period_cycles=self.sample_period_cycles,
+            region_names=dict(self.region_names),
+        )

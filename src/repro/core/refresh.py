@@ -1,0 +1,79 @@
+"""Refresh-coincident stall analysis.
+
+Section III-C: "a stall for an LLC miss that coincides with a memory
+refresh lasts approximately 2-3 us, and this situation occurs
+approximately at least every 70 us ... Since these stalls do affect
+program performance and (especially) the tail latency of memory
+accesses, we count them (and account for their performance impact)
+separately."
+
+:func:`detect_stalls` already flags dips beyond a duration threshold
+as refresh-coincident; this module aggregates them and estimates the
+underlying refresh period from their spacing - a useful cross-check
+that what was classified really is periodic refresh activity and not,
+say, OS preemption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .events import DetectedStall
+
+
+@dataclass(frozen=True)
+class RefreshStats:
+    """Aggregate view of refresh-coincident stalls in one profile.
+
+    Attributes:
+        count: number of refresh-classified stalls.
+        total_cycles: their combined duration.
+        mean_duration_cycles: average duration (0 when count is 0).
+        estimated_interval_cycles: median spacing between consecutive
+            refresh stalls, or None with fewer than two events.
+        fraction_of_stalls: refresh stalls as a fraction of all stalls.
+    """
+
+    count: int
+    total_cycles: float
+    mean_duration_cycles: float
+    estimated_interval_cycles: Optional[float]
+    fraction_of_stalls: float
+
+
+def refresh_stats(stalls: Sequence[DetectedStall]) -> RefreshStats:
+    """Summarize the refresh-coincident stalls among ``stalls``."""
+    refresh = [s for s in stalls if s.is_refresh]
+    count = len(refresh)
+    total = float(sum(s.duration_cycles for s in refresh))
+    mean = total / count if count else 0.0
+    interval: Optional[float] = None
+    if count >= 2:
+        begins = np.array([s.begin_cycle for s in refresh])
+        gaps = np.diff(np.sort(begins))
+        if len(gaps):
+            interval = float(np.median(gaps))
+    frac = count / len(stalls) if stalls else 0.0
+    return RefreshStats(
+        count=count,
+        total_cycles=total,
+        mean_duration_cycles=mean,
+        estimated_interval_cycles=interval,
+        fraction_of_stalls=frac,
+    )
+
+
+def split_by_refresh(
+    stalls: Sequence[DetectedStall],
+) -> "tuple[List[DetectedStall], List[DetectedStall]]":
+    """(ordinary, refresh_coincident) partition of ``stalls``.
+
+    The paper reports the two populations separately because refresh
+    collisions dominate the tail of the access-latency distribution.
+    """
+    ordinary = [s for s in stalls if not s.is_refresh]
+    refresh = [s for s in stalls if s.is_refresh]
+    return ordinary, refresh

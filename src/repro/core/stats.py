@@ -1,0 +1,93 @@
+"""Latency statistics over detected stalls.
+
+Feeds the histogram of Fig. 11 (stall-latency distribution per device)
+and the per-region aggregation behind Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .events import DetectedStall
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of stall latencies (in cycles)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    maximum: float
+    total: float
+
+    @classmethod
+    def from_latencies(cls, latencies: np.ndarray) -> "LatencySummary":
+        """Build a summary; all-zero for an empty input."""
+        lat = np.asarray(latencies, dtype=np.float64)
+        if lat.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=int(lat.size),
+            mean=float(lat.mean()),
+            median=float(np.median(lat)),
+            p95=float(np.percentile(lat, 95)),
+            p99=float(np.percentile(lat, 99)),
+            maximum=float(lat.max()),
+            total=float(lat.sum()),
+        )
+
+
+def latency_histogram(
+    latencies: np.ndarray,
+    bin_cycles: float = 20.0,
+    max_cycles: float = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram of stall latencies (the Fig. 11 series).
+
+    Args:
+        latencies: stall durations in cycles.
+        bin_cycles: histogram bin width; defaults to the signal's
+            native 20-cycle resolution.
+        max_cycles: upper edge; defaults to the largest latency
+            rounded up to a bin boundary.
+
+    Returns:
+        (bin_edges, counts) with ``len(edges) == len(counts) + 1``.
+    """
+    if bin_cycles <= 0:
+        raise ValueError("bin width must be positive")
+    lat = np.asarray(latencies, dtype=np.float64)
+    if lat.size == 0:
+        edges = np.array([0.0, bin_cycles])
+        return edges, np.zeros(1, dtype=np.int64)
+    top = max_cycles if max_cycles is not None else float(lat.max())
+    nbins = max(1, int(np.ceil(top / bin_cycles)))
+    edges = np.arange(nbins + 1, dtype=np.float64) * bin_cycles
+    counts, _ = np.histogram(np.clip(lat, 0, edges[-1] - 1e-9), bins=edges)
+    return edges, counts
+
+
+def tail_fraction(latencies: np.ndarray, threshold_cycles: float) -> float:
+    """Fraction of stalls at least ``threshold_cycles`` long.
+
+    The paper's Fig. 11 discussion compares the thickness of the
+    latency tail across devices; this is the scalar version of that
+    comparison.
+    """
+    lat = np.asarray(latencies, dtype=np.float64)
+    if lat.size == 0:
+        return 0.0
+    return float(np.count_nonzero(lat >= threshold_cycles)) / lat.size
+
+
+def stalls_summary(stalls: Sequence[DetectedStall]) -> LatencySummary:
+    """Latency summary directly from detected stall events."""
+    return LatencySummary.from_latencies(
+        np.array([s.duration_cycles for s in stalls], dtype=np.float64)
+    )

@@ -1,0 +1,225 @@
+"""Validation of EMPROF output against simulator ground truth.
+
+Implements the paper's two accuracy metrics (Table II / Table III):
+
+* **miss accuracy** - how close the number of detected stalls is to
+  the reference count.  For microbenchmarks the reference is the
+  engineered TM; for simulator runs it is the ground-truth LLC miss
+  count (the paper compares against misses, accepting that hidden and
+  overlapped misses cause principled undercounting, Section III-B).
+* **stall accuracy** - how close the total detected stall cycles are
+  to the ground-truth memory-stall cycles.
+
+Beyond the paper's scalar accuracies, :func:`match_stalls` performs an
+interval-level matching (precision / recall / per-stall duration
+error), which is what gives the scalar numbers diagnostic teeth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..sim.trace import GroundTruth
+from .events import DetectedStall, ProfileReport
+
+
+def count_accuracy(reported: float, expected: float) -> float:
+    """The paper's accuracy metric: 1 - |reported - expected| / expected.
+
+    Clamped to [0, 1]; an expected count of zero yields 1.0 only for a
+    zero report.
+    """
+    if expected == 0:
+        return 1.0 if reported == 0 else 0.0
+    return max(0.0, 1.0 - abs(reported - expected) / expected)
+
+
+def merge_intervals(intervals: np.ndarray, max_gap: float) -> np.ndarray:
+    """Merge [begin, end) rows separated by gaps <= ``max_gap``.
+
+    Ground-truth stalls separated by less than one signal sample are
+    indistinguishable to any detector operating on that signal; the
+    validator merges them before matching so the comparison is against
+    what is *observable*, mirroring the paper's MISS-group accounting
+    (Section II-B).
+    """
+    iv = np.asarray(intervals, dtype=np.float64)
+    if iv.size == 0:
+        return iv.reshape(0, 2)
+    order = np.argsort(iv[:, 0])
+    iv = iv[order]
+    merged = [iv[0].tolist()]
+    for begin, end in iv[1:]:
+        if begin - merged[-1][1] <= max_gap:
+            merged[-1][1] = max(merged[-1][1], end)
+        else:
+            merged.append([begin, end])
+    return np.asarray(merged)
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Interval-level matching between detected and true stalls.
+
+    Attributes:
+        true_positives: detected stalls overlapping a true stall.
+        false_positives: detected stalls overlapping nothing.
+        false_negatives: true stalls no detection overlapped.
+        precision / recall: the usual ratios (1.0 for empty sides).
+        duration_errors: per-matched-stall (detected - true) duration,
+            in cycles.
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    precision: float
+    recall: float
+    duration_errors: np.ndarray
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def match_stalls(
+    detected: Sequence[DetectedStall],
+    true_intervals: np.ndarray,
+    tolerance_cycles: float = 0.0,
+) -> MatchResult:
+    """Greedy interval matching of detections to ground truth.
+
+    A detection matches a true stall when their intervals (each padded
+    by ``tolerance_cycles``) overlap.  Each true stall absorbs every
+    detection overlapping it (a long true stall fragmented into two
+    dips counts one TP and no FP, but contributes a duration error).
+    """
+    truth = np.asarray(true_intervals, dtype=np.float64).reshape(-1, 2)
+    det = sorted(detected, key=lambda s: s.begin_cycle)
+    order = np.argsort(truth[:, 0]) if len(truth) else np.array([], dtype=int)
+    truth = truth[order]
+
+    tp = 0
+    fp = 0
+    matched_truth = np.zeros(len(truth), dtype=bool)
+    truth_detected_cycles = np.zeros(len(truth))
+    ti = 0
+    for s in det:
+        begin = s.begin_cycle - tolerance_cycles
+        end = s.end_cycle + tolerance_cycles
+        while ti < len(truth) and truth[ti, 1] <= begin:
+            ti += 1
+        j = ti
+        hit = False
+        while j < len(truth) and truth[j, 0] < end:
+            hit = True
+            if not matched_truth[j]:
+                matched_truth[j] = True
+                tp += 1
+            truth_detected_cycles[j] += s.duration_cycles
+            j += 1
+        if not hit:
+            fp += 1
+    fn = int(np.count_nonzero(~matched_truth))
+    n_det_groups = tp + fp
+    precision = tp / n_det_groups if n_det_groups else 1.0
+    recall = tp / len(truth) if len(truth) else 1.0
+    errors = (
+        truth_detected_cycles[matched_truth] - (truth[matched_truth, 1] - truth[matched_truth, 0])
+        if len(truth)
+        else np.array([])
+    )
+    return MatchResult(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        precision=precision,
+        recall=recall,
+        duration_errors=np.asarray(errors, dtype=np.float64),
+    )
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Full validation of one profile against ground truth.
+
+    Attributes:
+        miss_accuracy: paper metric vs. the raw ground-truth LLC miss
+            count (Table III "Miss Accuracy").
+        group_accuracy: same metric vs. observable stall groups - what
+            a perfect detector of stalls could at best achieve.
+        stall_accuracy: paper metric on total stall cycles (Table III
+            "Stall Accuracy").
+        detected_misses / true_misses / true_groups: the raw counts.
+        detected_stall_cycles / true_stall_cycles: the raw totals.
+        match: interval-level matching detail.
+    """
+
+    miss_accuracy: float
+    group_accuracy: float
+    stall_accuracy: float
+    detected_misses: int
+    true_misses: int
+    true_groups: int
+    detected_stall_cycles: float
+    true_stall_cycles: float
+    match: MatchResult
+
+
+def validate_profile(
+    report: ProfileReport,
+    truth: GroundTruth,
+    sample_period_cycles: Optional[float] = None,
+    window_cycles: Optional[Tuple[float, float]] = None,
+) -> ValidationResult:
+    """Compare an EMPROF report to simulator ground truth.
+
+    Args:
+        report: EMPROF's output.
+        truth: the simulator's ground-truth records.
+        sample_period_cycles: cycles per signal sample; ground-truth
+            stalls closer than this are merged before matching (they
+            are unobservable as separate dips).  Defaults to the
+            report's own sample period.
+        window_cycles: optional (begin, end) restriction; both sides
+            are filtered to it (used for the microbenchmark's
+            measurement window).
+    """
+    period = (
+        sample_period_cycles
+        if sample_period_cycles is not None
+        else report.sample_period_cycles
+    )
+    intervals = truth.stall_intervals().astype(np.float64)
+    misses = truth.miss_count()
+    stalls: List[DetectedStall] = list(report.stalls)
+
+    if window_cycles is not None:
+        lo, hi = window_cycles
+        keep = (intervals[:, 0] < hi) & (intervals[:, 1] > lo) if len(intervals) else np.array([], dtype=bool)
+        intervals = intervals[keep] if len(intervals) else intervals
+        misses = sum(1 for m in truth.misses if lo <= m.detect_cycle < hi)
+        stalls = [s for s in stalls if lo <= 0.5 * (s.begin_cycle + s.end_cycle) < hi]
+
+    merged = merge_intervals(intervals, max_gap=period)
+    true_groups = len(merged)
+    true_cycles = float((merged[:, 1] - merged[:, 0]).sum()) if len(merged) else 0.0
+    detected_cycles = float(sum(s.duration_cycles for s in stalls))
+
+    return ValidationResult(
+        miss_accuracy=count_accuracy(len(stalls), misses),
+        group_accuracy=count_accuracy(len(stalls), true_groups),
+        stall_accuracy=count_accuracy(detected_cycles, true_cycles),
+        detected_misses=len(stalls),
+        true_misses=misses,
+        true_groups=true_groups,
+        detected_stall_cycles=detected_cycles,
+        true_stall_cycles=true_cycles,
+        match=match_stalls(stalls, merged, tolerance_cycles=period),
+    )

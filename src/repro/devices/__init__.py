@@ -1,0 +1,27 @@
+"""Experimental-device presets (Table I)."""
+
+from .models import (
+    sesc,
+    ALCATEL,
+    DEVICE_NAMES,
+    OLIMEX,
+    SAMSUNG,
+    alcatel,
+    by_name,
+    default_channel,
+    olimex,
+    samsung,
+)
+
+__all__ = [
+    "sesc",
+    "alcatel",
+    "samsung",
+    "olimex",
+    "by_name",
+    "default_channel",
+    "ALCATEL",
+    "SAMSUNG",
+    "OLIMEX",
+    "DEVICE_NAMES",
+]

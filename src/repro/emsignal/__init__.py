@@ -1,0 +1,37 @@
+"""EM side-channel signal chain.
+
+Simulated power trace -> emitted envelope (:mod:`synth`) -> probe and
+environment distortions (:mod:`channel`) -> bandwidth-limited capture
+(:mod:`receiver`).  :mod:`apparatus` chains all three;
+:mod:`memprobe` synthesizes the memory-side probe of Fig. 10 and
+:mod:`spectrogram` the Fig. 14 spectrogram.
+"""
+
+from .apparatus import Apparatus, measure
+from .channel import Channel, ChannelConfig
+from .dsp import lowpass, resample_to_rate, rms, stft_magnitude
+from .memprobe import MemProbeConfig, memory_probe_signal
+from .receiver import Capture, MHZ, PAPER_BANDWIDTHS_HZ, Receiver
+from .spectrogram import Spectrogram, compute_spectrogram
+from .synth import EmissionModel, emitted_envelope
+
+__all__ = [
+    "Apparatus",
+    "measure",
+    "Channel",
+    "ChannelConfig",
+    "Receiver",
+    "Capture",
+    "MHZ",
+    "PAPER_BANDWIDTHS_HZ",
+    "EmissionModel",
+    "emitted_envelope",
+    "MemProbeConfig",
+    "memory_probe_signal",
+    "Spectrogram",
+    "compute_spectrogram",
+    "lowpass",
+    "resample_to_rate",
+    "rms",
+    "stft_magnitude",
+]

@@ -1,0 +1,57 @@
+"""The full measurement apparatus: emission -> probe channel -> receiver.
+
+One call takes a simulation result to the :class:`Capture` a physical
+EMPROF deployment would record - this is the software equivalent of
+the probe + spectrum-analyzer/digitizer bench of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.machine import SimulationResult
+from .channel import Channel, ChannelConfig
+from .receiver import Capture, MHZ, Receiver
+from .synth import EmissionModel, emitted_envelope
+
+
+@dataclass(frozen=True)
+class Apparatus:
+    """A configured measurement setup.
+
+    Attributes:
+        emission: activity -> emitted envelope model.
+        channel: probe/drift/noise configuration.
+        bandwidth_hz: receiver measurement bandwidth.
+    """
+
+    emission: EmissionModel = field(default_factory=EmissionModel)
+    channel: ChannelConfig = field(default_factory=ChannelConfig)
+    bandwidth_hz: float = 40 * MHZ
+
+    def measure(self, result: SimulationResult) -> Capture:
+        """Record the EM capture for one simulated execution."""
+        envelope = emitted_envelope(result.power_trace, self.emission)
+        distorted = Channel(self.channel).apply(envelope, result.sample_rate_hz)
+        receiver = Receiver(self.bandwidth_hz)
+        return receiver.capture(
+            distorted,
+            rate_hz=result.sample_rate_hz,
+            clock_hz=result.config.clock_hz,
+            region_names=result.ground_truth.region_names,
+        )
+
+
+def measure(
+    result: SimulationResult,
+    bandwidth_hz: float = 40 * MHZ,
+    channel: Optional[ChannelConfig] = None,
+    emission: Optional[EmissionModel] = None,
+) -> Capture:
+    """One-shot convenience around :class:`Apparatus`."""
+    return Apparatus(
+        emission=emission if emission is not None else EmissionModel(),
+        channel=channel if channel is not None else ChannelConfig(),
+        bandwidth_hz=bandwidth_hz,
+    ).measure(result)

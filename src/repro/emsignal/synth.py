@@ -1,0 +1,59 @@
+"""Synthesis of the emitted EM envelope from processor activity.
+
+The processor's switching currents amplitude-modulate an unintended
+carrier at (and around) the clock frequency; a near-field probe tuned
+to that band receives a signal whose *envelope magnitude* tracks
+switching activity (Section II-A).  Since EMPROF only ever analyzes
+that magnitude, the synthesis works directly at complex baseband: the
+emitted envelope is the activity trace mapped through a mildly
+compressive radiation efficiency curve, and the carrier phase is
+irrelevant to magnitude processing downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EmissionModel:
+    """Activity -> emitted envelope mapping.
+
+    Attributes:
+        gain: overall radiated amplitude per unit activity.
+        compression: exponent applied to activity (1.0 = linear;
+            slightly below 1 models the sub-linear growth of radiated
+            amplitude with the number of simultaneously switching
+            units, whose fields partially cancel).
+        floor: emission present even at full stall (clock tree keeps
+            toggling; this is why a stalled processor dips but never
+            goes silent - compare Fig. 1).
+    """
+
+    gain: float = 1.0
+    compression: float = 0.9
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+        if not 0.1 <= self.compression <= 1.5:
+            raise ValueError("compression exponent out of plausible range")
+        if self.floor < 0:
+            raise ValueError("floor cannot be negative")
+
+
+def emitted_envelope(power_trace: np.ndarray, model: EmissionModel = None) -> np.ndarray:
+    """Map a simulator power trace to an emitted EM envelope.
+
+    The output keeps the input's sampling rate; channel and receiver
+    stages are applied afterwards by :mod:`repro.emsignal.channel` and
+    :mod:`repro.emsignal.receiver`.
+    """
+    m = model if model is not None else EmissionModel()
+    x = np.asarray(power_trace, dtype=np.float64)
+    if np.any(x < 0):
+        raise ValueError("power trace must be non-negative")
+    return m.floor + m.gain * np.power(x, m.compression)

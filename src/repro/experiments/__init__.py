@@ -1,0 +1,58 @@
+"""Experiment drivers regenerating every table and figure.
+
+* :mod:`repro.experiments.runner` - shared simulate/measure/profile
+  drivers (the Section V-B and V-C measurement paths).
+* :mod:`repro.experiments.tables` - Tables I-V row generators plus the
+  perf anecdote.
+* :mod:`repro.experiments.figures` - Figs. 1-14 series generators.
+"""
+
+from .runner import (
+    ExperimentRun,
+    microbenchmark_window,
+    run_device,
+    run_simulator,
+    window_cycles,
+)
+from .tables import (
+    DEVICE_ORDER,
+    MICRO_GRID,
+    PerfAnecdote,
+    Table2Row,
+    Table3Row,
+    Table4Row,
+    format_table2,
+    format_table3,
+    format_table4,
+    perf_anecdote,
+    table1_rows,
+    table2_rows,
+    table3_micro_rows,
+    table3_spec_rows,
+    table4_rows,
+    table5_rows,
+)
+
+__all__ = [
+    "ExperimentRun",
+    "run_simulator",
+    "run_device",
+    "microbenchmark_window",
+    "window_cycles",
+    "DEVICE_ORDER",
+    "MICRO_GRID",
+    "table1_rows",
+    "table2_rows",
+    "table3_micro_rows",
+    "table3_spec_rows",
+    "table4_rows",
+    "table5_rows",
+    "perf_anecdote",
+    "PerfAnecdote",
+    "Table2Row",
+    "Table3Row",
+    "Table4Row",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+]

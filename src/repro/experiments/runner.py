@@ -1,0 +1,124 @@
+"""Shared experiment drivers: workload -> signal -> profile.
+
+Two measurement paths, matching the paper's methodology:
+
+* :func:`run_simulator` - the Section V-C path: EMPROF analyzes the
+  simulator's power trace directly (clean signal, ground truth
+  attached).
+* :func:`run_device` - the Section V-B / VI path: the power trace is
+  pushed through the EM apparatus (emission model, probe channel,
+  bandwidth-limited receiver) and EMPROF analyzes the received
+  capture, exactly as it would a physical recording.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.markers import MarkerWindow, find_marker_window
+from ..core.profiler import Emprof, EmprofConfig
+from ..core.events import ProfileReport
+from ..devices.models import default_channel
+from ..emsignal.apparatus import Apparatus
+from ..emsignal.channel import ChannelConfig
+from ..emsignal.receiver import Capture, MHZ
+from ..emsignal.synth import EmissionModel
+from ..sim.config import MachineConfig
+from ..sim.machine import Machine, SimulationResult
+from ..workloads.base import Workload
+
+
+@dataclass
+class ExperimentRun:
+    """Everything one measurement produced.
+
+    Attributes:
+        result: the simulation (power trace + ground truth).
+        capture: the EM capture, when the device path was used.
+        emprof: the configured profiler over whichever signal EMPROF
+            analyzed.
+        report: the whole-signal profile.
+    """
+
+    result: SimulationResult
+    capture: Optional[Capture]
+    emprof: Emprof
+    report: ProfileReport
+
+    @property
+    def signal(self):
+        """The magnitude signal EMPROF analyzed."""
+        return self.emprof.signal
+
+    @property
+    def sample_period_cycles(self) -> float:
+        """Processor cycles per analyzed sample."""
+        return self.emprof.sample_period_cycles
+
+
+def run_simulator(
+    workload: Workload,
+    config: Optional[MachineConfig] = None,
+    emprof_config: Optional[EmprofConfig] = None,
+    seed: int = 0,
+) -> ExperimentRun:
+    """Simulate and profile the raw power trace (Section V-C path)."""
+    from ..devices.models import sesc
+
+    machine = Machine(config if config is not None else sesc(), seed=seed)
+    result = machine.run(workload)
+    emprof = Emprof.from_simulation(result, config=emprof_config)
+    return ExperimentRun(
+        result=result, capture=None, emprof=emprof, report=emprof.profile()
+    )
+
+
+def run_device(
+    workload: Workload,
+    device: MachineConfig,
+    bandwidth_hz: float = 40 * MHZ,
+    channel: Optional[ChannelConfig] = None,
+    emission: Optional[EmissionModel] = None,
+    emprof_config: Optional[EmprofConfig] = None,
+    seed: int = 0,
+) -> ExperimentRun:
+    """Simulate, measure through the EM apparatus, and profile.
+
+    The channel defaults to the device's probe setup (see
+    :func:`repro.devices.default_channel`).
+    """
+    machine = Machine(device, seed=seed)
+    result = machine.run(workload)
+    apparatus = Apparatus(
+        emission=emission if emission is not None else EmissionModel(),
+        channel=(
+            channel if channel is not None else default_channel(device.name, seed=seed)
+        ),
+        bandwidth_hz=bandwidth_hz,
+    )
+    capture = apparatus.measure(result)
+    emprof = Emprof.from_capture(capture, config=emprof_config)
+    return ExperimentRun(
+        result=result, capture=capture, emprof=emprof, report=emprof.profile()
+    )
+
+
+def microbenchmark_window(
+    run: ExperimentRun, marker_min_samples: int = 200
+) -> Tuple[ProfileReport, MarkerWindow]:
+    """Isolate the marker-bracketed window and profile only it.
+
+    This is how Table II counts are produced: the measurement window
+    between the two blank loops is found *from the signal*, then
+    detection is restricted to it.
+    """
+    window = find_marker_window(run.signal, marker_min_samples=marker_min_samples)
+    report = run.emprof.profile_window(window.begin_sample, window.end_sample)
+    return report, window
+
+
+def window_cycles(run: ExperimentRun, window: MarkerWindow) -> Tuple[float, float]:
+    """The marker window as (begin, end) cycles for validation."""
+    period = run.sample_period_cycles
+    return window.begin_sample * period, window.end_sample * period

@@ -1,0 +1,212 @@
+"""Serialization of captures, profiles and ground truth.
+
+A measurement campaign records captures once and analyzes them many
+times; these helpers give the repository a stable on-disk format:
+
+* captures -> ``.npz`` (magnitude array + acquisition metadata),
+* profile reports -> ``.json`` (stall list + accounting),
+* ground-truth traces -> ``.npz`` (columnar miss/stall records).
+
+All formats are versioned with a ``format`` field so future layouts
+can be detected rather than mis-parsed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .core.events import DetectedStall, ProfileReport
+from .emsignal.receiver import Capture
+from .sim.trace import GroundTruth, MissRecord, StallRecord
+
+_CAPTURE_FORMAT = "emprof-capture-v1"
+_REPORT_FORMAT = "emprof-report-v1"
+_TRUTH_FORMAT = "emprof-truth-v1"
+
+PathLike = Union[str, Path]
+
+
+# -- captures -----------------------------------------------------------------
+
+
+def save_capture(path: PathLike, capture: Capture) -> None:
+    """Write a capture to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        format=_CAPTURE_FORMAT,
+        magnitude=np.asarray(capture.magnitude, dtype=np.float64),
+        sample_rate_hz=capture.sample_rate_hz,
+        clock_hz=capture.clock_hz,
+        bandwidth_hz=capture.bandwidth_hz,
+        region_names=json.dumps(
+            {str(k): v for k, v in capture.region_names.items()}
+        ),
+    )
+
+
+def load_capture(path: PathLike) -> Capture:
+    """Read a capture written by :func:`save_capture`."""
+    with np.load(path, allow_pickle=False) as data:
+        fmt = str(data["format"])
+        if fmt != _CAPTURE_FORMAT:
+            raise ValueError(f"not an EMPROF capture file (format={fmt!r})")
+        regions = {
+            int(k): v for k, v in json.loads(str(data["region_names"])).items()
+        }
+        return Capture(
+            magnitude=np.asarray(data["magnitude"], dtype=np.float64),
+            sample_rate_hz=float(data["sample_rate_hz"]),
+            clock_hz=float(data["clock_hz"]),
+            bandwidth_hz=float(data["bandwidth_hz"]),
+            region_names=regions,
+        )
+
+
+# -- profile reports ------------------------------------------------------------
+
+
+def report_to_dict(report: ProfileReport) -> dict:
+    """JSON-ready representation of a profile report."""
+    return {
+        "format": _REPORT_FORMAT,
+        "clock_hz": report.clock_hz,
+        "sample_period_cycles": report.sample_period_cycles,
+        "total_cycles": report.total_cycles,
+        "region_names": {str(k): v for k, v in report.region_names.items()},
+        "stalls": [
+            {
+                "begin_sample": s.begin_sample,
+                "end_sample": s.end_sample,
+                "begin_cycle": s.begin_cycle,
+                "end_cycle": s.end_cycle,
+                "min_level": s.min_level,
+                "is_refresh": s.is_refresh,
+                "region": s.region,
+            }
+            for s in report.stalls
+        ],
+    }
+
+
+def report_from_dict(payload: dict) -> ProfileReport:
+    """Inverse of :func:`report_to_dict`."""
+    fmt = payload.get("format")
+    if fmt != _REPORT_FORMAT:
+        raise ValueError(f"not an EMPROF report payload (format={fmt!r})")
+    stalls = [
+        DetectedStall(
+            begin_sample=s["begin_sample"],
+            end_sample=s["end_sample"],
+            begin_cycle=s["begin_cycle"],
+            end_cycle=s["end_cycle"],
+            min_level=s["min_level"],
+            is_refresh=s["is_refresh"],
+            region=s.get("region"),
+        )
+        for s in payload["stalls"]
+    ]
+    return ProfileReport(
+        stalls=stalls,
+        total_cycles=payload["total_cycles"],
+        clock_hz=payload["clock_hz"],
+        sample_period_cycles=payload["sample_period_cycles"],
+        region_names={int(k): v for k, v in payload.get("region_names", {}).items()},
+    )
+
+
+def save_report(path: PathLike, report: ProfileReport) -> None:
+    """Write a profile report to ``path`` (.json)."""
+    Path(path).write_text(json.dumps(report_to_dict(report), indent=2))
+
+
+def load_report(path: PathLike) -> ProfileReport:
+    """Read a report written by :func:`save_report`."""
+    return report_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- ground truth ------------------------------------------------------------------
+
+
+def save_ground_truth(path: PathLike, truth: GroundTruth) -> None:
+    """Write a ground-truth trace to ``path`` (.npz, columnar)."""
+    misses = truth.misses
+    stalls = truth.stalls
+    np.savez_compressed(
+        path,
+        format=_TRUTH_FORMAT,
+        total_cycles=truth.total_cycles,
+        total_instructions=truth.total_instructions,
+        region_names=json.dumps({str(k): v for k, v in truth.region_names.items()}),
+        region_cycles=json.dumps({str(k): v for k, v in truth.region_cycles.items()}),
+        miss_kind=np.array([m.kind for m in misses], dtype="U8"),
+        miss_addr=np.array([m.addr for m in misses], dtype=np.int64),
+        miss_detect=np.array([m.detect_cycle for m in misses], dtype=np.int64),
+        miss_ready=np.array([m.ready_cycle for m in misses], dtype=np.int64),
+        miss_stall=np.array(
+            [-1 if m.stall_id is None else m.stall_id for m in misses], dtype=np.int64
+        ),
+        miss_refresh=np.array([m.refresh_blocked for m in misses], dtype=bool),
+        miss_region=np.array([m.region for m in misses], dtype=np.int64),
+        stall_begin=np.array([s.begin_cycle for s in stalls], dtype=np.int64),
+        stall_end=np.array([s.end_cycle for s in stalls], dtype=np.int64),
+        stall_cause=np.array([s.cause for s in stalls], dtype="U16"),
+        stall_refresh=np.array([s.refresh for s in stalls], dtype=bool),
+        stall_region=np.array([s.region for s in stalls], dtype=np.int64),
+        stall_misses=json.dumps([s.miss_ids for s in stalls]),
+    )
+
+
+def load_ground_truth(path: PathLike) -> GroundTruth:
+    """Read a trace written by :func:`save_ground_truth`."""
+    with np.load(path, allow_pickle=False) as data:
+        fmt = str(data["format"])
+        if fmt != _TRUTH_FORMAT:
+            raise ValueError(f"not an EMPROF ground-truth file (format={fmt!r})")
+        n_miss = len(data["miss_addr"])
+        misses = [
+            MissRecord(
+                miss_id=i,
+                kind=str(data["miss_kind"][i]),
+                addr=int(data["miss_addr"][i]),
+                detect_cycle=int(data["miss_detect"][i]),
+                ready_cycle=int(data["miss_ready"][i]),
+                stall_id=(
+                    None
+                    if int(data["miss_stall"][i]) < 0
+                    else int(data["miss_stall"][i])
+                ),
+                refresh_blocked=bool(data["miss_refresh"][i]),
+                region=int(data["miss_region"][i]),
+            )
+            for i in range(n_miss)
+        ]
+        miss_lists = json.loads(str(data["stall_misses"]))
+        stalls = [
+            StallRecord(
+                stall_id=i,
+                begin_cycle=int(data["stall_begin"][i]),
+                end_cycle=int(data["stall_end"][i]),
+                cause=str(data["stall_cause"][i]),
+                miss_ids=list(miss_lists[i]),
+                refresh=bool(data["stall_refresh"][i]),
+                region=int(data["stall_region"][i]),
+            )
+            for i in range(len(data["stall_begin"]))
+        ]
+        return GroundTruth(
+            misses=misses,
+            stalls=stalls,
+            total_cycles=int(data["total_cycles"]),
+            total_instructions=int(data["total_instructions"]),
+            region_names={
+                int(k): v for k, v in json.loads(str(data["region_names"])).items()
+            },
+            region_cycles={
+                int(k): int(v)
+                for k, v in json.loads(str(data["region_cycles"])).items()
+            },
+        )

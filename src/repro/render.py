@@ -1,0 +1,127 @@
+"""Dependency-free ASCII rendering of signals and profiles.
+
+The library deliberately avoids a plotting dependency; these helpers
+give the CLI and examples quick visual summaries - a signal strip
+chart (the Fig. 1/7 shapes), latency histograms (Fig. 11), and
+miss-rate timelines (Fig. 13) - rendered with block characters in a
+terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .core.events import ProfileReport
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+_ASCII_BLOCKS = " .:-=+*#%@"
+
+
+def _levels(values: np.ndarray, width: int) -> np.ndarray:
+    """Fold ``values`` into ``width`` columns of mean level."""
+    if len(values) == 0:
+        return np.zeros(width)
+    chunks = np.array_split(np.asarray(values, dtype=np.float64), width)
+    return np.array([c.mean() if len(c) else 0.0 for c in chunks])
+
+
+def sparkline(
+    values: Sequence[float], width: int = 72, ascii_only: bool = False
+) -> str:
+    """One-line strip chart of ``values``.
+
+    Levels are normalized to the series' own min/max; an empty or
+    constant series renders flat.
+    """
+    blocks = _ASCII_BLOCKS if ascii_only else _BLOCKS
+    folded = _levels(np.asarray(values, dtype=np.float64), width)
+    lo = folded.min() if len(folded) else 0.0
+    hi = folded.max() if len(folded) else 1.0
+    span = hi - lo
+    if span <= 0:
+        return blocks[0] * width
+    idx = ((folded - lo) / span * (len(blocks) - 1)).astype(int)
+    return "".join(blocks[i] for i in idx)
+
+
+def signal_strip(
+    signal: np.ndarray,
+    width: int = 72,
+    height: int = 8,
+    ascii_only: bool = False,
+) -> str:
+    """Multi-row strip chart of a magnitude signal.
+
+    Each column is the mean level of its time slice; a column is
+    filled from the bottom up to its level - dips (stalls) show up as
+    valleys, exactly the Fig. 1 visual.
+    """
+    if height < 2:
+        raise ValueError("height must be at least 2")
+    fill = "#" if ascii_only else "█"
+    folded = _levels(np.asarray(signal, dtype=np.float64), width)
+    hi = folded.max() if len(folded) else 1.0
+    if hi <= 0:
+        hi = 1.0
+    rows: List[str] = []
+    for row in range(height, 0, -1):
+        threshold = (row - 0.5) / height * hi
+        rows.append("".join(fill if v >= threshold else " " for v in folded))
+    rows.append("-" * width)
+    return "\n".join(rows)
+
+
+def histogram_bars(
+    edges: np.ndarray,
+    counts: np.ndarray,
+    width: int = 50,
+    max_rows: int = 16,
+    ascii_only: bool = False,
+) -> str:
+    """Horizontal-bar rendering of a latency histogram (Fig. 11)."""
+    counts = np.asarray(counts)
+    edges = np.asarray(edges)
+    if len(edges) != len(counts) + 1:
+        raise ValueError("edges must be one longer than counts")
+    if len(counts) == 0 or counts.max() == 0:
+        return "(empty histogram)"
+    fill = "#" if ascii_only else "█"
+    # Fold bins down to at most max_rows rows.
+    n = len(counts)
+    rows = min(max_rows, n)
+    folded_counts = _levels(counts.astype(float), rows) * (n / rows)
+    bounds = np.linspace(edges[0], edges[-1], rows + 1)
+    top = folded_counts.max()
+    lines = []
+    for i in range(rows):
+        bar = fill * max(0, int(round(folded_counts[i] / top * width)))
+        lines.append(
+            f"{bounds[i]:8.0f}-{bounds[i + 1]:6.0f} cyc |{bar} "
+            f"{folded_counts[i]:.0f}"
+        )
+    return "\n".join(lines)
+
+
+def report_panel(
+    report: ProfileReport,
+    signal: Optional[np.ndarray] = None,
+    width: int = 72,
+    ascii_only: bool = False,
+) -> str:
+    """Composite text panel: summary + optional signal strip + histogram."""
+    parts = [report.summary()]
+    if signal is not None and len(signal):
+        parts.append("")
+        parts.append("signal (time ->):")
+        parts.append(signal_strip(signal, width=width, ascii_only=ascii_only))
+    lat = report.latencies_cycles()
+    if len(lat):
+        from .core.stats import latency_histogram
+
+        edges, counts = latency_histogram(lat, bin_cycles=max(20.0, lat.max() / 24))
+        parts.append("")
+        parts.append("stall-latency histogram:")
+        parts.append(histogram_bars(edges, counts, ascii_only=ascii_only))
+    return "\n".join(parts)

@@ -1,0 +1,75 @@
+"""SESC-like cycle-level machine substrate for EMPROF validation.
+
+Public surface:
+
+* configs: :class:`MachineConfig`, :class:`CoreConfig`,
+  :class:`CacheConfig`, :class:`MemoryConfig`, :class:`PowerConfig`
+* the machine: :class:`Machine`, :func:`simulate`,
+  :class:`SimulationResult`
+* ground truth: :class:`GroundTruth`, :class:`MissRecord`,
+  :class:`StallRecord`
+* instruction builders live in :mod:`repro.sim.isa`
+"""
+
+from .cache import Cache, CacheHierarchy, L1, LLC, MEM
+from .config import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    MemoryConfig,
+    PowerConfig,
+)
+from .dram import MainMemory, MemoryResponse
+from .machine import Machine, SimulationResult, simulate
+from .pipeline import Pipeline
+from .power import PowerAccumulator
+from .prefetcher import StridePrefetcher
+from .tlb import Tlb
+from .tracefile import TraceWorkload, record_workload, save_trace
+from .trace import (
+    CAUSE_DATA_MEM,
+    CAUSE_IFETCH_MEM,
+    CAUSE_LLC_HIT,
+    CAUSE_MSHR_FULL,
+    CAUSE_RUNAHEAD,
+    CAUSE_STOREBUF,
+    GroundTruth,
+    MEMORY_CAUSES,
+    MissRecord,
+    StallRecord,
+)
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "CacheConfig",
+    "CoreConfig",
+    "MachineConfig",
+    "MemoryConfig",
+    "PowerConfig",
+    "MainMemory",
+    "MemoryResponse",
+    "Machine",
+    "SimulationResult",
+    "simulate",
+    "Pipeline",
+    "PowerAccumulator",
+    "StridePrefetcher",
+    "Tlb",
+    "TraceWorkload",
+    "record_workload",
+    "save_trace",
+    "GroundTruth",
+    "MissRecord",
+    "StallRecord",
+    "MEMORY_CAUSES",
+    "CAUSE_DATA_MEM",
+    "CAUSE_IFETCH_MEM",
+    "CAUSE_LLC_HIT",
+    "CAUSE_MSHR_FULL",
+    "CAUSE_RUNAHEAD",
+    "CAUSE_STOREBUF",
+    "L1",
+    "LLC",
+    "MEM",
+]

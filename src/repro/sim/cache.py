@@ -1,0 +1,164 @@
+"""Set-associative caches with random replacement.
+
+The paper's simulated machine uses "two levels of caches with random
+replacement policies" (Section III-B).  Random replacement is also what
+the Cortex-A8/A7/A5 parts in Table I implement for their L1/L2 caches,
+so the same model serves both the SESC-validation experiments and the
+device models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .config import CacheConfig
+
+# Access outcome levels returned by CacheHierarchy.lookup().
+L1 = "L1"
+LLC = "LLC"
+MEM = "MEM"
+
+
+class Cache:
+    """One level of set-associative cache with random replacement.
+
+    Tags are stored per set in plain Python lists; associativities in
+    IoT-class parts are small (4-8 ways) so linear tag search is both
+    simple and fast.
+    """
+
+    def __init__(self, config: CacheConfig, rng: Optional[np.random.Generator] = None):
+        self.config = config
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._num_sets = config.num_sets
+        self._set_mask = self._num_sets - 1
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._power_of_two_sets = self._num_sets & (self._num_sets - 1) == 0
+        self._sets: List[List[int]] = [[] for _ in range(self._num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _index_tag(self, addr: int) -> tuple:
+        line = addr >> self._line_shift
+        if self._power_of_two_sets:
+            index = line & self._set_mask
+        else:
+            index = line % self._num_sets
+        return index, line
+
+    def access(self, addr: int) -> bool:
+        """Look up ``addr``; allocate the line on a miss.
+
+        Returns True on a hit.  The line (not the byte address) is the
+        unit of lookup, so any two addresses on the same line hit each
+        other.
+        """
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._insert(index, tag)
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating state or statistics."""
+        index, tag = self._index_tag(addr)
+        return tag in self._sets[index]
+
+    def fill(self, addr: int) -> None:
+        """Install a line without counting a demand access (prefetch)."""
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        if tag not in ways:
+            self._insert(index, tag)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line if present; returns True if it was resident."""
+        index, tag = self._index_tag(addr)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            return True
+        return False
+
+    def _insert(self, index: int, tag: int) -> None:
+        ways = self._sets[index]
+        if len(ways) >= self.config.associativity:
+            victim = int(self._rng.integers(0, len(ways)))
+            ways[victim] = tag
+        else:
+            ways.append(tag)
+
+    def flush(self) -> None:
+        """Empty the cache (cold restart)."""
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def accesses(self) -> int:
+        """Total demand accesses observed."""
+        return self.hits + self.misses
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(ways) for ways in self._sets)
+
+    def miss_rate(self) -> float:
+        """Demand miss rate; zero when the cache is untouched."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class CacheHierarchy:
+    """L1 I-cache + L1 D-cache backed by a unified LLC.
+
+    ``lookup_*`` methods return the level that serviced the access:
+    ``L1`` (hit in the first level), ``LLC`` (L1 miss, LLC hit) or
+    ``MEM`` (miss in both - a main-memory access, the event EMPROF is
+    built to observe).
+    """
+
+    def __init__(
+        self,
+        l1i: CacheConfig,
+        l1d: CacheConfig,
+        llc: CacheConfig,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        rng = rng if rng is not None else np.random.default_rng(0)
+        # Independent generator streams keep replacement decisions in one
+        # cache from perturbing another when configurations change.
+        self.l1i = Cache(l1i, np.random.default_rng(rng.integers(0, 2**63)))
+        self.l1d = Cache(l1d, np.random.default_rng(rng.integers(0, 2**63)))
+        self.llc = Cache(llc, np.random.default_rng(rng.integers(0, 2**63)))
+
+    def lookup_instruction(self, addr: int) -> str:
+        """Instruction-fetch path: L1I then unified LLC."""
+        if self.l1i.access(addr):
+            return L1
+        if self.llc.access(addr):
+            return LLC
+        return MEM
+
+    def lookup_data(self, addr: int) -> str:
+        """Data path (loads and stores): L1D then unified LLC."""
+        if self.l1d.access(addr):
+            return L1
+        if self.llc.access(addr):
+            return LLC
+        return MEM
+
+    def llc_resident(self, addr: int) -> bool:
+        """Non-mutating residency probe of the LLC."""
+        return self.llc.probe(addr)
+
+    def flush(self) -> None:
+        """Cold-start all levels."""
+        self.l1i.flush()
+        self.l1d.flush()
+        self.llc.flush()

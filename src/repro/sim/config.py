@@ -1,0 +1,258 @@
+"""Configuration objects for the cycle-level machine model.
+
+The simulator mirrors the substrate the EMPROF paper validates against:
+a SESC-style 4-wide in-order core with a two-level cache hierarchy using
+random replacement, MSHR-based memory-level parallelism, and a DRAM main
+memory with periodic refresh (Sections III-B and V-C of the paper).
+
+Every quantity is expressed in processor cycles unless the name says
+otherwise.  Device presets (Alcatel / Samsung / Olimex from Table I) are
+built on top of these configs in :mod:`repro.devices.models`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    Attributes:
+        size_bytes: total capacity of the cache.
+        line_bytes: cache line size; must be a power of two.
+        associativity: number of ways per set.
+        hit_latency: load-to-use latency of a hit, in cycles.
+    """
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 4
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a positive power of two")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                "cache size must be a multiple of line_bytes * associativity"
+            )
+        if self.hit_latency < 1:
+            raise ValueError("hit latency must be at least one cycle")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets implied by size, line size and associativity."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """DRAM timing model.
+
+    ``refresh_interval`` / ``refresh_duration`` model the burst-refresh
+    behaviour the paper observes on the Olimex board's H5TQ2G63BFR part:
+    a refresh window at least every ~70 us during which an LLC miss is
+    blocked, inflating its stall to 2-3 us (Fig. 5).
+
+    ``contention_prob`` / ``contention_mean_cycles`` model interference
+    from agents the profiled program does not control - other cores,
+    DMA engines, the GPU.  Each access is independently delayed with
+    this probability by an exponentially-distributed number of cycles.
+    The multi-core Android phones get nonzero contention, which is what
+    thickens their stall-latency tails relative to the single-core IoT
+    board (Fig. 11).
+
+    ``row_buffer_enabled`` adds an open-page policy: a bank keeps its
+    last-accessed ``row_bytes`` row open, and a hit to it pays only
+    ``row_hit_latency`` instead of the full precharge+activate
+    ``access_latency``.  Off by default - the paper's devices were
+    calibrated with a single-mode latency; the row-buffer ablation
+    bench turns it on to show that EMPROF's per-stall latency (unlike
+    event counters) resolves the two latency populations.
+    """
+
+    access_latency: int = 180
+    num_banks: int = 8
+    bank_busy: int = 24
+    refresh_interval: int = 70_000
+    refresh_duration: int = 2_400
+    refresh_enabled: bool = True
+    contention_prob: float = 0.0
+    contention_mean_cycles: float = 120.0
+    row_buffer_enabled: bool = False
+    row_hit_latency: int = 110
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.access_latency <= 0:
+            raise ValueError("memory access latency must be positive")
+        if self.row_buffer_enabled:
+            if not 0 < self.row_hit_latency <= self.access_latency:
+                raise ValueError(
+                    "row-hit latency must be positive and no larger than the "
+                    "full (row-miss) access latency"
+                )
+            if self.row_bytes <= 0 or self.row_bytes & (self.row_bytes - 1):
+                raise ValueError("row size must be a positive power of two")
+        if not 0.0 <= self.contention_prob <= 1.0:
+            raise ValueError("contention probability must be in [0, 1]")
+        if self.contention_mean_cycles < 0:
+            raise ValueError("contention delay cannot be negative")
+        if self.num_banks <= 0 or self.num_banks & (self.num_banks - 1):
+            raise ValueError("number of banks must be a positive power of two")
+        if self.bank_busy < 0:
+            raise ValueError("bank busy time cannot be negative")
+        if self.refresh_enabled:
+            if self.refresh_interval <= 0:
+                raise ValueError("refresh interval must be positive")
+            if not 0 < self.refresh_duration < self.refresh_interval:
+                raise ValueError(
+                    "refresh duration must be positive and shorter than the "
+                    "refresh interval"
+                )
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """In-order superscalar core parameters.
+
+    Attributes:
+        width: maximum instructions issued per cycle.
+        mshr_entries: outstanding LLC misses the core can sustain (MLP).
+        runahead: independent instructions the core can issue past an
+            outstanding data miss before its in-order resources (queues,
+            scoreboard) fill up and it fully stalls.  This is the knob
+            that produces the "miss with no attributable stall"
+            behaviour of Fig. 3a.
+        fetch_buffer: instructions the front end can hold; on an
+            instruction-fetch LLC miss the core drains this buffer
+            before the full stall begins.
+        store_buffer: store misses that can be buffered without
+            stalling the core.
+        out_of_order: model an out-of-order back end (Section II-B).
+            An OoO core does not block at a load's first consumer - it
+            keeps issuing independent work until its reorder window
+            (``runahead``, acting as the ROB size) or MSHRs run out,
+            so short stalls can vanish entirely from the stall record.
+            In-order cores (the paper's IoT/hand-held targets) block
+            at the consumer.
+    """
+
+    width: int = 4
+    mshr_entries: int = 4
+    runahead: int = 2048
+    fetch_buffer: int = 12
+    store_buffer: int = 8
+    out_of_order: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("issue width must be positive")
+        if self.mshr_entries <= 0:
+            raise ValueError("at least one MSHR entry is required")
+        if self.runahead < 0:
+            raise ValueError("runahead cannot be negative")
+        if self.fetch_buffer < 0:
+            raise ValueError("fetch buffer cannot be negative")
+        if self.store_buffer < 0:
+            raise ValueError("store buffer cannot be negative")
+
+
+@dataclass(frozen=True)
+class PowerConfig:
+    """Activity-to-power accounting (Section III-B).
+
+    The simulator accumulates per-cycle switching activity into fixed
+    windows of ``bin_cycles`` cycles, exactly like the paper's modified
+    SESC collects "average power consumption for each 20-cycle
+    interval" (a 50 MHz sampling rate at 1 GHz).
+
+    ``idle_level`` is the floor a fully-stalled processor sits at
+    (clock tree and leakage); ``fetch_level`` is front-end activity per
+    busy cycle; per-instruction weights come from the instruction
+    stream itself.
+    """
+
+    bin_cycles: int = 20
+    idle_level: float = 0.12
+    fetch_level: float = 0.30
+    issue_level: float = 0.18
+
+    def __post_init__(self) -> None:
+        if self.bin_cycles <= 0:
+            raise ValueError("power bin width must be positive")
+        if self.idle_level < 0:
+            raise ValueError("idle level cannot be negative")
+        if not 0 <= self.idle_level < 1.5:
+            raise ValueError("idle level out of plausible range")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Complete machine: core, caches, memory, power accounting.
+
+    ``clock_hz`` converts cycle counts to wall time; it is also the EM
+    carrier frequency the signal chain synthesizes around.
+    """
+
+    clock_hz: float = 1.008e9
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024))
+    llc: CacheConfig = field(
+        default_factory=lambda: CacheConfig(256 * 1024, associativity=8, hit_latency=20)
+    )
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
+    prefetcher_enabled: bool = False
+    prefetch_degree: int = 2
+    tlb_enabled: bool = False
+    tlb_entries: int = 64
+    tlb_page_bytes: int = 4096
+    tlb_walk_cycles: int = 40
+    name: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock frequency must be positive")
+        if self.tlb_enabled:
+            if self.tlb_entries <= 0:
+                raise ValueError("TLB needs at least one entry")
+            if self.tlb_walk_cycles < 0:
+                raise ValueError("page-walk latency cannot be negative")
+        if self.l1i.line_bytes != self.llc.line_bytes:
+            raise ValueError("L1I and LLC line sizes must match")
+        if self.l1d.line_bytes != self.llc.line_bytes:
+            raise ValueError("L1D and LLC line sizes must match")
+        if self.llc.size_bytes < self.l1d.size_bytes:
+            raise ValueError("LLC must be at least as large as L1D")
+        if self.prefetch_degree < 0:
+            raise ValueError("prefetch degree cannot be negative")
+
+    @property
+    def line_bytes(self) -> int:
+        """Cache line size shared by the whole hierarchy."""
+        return self.llc.line_bytes
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Native sampling rate of the power side-channel trace."""
+        return self.clock_hz / self.power.bin_cycles
+
+    def cycles(self, seconds: float) -> int:
+        """Convert a wall-clock duration to whole processor cycles."""
+        return int(round(seconds * self.clock_hz))
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds."""
+        return cycles / self.clock_hz
+
+    def with_bandwidth_bins(self, bin_cycles: int) -> "MachineConfig":
+        """Return a copy whose power trace uses ``bin_cycles``-cycle bins."""
+        return replace(self, power=replace(self.power, bin_cycles=bin_cycles))

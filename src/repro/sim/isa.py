@@ -1,0 +1,117 @@
+"""Instruction-stream model consumed by the cycle-level pipeline.
+
+The simulator does not interpret a real ISA; what EMPROF's validation
+needs from the substrate is the *timing-relevant* content of a program:
+which instructions touch memory and where, how soon a load's value is
+consumed (this bounds how long the core can keep busy past a miss), and
+how much switching activity each instruction contributes to the power
+side-channel.  An :class:`Instr` captures exactly that, and workloads
+in :mod:`repro.workloads` generate streams of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+# Operation kinds.  Values are dense small ints so they can be used as
+# array indices in power weight tables.
+ALU = 0
+LOAD = 1
+STORE = 2
+BRANCH = 3
+MUL = 4
+NOP = 5
+
+OP_NAMES = {ALU: "alu", LOAD: "load", STORE: "store", BRANCH: "branch", MUL: "mul", NOP: "nop"}
+
+# Per-op switching-activity weights (arbitrary units).  These set the
+# texture of the busy-processor signal: different instruction mixes in
+# different loops give each code region a distinct signal signature,
+# which is what spectral attribution (Fig. 14) keys on.
+DEFAULT_WEIGHTS = {
+    ALU: 0.12,
+    LOAD: 0.16,
+    STORE: 0.15,
+    BRANCH: 0.10,
+    MUL: 0.20,
+    NOP: 0.04,
+}
+
+# A load with NO_CONSUMER never directly blocks the pipeline; only the
+# core's runahead limit or MSHR exhaustion can turn its miss into a
+# stall (the Fig. 3a "miss with no attributable stall" case).
+NO_CONSUMER = 1 << 30
+
+
+class Instr(NamedTuple):
+    """One dynamic instruction.
+
+    Attributes:
+        op: one of ALU/LOAD/STORE/BRANCH/MUL/NOP.
+        pc: byte address of the instruction (drives the I-cache).
+        addr: byte address touched by LOAD/STORE; 0 otherwise.
+        dep: for LOAD - number of instructions after this one before
+            its value is first consumed (0 means the very next
+            instruction needs it).  Use NO_CONSUMER for dead loads.
+        weight: switching-activity contribution of this instruction.
+        region: small integer naming the code region (function/loop)
+            this instruction belongs to, for attribution experiments.
+    """
+
+    op: int
+    pc: int
+    addr: int = 0
+    dep: int = NO_CONSUMER
+    weight: float = DEFAULT_WEIGHTS[ALU]
+    region: int = 0
+
+
+def alu(pc: int, region: int = 0, weight: float = DEFAULT_WEIGHTS[ALU]) -> Instr:
+    """Build a plain integer-ALU instruction."""
+    return Instr(ALU, pc, 0, NO_CONSUMER, weight, region)
+
+
+def mul(pc: int, region: int = 0) -> Instr:
+    """Build a multiply (higher switching activity than ALU)."""
+    return Instr(MUL, pc, 0, NO_CONSUMER, DEFAULT_WEIGHTS[MUL], region)
+
+
+def branch(pc: int, region: int = 0) -> Instr:
+    """Build a (predicted-taken, zero-penalty) branch."""
+    return Instr(BRANCH, pc, 0, NO_CONSUMER, DEFAULT_WEIGHTS[BRANCH], region)
+
+
+def load(pc: int, addr: int, dep: int = 1, region: int = 0) -> Instr:
+    """Build a load whose value is consumed ``dep`` instructions later."""
+    if dep < 0:
+        raise ValueError("dependency distance cannot be negative")
+    return Instr(LOAD, pc, addr, dep, DEFAULT_WEIGHTS[LOAD], region)
+
+
+def store(pc: int, addr: int, region: int = 0) -> Instr:
+    """Build a store (non-blocking while the store buffer has room)."""
+    return Instr(STORE, pc, addr, NO_CONSUMER, DEFAULT_WEIGHTS[STORE], region)
+
+
+def nop(pc: int, region: int = 0) -> Instr:
+    """Build a nop (minimal switching activity)."""
+    return Instr(NOP, pc, 0, NO_CONSUMER, DEFAULT_WEIGHTS[NOP], region)
+
+
+def instruction_bytes() -> int:
+    """Size of one encoded instruction (fixed 4-byte, ARM-like)."""
+    return 4
+
+
+def straightline(
+    pc: int, count: int, region: int = 0, weight: float = DEFAULT_WEIGHTS[ALU]
+) -> Iterator[Instr]:
+    """Yield ``count`` sequential ALU instructions starting at ``pc``.
+
+    PCs advance by 4 bytes each, so long straight-line stretches sweep
+    through I-cache lines (and can themselves cause I-fetch misses for
+    large code footprints).
+    """
+    step = instruction_bytes()
+    for i in range(count):
+        yield Instr(ALU, pc + i * step, 0, NO_CONSUMER, weight, region)

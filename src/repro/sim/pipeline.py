@@ -1,0 +1,398 @@
+"""Cycle-level 4-wide in-order core with full stall ground truth.
+
+This is the timing heart of the substrate.  It executes an instruction
+stream (see :mod:`repro.sim.isa`) against the cache hierarchy and DRAM
+model and produces two artifacts, mirroring the paper's modified SESC
+(Section V-C):
+
+* a binned power trace (via :class:`repro.sim.power.PowerAccumulator`),
+* a :class:`repro.sim.trace.GroundTruth` with every LLC miss (detect
+  cycle, memory-ready cycle) and every fully-stalled interval (begin,
+  end, cause, contributing misses).
+
+Timing model
+------------
+
+The core issues up to ``width`` instructions per cycle, in order.  The
+behaviours the paper depends on are modelled explicitly:
+
+* **ILP past a miss** - a load miss does not stall the core; issue
+  continues until (a) the load's first consumer is reached, (b) the
+  in-order ``runahead`` window past the oldest outstanding miss is
+  exhausted, or (c) MSHRs run out.  Misses whose latency is completely
+  hidden produce *no* stall record (Fig. 3a).
+* **MLP / overlapped misses** - several misses in flight that force one
+  stall yield a single stall record listing all contributing miss ids
+  (Fig. 3b).
+* **Instruction-fetch misses** - on an I-side LLC miss the front end
+  drains the fetch buffer (a short busy span) and then fully stalls
+  until the line returns.
+* **LLC hits** - an L1 miss that hits the LLC produces only a brief
+  stall (Fig. 2a), recorded with a non-memory cause so validators can
+  distinguish it from the long main-memory stalls EMPROF targets.
+* **DRAM refresh** - a miss that lands in a refresh window is blocked,
+  stretching its stall to a few microseconds (Fig. 5); such stalls are
+  flagged ``refresh=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .cache import CacheHierarchy, L1, LLC, MEM
+from .config import CoreConfig, PowerConfig
+from .dram import MainMemory
+from .isa import Instr, LOAD, STORE
+from .power import PowerAccumulator
+from .prefetcher import StridePrefetcher
+from .trace import (
+    CAUSE_DATA_MEM,
+    CAUSE_IFETCH_MEM,
+    CAUSE_LLC_HIT,
+    CAUSE_MSHR_FULL,
+    CAUSE_RUNAHEAD,
+    CAUSE_STOREBUF,
+    DLOAD,
+    DSTORE,
+    GroundTruth,
+    IFETCH,
+    MissRecord,
+    StallRecord,
+)
+
+
+class Pipeline:
+    """In-order superscalar core bound to a cache hierarchy and DRAM."""
+
+    def __init__(
+        self,
+        core: CoreConfig,
+        power_config: PowerConfig,
+        hierarchy: CacheHierarchy,
+        memory: MainMemory,
+        prefetcher: Optional[StridePrefetcher] = None,
+        llc_hit_latency: int = 20,
+        line_bytes: int = 64,
+        tlb=None,
+        tlb_walk_cycles: int = 0,
+    ):
+        self.core = core
+        self.power_config = power_config
+        self.hierarchy = hierarchy
+        self.memory = memory
+        self.prefetcher = prefetcher
+        self.llc_hit_latency = llc_hit_latency
+        self.tlb = tlb
+        self.tlb_walk_cycles = tlb_walk_cycles
+        self._line_shift = line_bytes.bit_length() - 1
+
+    def run(
+        self, instructions: Iterable[Instr], power: PowerAccumulator
+    ) -> GroundTruth:
+        """Execute the stream, filling ``power`` and returning ground truth."""
+        core = self.core
+        width = core.width
+        runahead = core.runahead
+        # An out-of-order back end does not block at a load's first
+        # consumer; only its reorder window (runahead, acting as the
+        # ROB size) and MSHR pool bind (Section II-B).
+        in_order = not core.out_of_order
+        mshr_limit = core.mshr_entries
+        store_limit = max(1, core.store_buffer)
+        fetch_drain = max(1, core.fetch_buffer // width)
+        llc_lat = self.llc_hit_latency
+        # Front-end LLC-hit penalty visible past the fetch buffer.
+        llc_front_pen = max(0, llc_lat - fetch_drain)
+        line_shift = self._line_shift
+
+        lookup_i = self.hierarchy.lookup_instruction
+        lookup_d = self.hierarchy.lookup_data
+        mem_access = self.memory.access
+        prefetcher = self.prefetcher
+        tlb = self.tlb
+        tlb_walk = self.tlb_walk_cycles
+        add_issue = power.add_issue
+        add_busy_span = power.add_busy_span
+        fetch_share = self.power_config.fetch_level / width
+        # Activity level while draining buffered work after an I-miss:
+        # the back end is still completing instructions, a bit below
+        # full-rate switching.
+        drain_level = self.power_config.fetch_level + 0.4
+
+        cur = 0  # current cycle
+        slot = 0  # instructions already issued this cycle
+        cur_line = -1  # last instruction-cache line touched
+        # Outstanding data accesses: [ready_cycle, consumer_idx,
+        # issue_idx, miss_id]; miss_id is None for LLC hits.
+        pending: list = []
+        store_q: list = []  # [ready_cycle, miss_id] outstanding store misses
+        misses: list = []
+        stalls: list = []
+        region_cycles: dict = {}
+        cur_region = 0
+        region_mark = 0
+        count = 0
+
+        for i, ins in enumerate(instructions):
+            op, pc, addr, dep, weight, region = ins
+            count += 1
+
+            if region != cur_region:
+                region_cycles[cur_region] = (
+                    region_cycles.get(cur_region, 0) + cur - region_mark
+                )
+                cur_region = region
+                region_mark = cur
+
+            # ---- instruction fetch --------------------------------------
+            line = pc >> line_shift
+            if line != cur_line:
+                cur_line = line
+                level = lookup_i(pc)
+                if level is not L1:
+                    if level is LLC:
+                        if llc_front_pen:
+                            stalls.append(
+                                StallRecord(
+                                    len(stalls),
+                                    cur,
+                                    cur + llc_front_pen,
+                                    CAUSE_LLC_HIT,
+                                    [],
+                                    False,
+                                    region,
+                                )
+                            )
+                            cur += llc_front_pen
+                            slot = 0
+                    else:  # MEM: instruction line comes from DRAM
+                        if prefetcher is not None:
+                            prefetcher.on_llc_miss(pc)
+                        resp = mem_access(cur, pc)
+                        mid = len(misses)
+                        misses.append(
+                            MissRecord(
+                                mid,
+                                IFETCH,
+                                pc,
+                                cur,
+                                resp.ready_cycle,
+                                None,
+                                resp.refresh_blocked,
+                                region,
+                            )
+                        )
+                        begin = cur + fetch_drain
+                        if resp.ready_cycle > begin:
+                            add_busy_span(cur, begin, drain_level)
+                            contrib = [mid]
+                            refresh = resp.refresh_blocked
+                            for e in pending:
+                                e_mid = e[3]
+                                if e_mid is not None and e[0] > begin:
+                                    contrib.append(e_mid)
+                                    if misses[e_mid].refresh_blocked:
+                                        refresh = True
+                            sid = len(stalls)
+                            stalls.append(
+                                StallRecord(
+                                    sid,
+                                    begin,
+                                    resp.ready_cycle,
+                                    CAUSE_IFETCH_MEM,
+                                    contrib,
+                                    refresh,
+                                    region,
+                                )
+                            )
+                            for m in contrib:
+                                if misses[m].stall_id is None:
+                                    misses[m].stall_id = sid
+                            cur = resp.ready_cycle
+                            slot = 0
+
+            # ---- resolve data-side blocking ------------------------------
+            if pending:
+                # Drop completed accesses.
+                j = 0
+                for e in pending:
+                    if e[0] > cur:
+                        pending[j] = e
+                        j += 1
+                del pending[j:]
+                while pending:
+                    block_end = 0
+                    block_is_mem = False
+                    oldest_issue = -1
+                    oldest_entry = None
+                    for e in pending:
+                        if e[3] is not None and (
+                            oldest_entry is None or e[2] < oldest_issue
+                        ):
+                            oldest_issue = e[2]
+                            oldest_entry = e
+                        if in_order and e[1] <= i and e[0] > block_end:
+                            block_end = e[0]
+                            block_is_mem = e[3] is not None
+                    cause = CAUSE_DATA_MEM if block_is_mem else CAUSE_LLC_HIT
+                    if (
+                        block_end == 0
+                        and oldest_entry is not None
+                        and i - oldest_issue >= runahead
+                    ):
+                        block_end = oldest_entry[0]
+                        cause = CAUSE_RUNAHEAD
+                    if block_end <= cur:
+                        break
+                    sid = len(stalls)
+                    if cause is CAUSE_LLC_HIT:
+                        contrib = []
+                        refresh = False
+                    else:
+                        contrib = [e[3] for e in pending if e[3] is not None]
+                        refresh = any(misses[m].refresh_blocked for m in contrib)
+                    stalls.append(
+                        StallRecord(sid, cur, block_end, cause, contrib, refresh, region)
+                    )
+                    for m in contrib:
+                        if misses[m].stall_id is None:
+                            misses[m].stall_id = sid
+                    cur = block_end
+                    slot = 0
+                    j = 0
+                    for e in pending:
+                        if e[0] > cur:
+                            pending[j] = e
+                            j += 1
+                    del pending[j:]
+
+            # ---- issue ----------------------------------------------------
+            add_issue(cur, weight + fetch_share)
+            slot += 1
+            if slot >= width:
+                cur += 1
+                slot = 0
+
+            # ---- data access ----------------------------------------------
+            if op == LOAD:
+                # Address translation first: a data-TLB miss delays the
+                # access by the hardware page-walk latency.
+                walk = 0
+                if tlb is not None and not tlb.access(addr):
+                    walk = tlb_walk
+                level = lookup_d(addr)
+                if level is L1:
+                    if walk:
+                        pending.append([cur + walk, i + 1 + dep, i, None])
+                elif level is LLC:
+                    pending.append([cur + llc_lat + walk, i + 1 + dep, i, None])
+                elif level is MEM:
+                    if prefetcher is not None:
+                        prefetcher.on_llc_miss(addr)
+                    # MSHR pressure: block until an entry frees.  The
+                    # issue step may have advanced past some entries'
+                    # ready cycles, so drop completed ones first.
+                    while True:
+                        j = 0
+                        for e in pending:
+                            if e[0] > cur:
+                                pending[j] = e
+                                j += 1
+                        del pending[j:]
+                        mem_entries = [e for e in pending if e[3] is not None]
+                        if len(mem_entries) < mshr_limit:
+                            break
+                        free_at = min(e[0] for e in mem_entries)
+                        contrib = [e[3] for e in mem_entries]
+                        refresh = any(misses[m].refresh_blocked for m in contrib)
+                        sid = len(stalls)
+                        stalls.append(
+                            StallRecord(
+                                sid, cur, free_at, CAUSE_MSHR_FULL, contrib, refresh, region
+                            )
+                        )
+                        for m in contrib:
+                            if misses[m].stall_id is None:
+                                misses[m].stall_id = sid
+                        cur = free_at
+                        slot = 0
+                        j = 0
+                        for e in pending:
+                            if e[0] > cur:
+                                pending[j] = e
+                                j += 1
+                        del pending[j:]
+                    resp = mem_access(cur + walk, addr)
+                    mid = len(misses)
+                    misses.append(
+                        MissRecord(
+                            mid,
+                            DLOAD,
+                            addr,
+                            cur,
+                            resp.ready_cycle,
+                            None,
+                            resp.refresh_blocked,
+                            region,
+                        )
+                    )
+                    pending.append([resp.ready_cycle, i + 1 + dep, i, mid])
+            elif op == STORE:
+                walk = 0
+                if tlb is not None and not tlb.access(addr):
+                    walk = tlb_walk
+                level = lookup_d(addr)
+                if level is MEM:
+                    if prefetcher is not None:
+                        prefetcher.on_llc_miss(addr)
+                    k = 0
+                    for s in store_q:
+                        if s[0] > cur:
+                            store_q[k] = s
+                            k += 1
+                    del store_q[k:]
+                    if len(store_q) >= store_limit:
+                        free_at = min(s[0] for s in store_q)
+                        contrib = [s[1] for s in store_q if s[0] <= free_at]
+                        refresh = any(misses[m].refresh_blocked for m in contrib)
+                        sid = len(stalls)
+                        stalls.append(
+                            StallRecord(
+                                sid, cur, free_at, CAUSE_STOREBUF, contrib, refresh, region
+                            )
+                        )
+                        for m in contrib:
+                            if misses[m].stall_id is None:
+                                misses[m].stall_id = sid
+                        cur = free_at
+                        slot = 0
+                        store_q = [s for s in store_q if s[0] > cur]
+                    resp = mem_access(cur + walk, addr)
+                    mid = len(misses)
+                    misses.append(
+                        MissRecord(
+                            mid,
+                            DSTORE,
+                            addr,
+                            cur,
+                            resp.ready_cycle,
+                            None,
+                            resp.refresh_blocked,
+                            region,
+                        )
+                    )
+                    store_q.append([resp.ready_cycle, mid])
+
+        total_cycles = cur + (1 if slot else 0)
+        region_cycles[cur_region] = (
+            region_cycles.get(cur_region, 0) + total_cycles - region_mark
+        )
+        if total_cycles > 0:
+            power.note_cycle(total_cycles - 1)
+        return GroundTruth(
+            misses=misses,
+            stalls=stalls,
+            total_cycles=total_cycles,
+            total_instructions=count,
+            region_cycles=region_cycles,
+        )

@@ -1,0 +1,71 @@
+"""Data-TLB model with hardware page-walk latency.
+
+The paper's microbenchmark begins by touching every page "to avoid
+encountering page faults later" (Section V-B) - address translation
+is a real part of the memory behaviour these devices exhibit.  This
+model captures the hardware-visible part: a small fully-associative
+LRU data TLB whose misses cost a page-walk delay on top of the cache
+access.  (OS-level page *faults* are out of scope - the paper's
+microbenchmark explicitly engineers them away, and so do the
+workloads here.)
+
+Disabled by default (``MachineConfig.tlb_enabled``): the device
+calibrations in :mod:`repro.devices` fold typical translation cost
+into their memory latencies.  The TLB ablation bench enables it to
+show how page-crossing access patterns inflate per-stall latency - a
+population shift EMPROF resolves and event counters cannot.
+"""
+
+from __future__ import annotations
+
+
+class Tlb:
+    """Fully-associative LRU translation buffer.
+
+    Implemented over an insertion-ordered dict: a hit reinserts the
+    page (moving it to the newest position), a miss evicts the oldest
+    entry once capacity is reached.
+    """
+
+    def __init__(self, entries: int = 64, page_bytes: int = 4096):
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ValueError("page size must be a positive power of two")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._page_shift = page_bytes.bit_length() - 1
+        self._pages: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Translate ``addr``; returns True on a TLB hit."""
+        page = addr >> self._page_shift
+        pages = self._pages
+        if page in pages:
+            self.hits += 1
+            # LRU refresh: move to the newest position.
+            del pages[page]
+            pages[page] = True
+            return True
+        self.misses += 1
+        if len(pages) >= self.entries:
+            # Evict the least recently used page (oldest key).
+            pages.pop(next(iter(pages)))
+        pages[page] = True
+        return False
+
+    def flush(self) -> None:
+        """Drop all translations (context switch / reset)."""
+        self._pages.clear()
+
+    @property
+    def occupancy(self) -> int:
+        """Number of cached translations."""
+        return len(self._pages)
+
+    def miss_rate(self) -> float:
+        """Translation miss rate; zero when untouched."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,196 @@
+"""Ground-truth trace records emitted by the simulator.
+
+Section V-C of the paper: the simulator "is enhanced to produce a power
+consumption trace that will be used as a side-channel signal in EMPROF,
+and also to produce a trace of when (in which cycle) each LLC miss is
+detected and when the resulting stall (if there is a stall) begins and
+ends".  These records are that second trace; the validation code in
+:mod:`repro.core.validate` compares EMPROF's output against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+# Miss kinds.
+IFETCH = "ifetch"
+DLOAD = "load"
+DSTORE = "store"
+
+# Stall causes.
+CAUSE_IFETCH_MEM = "ifetch_mem"  # I$ miss that also missed the LLC
+CAUSE_DATA_MEM = "data_mem"  # load consumer blocked on a memory miss
+CAUSE_MSHR_FULL = "mshr_full"  # out of miss-handling resources
+CAUSE_RUNAHEAD = "runahead"  # in-order window exhausted past a miss
+CAUSE_LLC_HIT = "llc_hit"  # brief stall: L1 miss serviced by the LLC
+CAUSE_STOREBUF = "store_buffer"  # store buffer full of outstanding misses
+
+# Causes whose stalls are attributable to main-memory (LLC-miss)
+# activity - the events EMPROF exists to find.
+MEMORY_CAUSES = frozenset(
+    {CAUSE_IFETCH_MEM, CAUSE_DATA_MEM, CAUSE_MSHR_FULL, CAUSE_RUNAHEAD, CAUSE_STOREBUF}
+)
+
+
+@dataclass
+class MissRecord:
+    """One LLC miss (an access that reached main memory).
+
+    Attributes:
+        miss_id: dense index, in detection order.
+        kind: IFETCH / DLOAD / DSTORE.
+        addr: byte address of the missing access.
+        detect_cycle: cycle at which the miss was discovered.
+        ready_cycle: cycle at which the line came back from memory.
+        stall_id: index of the stall this miss contributed to, or None
+            when the core hid the whole latency (Fig. 3a).
+        refresh_blocked: True when DRAM refresh inflated the latency.
+        region: code region active when the miss was detected.
+    """
+
+    miss_id: int
+    kind: str
+    addr: int
+    detect_cycle: int
+    ready_cycle: int
+    stall_id: Optional[int] = None
+    refresh_blocked: bool = False
+    region: int = 0
+
+    @property
+    def latency(self) -> int:
+        """Memory service latency of this miss, in cycles."""
+        return self.ready_cycle - self.detect_cycle
+
+
+@dataclass
+class StallRecord:
+    """One contiguous fully-stalled interval of the core.
+
+    Attributes:
+        stall_id: dense index, in time order.
+        begin_cycle / end_cycle: half-open stalled interval.
+        cause: what exhausted the core (see CAUSE_* constants).
+        miss_ids: LLC misses whose latency this stall covers; several
+            ids here is the overlapped-miss case of Fig. 3b.
+        refresh: True when any contributing miss was refresh-blocked.
+        region: code region the stalled instruction belongs to.
+    """
+
+    stall_id: int
+    begin_cycle: int
+    end_cycle: int
+    cause: str
+    miss_ids: List[int] = field(default_factory=list)
+    refresh: bool = False
+    region: int = 0
+
+    @property
+    def duration(self) -> int:
+        """Stall length in cycles."""
+        return self.end_cycle - self.begin_cycle
+
+    @property
+    def is_memory(self) -> bool:
+        """True when this stall is attributable to main-memory misses."""
+        return self.cause in MEMORY_CAUSES
+
+
+@dataclass
+class GroundTruth:
+    """All ground-truth records from one simulation run."""
+
+    misses: List[MissRecord] = field(default_factory=list)
+    stalls: List[StallRecord] = field(default_factory=list)
+    total_cycles: int = 0
+    total_instructions: int = 0
+    region_names: Dict[int, str] = field(default_factory=dict)
+    region_cycles: Dict[int, int] = field(default_factory=dict)
+
+    # -- miss-side queries ------------------------------------------------
+
+    def miss_count(self) -> int:
+        """Total LLC misses, stalling or not."""
+        return len(self.misses)
+
+    def stalling_miss_count(self) -> int:
+        """LLC misses that contributed to some stall."""
+        return sum(1 for m in self.misses if m.stall_id is not None)
+
+    def hidden_miss_count(self) -> int:
+        """LLC misses fully hidden by useful work (Fig. 3a)."""
+        return sum(1 for m in self.misses if m.stall_id is None)
+
+    # -- stall-side queries -----------------------------------------------
+
+    def memory_stalls(self) -> List[StallRecord]:
+        """Stalls attributable to main-memory misses, in time order."""
+        return [s for s in self.stalls if s.is_memory]
+
+    def memory_stall_count(self) -> int:
+        """Number of distinct memory-induced stalls.
+
+        This is the quantity EMPROF's "miss count" should match: one
+        stall per miss *group* (Section II-B's MISS terminology).
+        """
+        return len(self.memory_stalls())
+
+    def memory_stall_cycles(self) -> int:
+        """Total cycles the core spent stalled on memory misses."""
+        return sum(s.duration for s in self.memory_stalls())
+
+    def refresh_stall_count(self) -> int:
+        """Memory stalls stretched by a DRAM refresh collision."""
+        return sum(1 for s in self.memory_stalls() if s.refresh)
+
+    def stall_fraction(self) -> float:
+        """Memory-stall cycles as a fraction of total execution time."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.memory_stall_cycles() / self.total_cycles
+
+    def stall_intervals(self) -> np.ndarray:
+        """(N, 2) array of [begin, end) cycles for memory stalls."""
+        stalls = self.memory_stalls()
+        if not stalls:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.array([(s.begin_cycle, s.end_cycle) for s in stalls], dtype=np.int64)
+
+    def stall_durations(self) -> np.ndarray:
+        """Durations (cycles) of memory stalls, in time order."""
+        return np.array([s.duration for s in self.memory_stalls()], dtype=np.int64)
+
+    # -- attribution-side queries ------------------------------------------
+
+    def misses_by_region(self) -> Dict[int, int]:
+        """Miss count per code region."""
+        counts: Dict[int, int] = {}
+        for m in self.misses:
+            counts[m.region] = counts.get(m.region, 0) + 1
+        return counts
+
+    def stall_cycles_by_region(self) -> Dict[int, int]:
+        """Memory-stall cycles per code region."""
+        cycles: Dict[int, int] = {}
+        for s in self.memory_stalls():
+            cycles[s.region] = cycles.get(s.region, 0) + s.duration
+        return cycles
+
+    def miss_rate_timeline(self, bin_cycles: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Miss count per ``bin_cycles`` window over the whole run.
+
+        Returns (bin_start_cycles, counts) - the Fig. 13 boot-profile
+        series is exactly this on the boot workload.
+        """
+        if bin_cycles <= 0:
+            raise ValueError("bin width must be positive")
+        nbins = max(1, -(-self.total_cycles // bin_cycles))
+        counts = np.zeros(nbins, dtype=np.int64)
+        for m in self.misses:
+            idx = min(m.detect_cycle // bin_cycles, nbins - 1)
+            counts[idx] += 1
+        starts = np.arange(nbins, dtype=np.int64) * bin_cycles
+        return starts, counts

@@ -1,0 +1,105 @@
+"""Instruction-trace recording and replay.
+
+Workload generators are procedural; for reproducibility across
+machines (and to feed the simulator from externally produced traces,
+e.g. a binary-instrumentation run on real hardware), dynamic
+instruction streams can be recorded to a columnar ``.npz`` file and
+replayed later.  A :class:`TraceWorkload` replays a file through the
+standard :class:`~repro.sim.machine.Machine` interface.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from .config import MachineConfig
+from .isa import Instr
+
+_TRACE_FORMAT = "emprof-trace-v1"
+
+PathLike = Union[str, Path]
+
+
+def save_trace(
+    path: PathLike,
+    instructions: Iterable[Instr],
+    region_names: Optional[Dict[int, str]] = None,
+    name: str = "trace",
+) -> int:
+    """Record an instruction stream to ``path``; returns the count."""
+    ops, pcs, addrs, deps, weights, regions = [], [], [], [], [], []
+    for ins in instructions:
+        ops.append(ins.op)
+        pcs.append(ins.pc)
+        addrs.append(ins.addr)
+        deps.append(ins.dep)
+        weights.append(ins.weight)
+        regions.append(ins.region)
+    np.savez_compressed(
+        path,
+        format=_TRACE_FORMAT,
+        name=name,
+        op=np.asarray(ops, dtype=np.int8),
+        pc=np.asarray(pcs, dtype=np.int64),
+        addr=np.asarray(addrs, dtype=np.int64),
+        dep=np.asarray(deps, dtype=np.int64),
+        weight=np.asarray(weights, dtype=np.float64),
+        region=np.asarray(regions, dtype=np.int32),
+        region_names=json.dumps({str(k): v for k, v in (region_names or {}).items()}),
+    )
+    return len(ops)
+
+
+def record_workload(path: PathLike, workload, config: MachineConfig) -> int:
+    """Record a workload's stream for ``config``; returns the count."""
+    count = save_trace(
+        path,
+        workload.instructions(config),
+        region_names=getattr(workload, "region_names", None),
+        name=getattr(workload, "name", "trace"),
+    )
+    return count
+
+
+class TraceWorkload:
+    """Replay a recorded trace through the simulator.
+
+    The trace is loaded once into columnar numpy arrays;
+    :meth:`instructions` materializes :class:`Instr` tuples lazily, so
+    replay costs the same as generating the original stream.
+    """
+
+    def __init__(self, path: PathLike):
+        with np.load(path, allow_pickle=False) as data:
+            fmt = str(data["format"])
+            if fmt != _TRACE_FORMAT:
+                raise ValueError(f"not an EMPROF trace file (format={fmt!r})")
+            self.name = str(data["name"])
+            self._op = np.asarray(data["op"], dtype=np.int64)
+            self._pc = np.asarray(data["pc"], dtype=np.int64)
+            self._addr = np.asarray(data["addr"], dtype=np.int64)
+            self._dep = np.asarray(data["dep"], dtype=np.int64)
+            self._weight = np.asarray(data["weight"], dtype=np.float64)
+            self._region = np.asarray(data["region"], dtype=np.int64)
+            self.region_names: Dict[int, str] = {
+                int(k): v for k, v in json.loads(str(data["region_names"])).items()
+            }
+
+    def __len__(self) -> int:
+        return len(self._op)
+
+    def instructions(self, config: MachineConfig) -> Iterator[Instr]:
+        """Replay the recorded stream (``config`` is ignored: the trace
+        is already concrete)."""
+        op = self._op.tolist()
+        pc = self._pc.tolist()
+        addr = self._addr.tolist()
+        dep = self._dep.tolist()
+        weight = self._weight.tolist()
+        region = self._region.tolist()
+        for i in range(len(op)):
+            yield Instr(op[i], pc[i], addr[i], dep[i], weight[i], region[i])

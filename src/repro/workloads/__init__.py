@@ -1,0 +1,47 @@
+"""Workloads that run on the simulated machine.
+
+* :class:`Microbenchmark` - the TM/CM validation microbenchmark (Fig. 6)
+* :mod:`repro.workloads.spec` - synthetic SPEC CPU2000 behaviour models
+* :mod:`repro.workloads.boot` - device boot sequence (Fig. 13)
+* :mod:`repro.workloads.base` - the Workload protocol + stream builders
+"""
+
+from .base import (
+    StreamWorkload,
+    Workload,
+    code_sweep,
+    compute_block,
+    pointer_chase_loop,
+    random_access_loop,
+    streaming_loop,
+    tight_loop,
+)
+from .boot import BootWorkload
+from .microbenchmark import Microbenchmark
+from .synthetic import RandomWorkload
+from .spec import (
+    Phase,
+    SPEC_BENCHMARKS,
+    SpecWorkload,
+    all_spec_workloads,
+    spec_workload,
+)
+
+__all__ = [
+    "BootWorkload",
+    "Phase",
+    "SPEC_BENCHMARKS",
+    "SpecWorkload",
+    "RandomWorkload",
+    "all_spec_workloads",
+    "spec_workload",
+    "Workload",
+    "StreamWorkload",
+    "Microbenchmark",
+    "tight_loop",
+    "compute_block",
+    "streaming_loop",
+    "random_access_loop",
+    "pointer_chase_loop",
+    "code_sweep",
+]

@@ -1,0 +1,247 @@
+"""Workload protocol and reusable instruction-stream builders.
+
+A workload is any object that can emit a dynamic instruction stream for
+a given machine configuration.  The builders here are the vocabulary
+all concrete workloads (microbenchmark, SPEC models, boot sequence) are
+written in: tight marker loops, strided streams, random-access loops,
+and pointer chases, each with controllable memory behaviour and a
+distinctive activity texture for spectral attribution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..sim.config import MachineConfig
+from ..sim.isa import (
+    ALU,
+    BRANCH,
+    DEFAULT_WEIGHTS,
+    Instr,
+    LOAD,
+    MUL,
+    NO_CONSUMER,
+    STORE,
+    instruction_bytes,
+)
+
+_IB = instruction_bytes()
+
+
+@runtime_checkable
+class Workload(Protocol):
+    """Anything the simulator can execute.
+
+    Attributes:
+        name: short identifier used in reports.
+        region_names: mapping from region ids used in the stream to
+            human-readable names (function/loop labels).
+    """
+
+    name: str
+    region_names: Dict[int, str]
+
+    def instructions(self, config: MachineConfig) -> Iterator[Instr]:
+        """Yield the dynamic instruction stream for ``config``."""
+        ...  # pragma: no cover - protocol
+
+
+def tight_loop(
+    pc: int,
+    iterations: int,
+    body_alu: int = 3,
+    region: int = 0,
+    weight: float = DEFAULT_WEIGHTS[ALU],
+) -> Iterator[Instr]:
+    """A marker loop: ``body_alu`` ALU ops + a backward branch.
+
+    The PCs repeat every iteration, so after the first pass the loop
+    runs entirely from the L1 I-cache with no memory traffic - the
+    "very stable signal pattern that can be easily recognized" the
+    microbenchmark uses to delimit its measurement window (Sec. V-B).
+    """
+    if iterations < 0 or body_alu < 0:
+        raise ValueError("iterations and body size cannot be negative")
+    body = [
+        Instr(ALU, pc + k * _IB, 0, NO_CONSUMER, weight, region)
+        for k in range(body_alu)
+    ]
+    body.append(Instr(BRANCH, pc + body_alu * _IB, 0, NO_CONSUMER, 0.10, region))
+    for _ in range(iterations):
+        yield from body
+
+
+def compute_block(
+    pc: int,
+    count: int,
+    region: int = 0,
+    mul_every: int = 5,
+    pattern_period: int = 0,
+    pattern_depth: float = 0.0,
+) -> Iterator[Instr]:
+    """Straight-line compute: ALU ops with MULs sprinkled in.
+
+    ``pattern_period``/``pattern_depth`` superimpose a periodic weight
+    modulation, giving the block a spectral line at
+    ``issue_rate / pattern_period`` that attribution can key on.
+    """
+    if count < 0:
+        raise ValueError("count cannot be negative")
+    base_alu = DEFAULT_WEIGHTS[ALU]
+    for k in range(count):
+        # 1 KB code footprint: the block is an I-cache-resident loop,
+        # not a straight-line sweep through cold code.
+        addr_pc = pc + (k % 256) * _IB
+        if mul_every and k % mul_every == mul_every - 1:
+            op, w = MUL, DEFAULT_WEIGHTS[MUL]
+        else:
+            op, w = ALU, base_alu
+        if pattern_period:
+            w += pattern_depth * np.sin(2 * np.pi * (k % pattern_period) / pattern_period)
+            w = max(0.02, float(w))
+        yield Instr(op, addr_pc, 0, NO_CONSUMER, w, region)
+
+
+def streaming_loop(
+    pc: int,
+    base_addr: int,
+    bytes_total: int,
+    stride: int = 64,
+    work_per_access: int = 8,
+    region: int = 0,
+    dep: int = 2,
+    store_ratio: float = 0.0,
+    rng: np.random.Generator = None,
+) -> Iterator[Instr]:
+    """Sequential sweep over ``bytes_total`` with ``stride`` spacing.
+
+    Models scan/compress phases (gzip/bzip2-like): every access hits a
+    new line in order, which a stride prefetcher can cover.
+    """
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    if bytes_total < 0:
+        raise ValueError("bytes_total cannot be negative")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    n_accesses = bytes_total // stride
+    loop_pc = pc
+    for k in range(n_accesses):
+        addr = base_addr + k * stride
+        for j in range(work_per_access):
+            yield Instr(ALU, loop_pc + j * _IB, 0, NO_CONSUMER, 0.12, region)
+        if store_ratio > 0.0 and rng.random() < store_ratio:
+            yield Instr(STORE, loop_pc + work_per_access * _IB, addr, NO_CONSUMER, 0.15, region)
+        else:
+            yield Instr(LOAD, loop_pc + work_per_access * _IB, addr, dep, 0.16, region)
+        yield Instr(BRANCH, loop_pc + (work_per_access + 1) * _IB, 0, NO_CONSUMER, 0.10, region)
+
+
+def random_access_loop(
+    pc: int,
+    base_addr: int,
+    working_set_bytes: int,
+    accesses: int,
+    rng: np.random.Generator,
+    work_per_access: int = 10,
+    region: int = 0,
+    dep: int = 2,
+    line_bytes: int = 64,
+    store_ratio: float = 0.0,
+) -> Iterator[Instr]:
+    """Uniform random line accesses over a working set.
+
+    When the working set exceeds the LLC this produces a steady LLC
+    miss stream immune to stride prefetching; when it fits, it warms up
+    and then hits.  The random address sequence is generated up front
+    (one vectorized draw) to keep the per-instruction path cheap.
+    """
+    if accesses < 0:
+        raise ValueError("accesses cannot be negative")
+    if working_set_bytes < line_bytes:
+        raise ValueError("working set smaller than one cache line")
+    n_lines = working_set_bytes // line_bytes
+    lines = rng.integers(0, n_lines, size=accesses)
+    is_store = (
+        rng.random(accesses) < store_ratio
+        if store_ratio > 0.0
+        else np.zeros(accesses, dtype=bool)
+    )
+    loop_pc = pc
+    for k in range(accesses):
+        addr = base_addr + int(lines[k]) * line_bytes
+        for j in range(work_per_access):
+            yield Instr(ALU, loop_pc + j * _IB, 0, NO_CONSUMER, 0.12, region)
+        if is_store[k]:
+            yield Instr(STORE, loop_pc + work_per_access * _IB, addr, NO_CONSUMER, 0.15, region)
+        else:
+            yield Instr(LOAD, loop_pc + work_per_access * _IB, addr, dep, 0.16, region)
+        yield Instr(BRANCH, loop_pc + (work_per_access + 1) * _IB, 0, NO_CONSUMER, 0.10, region)
+
+
+def pointer_chase_loop(
+    pc: int,
+    base_addr: int,
+    working_set_bytes: int,
+    accesses: int,
+    rng: np.random.Generator,
+    work_per_access: int = 4,
+    region: int = 0,
+    line_bytes: int = 64,
+) -> Iterator[Instr]:
+    """Dependent-load chain over a random permutation (mcf-like).
+
+    Every load's address comes from the previous load (dep=0), so no
+    memory-level parallelism is possible: each LLC miss exposes its
+    full latency as a stall.  This is the workload shape that gives
+    mcf its long stall tail (Fig. 11).
+    """
+    if accesses < 0:
+        raise ValueError("accesses cannot be negative")
+    n_lines = max(2, working_set_bytes // line_bytes)
+    order = rng.permutation(n_lines)
+    loop_pc = pc
+    for k in range(accesses):
+        addr = base_addr + int(order[k % n_lines]) * line_bytes
+        # dep=0: the very next instruction consumes the pointer.
+        yield Instr(LOAD, loop_pc, addr, 0, 0.16, region)
+        for j in range(work_per_access):
+            yield Instr(ALU, loop_pc + (1 + j) * _IB, 0, NO_CONSUMER, 0.12, region)
+        yield Instr(BRANCH, loop_pc + (1 + work_per_access) * _IB, 0, NO_CONSUMER, 0.10, region)
+
+
+def code_sweep(
+    pc: int,
+    footprint_bytes: int,
+    passes: int = 1,
+    region: int = 0,
+) -> Iterator[Instr]:
+    """Straight-line execution across a large code footprint.
+
+    Sweeping more code than the L1 I-cache holds produces
+    instruction-fetch misses - the I-side stall source of Fig. 3b.
+    """
+    if footprint_bytes < _IB:
+        raise ValueError("footprint must hold at least one instruction")
+    count = footprint_bytes // _IB
+    for _ in range(max(1, passes)):
+        for k in range(count):
+            yield Instr(ALU, pc + k * _IB, 0, NO_CONSUMER, 0.12, region)
+
+
+class StreamWorkload:
+    """Adapter turning a prebuilt iterable factory into a Workload.
+
+    ``factory`` is called with the machine config and must return an
+    iterator of instructions; used by tests and ad-hoc experiments.
+    """
+
+    def __init__(self, name: str, factory, region_names: Dict[int, str] = None):
+        self.name = name
+        self._factory = factory
+        self.region_names = dict(region_names or {})
+
+    def instructions(self, config: MachineConfig) -> Iterator[Instr]:
+        """Delegate to the wrapped factory."""
+        return self._factory(config)

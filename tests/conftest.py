@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Expensive end-to-end runs are session-scoped so the whole suite pays
+for each simulation once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Microbenchmark, simulate
+from repro.core.profiler import Emprof
+from repro.devices import olimex, sesc
+
+
+@pytest.fixture(scope="session")
+def micro_workload():
+    """A small but realistic TM/CM microbenchmark."""
+    return Microbenchmark(
+        total_misses=64,
+        consecutive_misses=4,
+        blank_iterations=8000,
+        gap_instructions=120,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def sesc_run(micro_workload):
+    """Microbenchmark simulated on the SESC configuration."""
+    return simulate(micro_workload, sesc(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def olimex_run(micro_workload):
+    """Microbenchmark simulated on the Olimex device model."""
+    return simulate(micro_workload, olimex(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def sesc_profile(sesc_run):
+    """EMPROF profile of the SESC power trace."""
+    return Emprof.from_simulation(sesc_run).profile()
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

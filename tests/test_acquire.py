@@ -1,0 +1,72 @@
+"""Tests for the signal-source abstraction."""
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.acquire import (
+    FileSource,
+    SdrSource,
+    SignalSource,
+    SimulatedSource,
+    profile_source,
+)
+from repro.devices import samsung
+from repro.workloads import Microbenchmark
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    return Microbenchmark(total_misses=32, consecutive_misses=4,
+                          blank_iterations=4000)
+
+
+class TestSimulatedSource:
+    def test_implements_protocol(self, small_workload):
+        assert isinstance(SimulatedSource(small_workload), SignalSource)
+
+    def test_capture_defaults_to_olimex(self, small_workload):
+        source = SimulatedSource(small_workload)
+        cap = source.capture()
+        assert cap.clock_hz == pytest.approx(1.008e9)
+        assert cap.bandwidth_hz == 40e6
+        assert len(cap.magnitude) > 100
+
+    def test_custom_device(self, small_workload):
+        source = SimulatedSource(small_workload, device=samsung())
+        assert source.capture().clock_hz == pytest.approx(0.8e9)
+
+    def test_ground_truth_retained(self, small_workload):
+        source = SimulatedSource(small_workload)
+        assert source.last_result is None
+        source.capture()
+        assert source.last_result is not None
+        assert source.last_result.ground_truth.miss_count() > 30
+
+    def test_deterministic_per_seed(self, small_workload):
+        a = SimulatedSource(small_workload, seed=5).capture()
+        b = SimulatedSource(small_workload, seed=5).capture()
+        np.testing.assert_array_equal(a.magnitude, b.magnitude)
+
+
+class TestFileSource:
+    def test_roundtrip(self, small_workload, tmp_path):
+        cap = SimulatedSource(small_workload).capture()
+        path = tmp_path / "cap.npz"
+        repro_io.save_capture(path, cap)
+        loaded = FileSource(path).capture()
+        np.testing.assert_array_equal(loaded.magnitude, cap.magnitude)
+        assert isinstance(FileSource(path), SignalSource)
+
+
+class TestSdrSource:
+    def test_raises_with_adapter_hint(self):
+        with pytest.raises(NotImplementedError, match="SoapySDR"):
+            SdrSource()
+
+
+class TestProfileSource:
+    def test_profiles_any_source(self, small_workload):
+        capture, report = profile_source(SimulatedSource(small_workload))
+        assert report.miss_count > 0
+        assert report.clock_hz == capture.clock_hz

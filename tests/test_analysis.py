@@ -1,0 +1,199 @@
+"""Tests for the post-profiling analysis layer."""
+
+import pytest
+
+from repro.analysis import (
+    BALANCED,
+    COMPUTE_BOUND,
+    MEMORY_BOUND,
+    MEMORY_SENSITIVE,
+    boundedness,
+    compare_reports,
+    dvfs_profitability,
+    dvfs_runtime_scale,
+    overlap_factor,
+    rank_regions,
+    speedup_headroom,
+)
+from repro.attribution.report import RegionReport
+from repro.core.events import DetectedStall, ProfileReport
+from repro.sim.trace import CAUSE_DATA_MEM, DLOAD, GroundTruth, MissRecord, StallRecord
+
+
+def make_report(stall_cycles, total_cycles, refresh_cycles=0.0):
+    stalls = []
+    if stall_cycles > 0:
+        stalls.append(DetectedStall(0, stall_cycles / 20, 0, stall_cycles, 0.05))
+    if refresh_cycles > 0:
+        stalls.append(
+            DetectedStall(
+                1000, 1000 + refresh_cycles / 20, 20_000, 20_000 + refresh_cycles,
+                0.05, is_refresh=True,
+            )
+        )
+    return ProfileReport(
+        stalls=stalls,
+        total_cycles=total_cycles,
+        clock_hz=1e9,
+        sample_period_cycles=20.0,
+    )
+
+
+class TestBoundedness:
+    def test_compute_bound(self):
+        verdict = boundedness(make_report(100, 10_000))
+        assert verdict.label == COMPUTE_BOUND
+
+    def test_balanced(self):
+        assert boundedness(make_report(1_000, 10_000)).label == BALANCED
+
+    def test_memory_sensitive(self):
+        assert boundedness(make_report(3_000, 10_000)).label == MEMORY_SENSITIVE
+
+    def test_memory_bound(self):
+        assert boundedness(make_report(7_000, 10_000)).label == MEMORY_BOUND
+
+    def test_refresh_share(self):
+        verdict = boundedness(make_report(1_000, 100_000, refresh_cycles=1_000))
+        assert verdict.refresh_share == pytest.approx(0.5)
+
+    def test_empty_report(self):
+        verdict = boundedness(make_report(0, 10_000))
+        assert verdict.label == COMPUTE_BOUND
+        assert verdict.refresh_share == 0.0
+
+
+class TestOverlapFactor:
+    def make_truth(self, misses, groups):
+        recs = [
+            MissRecord(i, DLOAD, 0, i * 1000, i * 1000 + 280, stall_id=min(i, groups - 1))
+            for i in range(misses)
+        ]
+        stalls = [
+            StallRecord(j, j * 1000, j * 1000 + 280, CAUSE_DATA_MEM, [])
+            for j in range(groups)
+        ]
+        return GroundTruth(misses=recs, stalls=stalls, total_cycles=misses * 1000 + 1)
+
+    def test_no_overlap(self):
+        assert overlap_factor(self.make_truth(10, 10)) == pytest.approx(1.0)
+
+    def test_two_to_one(self):
+        assert overlap_factor(self.make_truth(10, 5)) == pytest.approx(2.0)
+
+    def test_no_stalls(self):
+        truth = GroundTruth(
+            misses=[MissRecord(0, DLOAD, 0, 0, 280)], total_cycles=1000
+        )
+        assert overlap_factor(truth) == 1.0
+
+
+class TestSpeedupHeadroom:
+    def test_no_stalls_no_speedup(self):
+        assert speedup_headroom(make_report(0, 10_000)) == pytest.approx(1.0)
+
+    def test_half_stalled_doubles(self):
+        assert speedup_headroom(make_report(5_000, 10_000)) == pytest.approx(2.0)
+
+    def test_partial_removal(self):
+        r = make_report(5_000, 10_000)
+        assert speedup_headroom(r, removable_fraction=0.5) == pytest.approx(4 / 3)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            speedup_headroom(make_report(100, 1000), removable_fraction=1.5)
+
+
+class TestRankRegions:
+    def rows(self):
+        return [
+            RegionReport("small_hot", cycles=1_000, total_misses=50,
+                         miss_rate_per_mcycle=50_000, stall_percent=60.0,
+                         avg_latency_cycles=280),
+            RegionReport("big_warm", cycles=50_000, total_misses=300,
+                         miss_rate_per_mcycle=6_000, stall_percent=20.0,
+                         avg_latency_cycles=280),
+            RegionReport("big_cold", cycles=49_000, total_misses=3,
+                         miss_rate_per_mcycle=60, stall_percent=0.5,
+                         avg_latency_cycles=280),
+        ]
+
+    def test_big_warm_outranks_small_hot(self):
+        # 20% of half the program beats 60% of 1% of it.
+        ranking = rank_regions(self.rows())
+        assert ranking[0].region == "big_warm"
+        assert ranking[-1].region == "big_cold"
+
+    def test_scores_are_program_fractions(self):
+        ranking = rank_regions(self.rows())
+        assert 0.0 < ranking[0].score < 1.0
+        total = sum(p.score for p in ranking)
+        assert total < 1.0
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError):
+            rank_regions([], total_cycles=0)
+
+
+class TestDvfs:
+    def test_compute_bound_scales_with_clock(self):
+        # No stalls: doubling the clock halves runtime.
+        r = make_report(0, 10_000)
+        assert dvfs_runtime_scale(r, 2.0) == pytest.approx(0.5)
+        assert dvfs_profitability(r, 2.0) == pytest.approx(2.0)
+
+    def test_fully_memory_bound_immune_to_clock(self):
+        r = make_report(10_000, 10_000)
+        assert dvfs_runtime_scale(r, 2.0) == pytest.approx(1.0)
+        assert dvfs_runtime_scale(r, 0.5) == pytest.approx(1.0)
+
+    def test_half_stalled_midpoint(self):
+        r = make_report(5_000, 10_000)
+        assert dvfs_runtime_scale(r, 2.0) == pytest.approx(0.75)
+
+    def test_downclocking_memory_bound_is_cheap(self):
+        # The DVFS-profitability insight: a memory-bound program loses
+        # little runtime at a lower clock.
+        bound = make_report(8_000, 10_000)
+        compute = make_report(500, 10_000)
+        assert dvfs_runtime_scale(bound, 0.5) < dvfs_runtime_scale(compute, 0.5)
+
+    def test_identity_scale(self):
+        r = make_report(3_000, 10_000)
+        assert dvfs_runtime_scale(r, 1.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            dvfs_runtime_scale(make_report(0, 100), 0.0)
+
+
+class TestCompareReports:
+    def test_improvement_detected(self):
+        before = make_report(5_000, 10_000)
+        after = make_report(1_000, 6_500)
+        delta = compare_reports(before, after)
+        assert delta.improved
+        assert delta.stall_cycle_delta == pytest.approx(-4_000)
+        assert delta.time_speedup == pytest.approx(10_000 / 6_500)
+
+    def test_regression_detected(self):
+        before = make_report(1_000, 10_000)
+        after = make_report(3_000, 12_000)
+        assert not compare_reports(before, after).improved
+
+    def test_rejects_empty_after(self):
+        with pytest.raises(ValueError):
+            compare_reports(make_report(0, 100), make_report(0, 0))
+
+    def test_end_to_end_prefetcher_comparison(self, micro_workload):
+        # A device with a prefetcher vs without, on a *streaming*
+        # workload: the comparison layer should report the win.
+        from repro import simulate, Emprof
+        from repro.devices import olimex, samsung
+        from repro.workloads import spec_workload
+
+        wl = spec_workload("equake")
+        before = Emprof.from_simulation(simulate(wl, olimex())).profile()
+        after = Emprof.from_simulation(simulate(wl, samsung())).profile()
+        delta = compare_reports(before, after)
+        assert delta.miss_delta < 0  # fewer stalls with the prefetcher

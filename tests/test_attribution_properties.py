@@ -1,0 +1,96 @@
+"""Property-based tests for the attribution layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attribution.spectral import SpectralProfiler
+from repro.attribution.zop import ZopMatcher
+
+RATE = 50e6
+
+
+def tone(freq, n, amp=0.15, rng=None):
+    t = np.arange(n)
+    x = 0.8 + amp * np.sin(2 * np.pi * freq * t / 64.0)
+    if rng is not None:
+        x = x + rng.normal(0, 0.01, n)
+    return x
+
+
+@given(gain=st.floats(min_value=0.2, max_value=5.0, allow_nan=False))
+@settings(max_examples=25, deadline=None)
+def test_spectral_classification_gain_invariant(gain):
+    """Probe gain must not change which region a frame matches."""
+    rng = np.random.default_rng(0)
+    prof = SpectralProfiler(window_samples=64, smoothing_frames=1)
+    prof.train("slow", tone(2.0, 1024, rng=rng), RATE)
+    prof.train("fast", tone(11.0, 1024, rng=rng), RATE)
+    test = np.concatenate([tone(2.0, 512, rng=rng), tone(11.0, 512, rng=rng)])
+    base = prof.attribute(test, RATE)
+    scaled = prof.attribute(test * gain, RATE)
+    probes = (100, 300, 600, 900)
+    for p in probes:
+        assert base.region_at(p) == scaled.region_at(p)
+
+
+@given(seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=25, deadline=None)
+def test_spectral_timeline_covers_signal(seed):
+    """Segments tile the analyzed span without overlap."""
+    rng = np.random.default_rng(seed)
+    prof = SpectralProfiler(window_samples=64, smoothing_frames=1)
+    prof.train("a", tone(2.0, 1024, rng=rng), RATE)
+    prof.train("b", tone(9.0, 1024, rng=rng), RATE)
+    n_blocks = int(rng.integers(2, 6))
+    test = np.concatenate(
+        [tone(2.0 if k % 2 == 0 else 9.0, 256, rng=rng) for k in range(n_blocks)]
+    )
+    timeline = prof.attribute(test, RATE)
+    segments = timeline.segments
+    assert segments
+    for a, b in zip(segments, segments[1:]):
+        assert a.end_sample == pytest.approx(b.begin_sample)
+        assert a.width > 0
+    assert segments[0].begin_sample <= 64
+    assert segments[-1].end_sample >= len(test) - 64
+
+
+@given(
+    seq=st.lists(st.sampled_from(["A", "B", "C"]), min_size=1, max_size=12),
+    gain=st.floats(min_value=0.5, max_value=2.0, allow_nan=False),
+)
+@settings(max_examples=25, deadline=None)
+def test_zop_matching_recovers_any_clean_sequence(seq, gain):
+    """For any block sequence, clean matching reconstructs it exactly,
+    at any probe gain (templates are normalized)."""
+    freqs = {"A": 2.0, "B": 7.0, "C": 13.0}
+    matcher = ZopMatcher(max_distance=0.5)
+    for name, f in freqs.items():
+        matcher.add_template(name, tone(f, 64))
+    signal = gain * np.concatenate([tone(freqs[s], 64) for s in seq])
+    result = matcher.match(signal)
+    assert result.sequence() == seq
+    assert result.coverage == pytest.approx(1.0)
+
+
+@given(seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, deadline=None)
+def test_zop_segments_are_tiled_and_in_bounds(seed):
+    rng = np.random.default_rng(seed)
+    matcher = ZopMatcher(max_distance=0.6)
+    matcher.add_template("A", tone(2.0, 64))
+    matcher.add_template("B", tone(7.0, 64))
+    n = int(rng.integers(2, 8))
+    signal = np.concatenate(
+        [tone(2.0 if rng.random() < 0.5 else 7.0, 64, rng=rng) for _ in range(n)]
+    )
+    result = matcher.match(signal)
+    prev_end = 0
+    for seg in result.segments:
+        assert seg.begin_sample >= prev_end
+        assert seg.end_sample <= len(signal)
+        assert seg.distance >= 0.0
+        prev_end = seg.end_sample
+    assert 0.0 <= result.coverage <= 1.0

@@ -1,0 +1,187 @@
+"""Unit tests for the perf baseline and the device presets."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.perf_counters import (
+    PerfCounterConfig,
+    PerfCounterModel,
+    PerfSampler,
+)
+from repro.devices import (
+    ALCATEL,
+    DEVICE_NAMES,
+    OLIMEX,
+    SAMSUNG,
+    alcatel,
+    by_name,
+    default_channel,
+    olimex,
+    samsung,
+    sesc,
+)
+from repro.sim.trace import DLOAD, GroundTruth, MissRecord
+
+
+class TestPerfCounterModel:
+    def test_reports_at_least_truth(self):
+        model = PerfCounterModel(PerfCounterConfig(seed=0))
+        assert model.report(1024, 2e-3) >= 1024
+
+    def test_zero_duration_reports_truth(self):
+        model = PerfCounterModel(
+            PerfCounterConfig(burst_rate_per_s=0, base_rate_per_s=0)
+        )
+        assert model.report(500, 0.0) == 500
+
+    def test_paper_anecdote_band(self):
+        # 1024 engineered misses on a ~2 ms run: perf reported
+        # 32,768 +- 14,543 in the paper.
+        model = PerfCounterModel(PerfCounterConfig(seed=3))
+        reports = model.report_runs(1024, 2e-3, 300)
+        assert 22_000 < reports.mean() < 45_000
+        assert 8_000 < reports.std() < 22_000
+
+    def test_run_to_run_variance_positive(self):
+        model = PerfCounterModel()
+        reports = model.report_runs(1024, 2e-3, 20)
+        assert len(set(reports.tolist())) > 1
+
+    def test_longer_runs_accumulate_more_background(self):
+        short = PerfCounterModel(PerfCounterConfig(seed=1)).report_runs(0, 1e-3, 50)
+        long = PerfCounterModel(PerfCounterConfig(seed=1)).report_runs(0, 1e-2, 50)
+        assert long.mean() > 3 * short.mean()
+
+    def test_report_for_ground_truth(self):
+        truth = GroundTruth(
+            misses=[MissRecord(0, DLOAD, 0, 0, 280)], total_cycles=1_000_000
+        )
+        model = PerfCounterModel()
+        assert model.report_for(truth, 1e9) >= 1
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            PerfCounterModel().report(-1, 1.0)
+        with pytest.raises(ValueError):
+            PerfCounterModel().report_runs(10, 1.0, 0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PerfCounterConfig(burst_rate_per_s=-1)
+        with pytest.raises(ValueError):
+            PerfCounterConfig(burst_shape=0)
+
+
+class TestPerfSampler:
+    def make_truth(self, counts):
+        misses = []
+        cycle = 0
+        for region, n in counts.items():
+            for _ in range(n):
+                misses.append(
+                    MissRecord(len(misses), DLOAD, 0, cycle, cycle + 280, region=region)
+                )
+                cycle += 1000
+        return GroundTruth(misses=misses, total_cycles=cycle + 1000)
+
+    def test_fine_sampling_attributes_well(self):
+        truth = self.make_truth({1: 500, 2: 1500})
+        sampler = PerfSampler(threshold=10)
+        assert sampler.attribution_error(truth) < 0.05
+
+    def test_coarse_sampling_attributes_poorly(self):
+        truth = self.make_truth({1: 40, 2: 120})
+        fine = PerfSampler(threshold=8).attribution_error(truth)
+        coarse = PerfSampler(threshold=100).attribution_error(truth)
+        assert coarse >= fine
+
+    def test_overhead_scales_with_rate(self):
+        truth = self.make_truth({1: 1000})
+        fine = PerfSampler(threshold=10).profile(truth)
+        coarse = PerfSampler(threshold=500).profile(truth)
+        assert fine.overhead_cycles > coarse.overhead_cycles
+        assert fine.samples == 100
+        assert coarse.samples == 2
+
+    def test_no_misses_no_error(self):
+        truth = GroundTruth(total_cycles=1000)
+        assert PerfSampler(threshold=10).attribution_error(truth) == 0.0
+
+    def test_no_samples_is_total_error(self):
+        truth = self.make_truth({1: 5})
+        assert PerfSampler(threshold=100).attribution_error(truth) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerfSampler(threshold=0)
+        with pytest.raises(ValueError):
+            PerfSampler(interrupt_cycles=-1)
+
+
+class TestDevicePresets:
+    def test_table1_frequencies(self):
+        assert alcatel().clock_hz == pytest.approx(1.1e9)
+        assert samsung().clock_hz == pytest.approx(0.8e9)
+        assert olimex().clock_hz == pytest.approx(1.008e9)
+
+    def test_llc_sizes(self):
+        # Section VI-A: Alcatel 1 MB, the others 256 KB.
+        assert alcatel().llc.size_bytes == 1024 * 1024
+        assert samsung().llc.size_bytes == 256 * 1024
+        assert olimex().llc.size_bytes == 256 * 1024
+
+    def test_only_samsung_has_prefetcher(self):
+        assert samsung().prefetcher_enabled
+        assert not olimex().prefetcher_enabled
+        assert not alcatel().prefetcher_enabled
+
+    def test_native_sample_rates_are_50mhz(self):
+        for factory in (alcatel, samsung, olimex):
+            assert factory().sample_rate_hz == pytest.approx(50e6, rel=0.01)
+
+    def test_memory_latency_ns_similar(self):
+        # "their main memory latencies (in nanoseconds) are very similar"
+        # (Samsung/Olimex); Alcatel is somewhat faster.
+        oli = olimex().memory.access_latency / olimex().clock_hz
+        sam = samsung().memory.access_latency / samsung().clock_hz
+        assert oli == pytest.approx(sam, rel=0.3)
+
+    def test_refresh_interval_is_70us(self):
+        for factory in (alcatel, samsung, olimex):
+            cfg = factory()
+            assert cfg.memory.refresh_interval / cfg.clock_hz == pytest.approx(
+                70e-6, rel=0.01
+            )
+
+    def test_phones_have_more_contention(self):
+        assert samsung().memory.contention_prob > olimex().memory.contention_prob
+        assert alcatel().memory.contention_prob > olimex().memory.contention_prob
+
+    def test_sesc_matches_paper(self):
+        cfg = sesc()
+        assert cfg.core.width == 4
+        assert not cfg.memory.refresh_enabled
+        assert cfg.power.bin_cycles == 20
+
+    def test_by_name(self):
+        for name in DEVICE_NAMES:
+            assert by_name(name).name == name
+
+    def test_by_name_unknown(self):
+        with pytest.raises(ValueError):
+            by_name("iphone")
+
+    def test_by_name_kwargs(self):
+        assert by_name(OLIMEX, bin_cycles=5).power.bin_cycles == 5
+
+    def test_default_channels(self):
+        oli = default_channel(OLIMEX)
+        sam = default_channel(SAMSUNG)
+        alc = default_channel(ALCATEL)
+        # The open IoT board probes cleaner than the phones.
+        assert oli.snr_db > sam.snr_db
+        assert oli.snr_db > alc.snr_db
+
+    def test_default_channel_unknown(self):
+        with pytest.raises(ValueError):
+            default_channel("iphone")

@@ -1,0 +1,157 @@
+"""Unit tests for dip detection."""
+
+import numpy as np
+import pytest
+
+from repro.core.detect import DetectorConfig, detect_stalls
+
+
+def dip_signal(n=400, dips=((100, 120), (200, 230)), low=0.05, high=0.95):
+    x = np.full(n, high)
+    for start, end in dips:
+        x[start:end] = low
+    return x
+
+
+CFG = DetectorConfig(
+    threshold=0.45,
+    recover_threshold=0.7,
+    min_duration_cycles=50.0,
+    min_duration_samples=3,
+    refresh_min_cycles=1200.0,
+)
+
+
+class TestBasicDetection:
+    def test_finds_both_dips(self):
+        stalls = detect_stalls(dip_signal(), 20.0, CFG)
+        assert len(stalls) == 2
+
+    def test_positions_match(self):
+        stalls = detect_stalls(dip_signal(), 20.0, CFG)
+        assert stalls[0].begin_sample == pytest.approx(99.5, abs=0.6)
+        assert stalls[0].end_sample == pytest.approx(119.5, abs=0.6)
+
+    def test_durations_in_cycles(self):
+        stalls = detect_stalls(dip_signal(), 20.0, CFG)
+        assert stalls[0].duration_cycles == pytest.approx(400, abs=25)
+        assert stalls[1].duration_cycles == pytest.approx(600, abs=25)
+
+    def test_min_level_recorded(self):
+        stalls = detect_stalls(dip_signal(), 20.0, CFG)
+        assert stalls[0].min_level == pytest.approx(0.05)
+
+    def test_no_dips_in_busy_signal(self):
+        x = np.full(300, 0.9)
+        assert detect_stalls(x, 20.0, CFG) == []
+
+    def test_empty_signal(self):
+        assert detect_stalls(np.array([]), 20.0, CFG) == []
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            detect_stalls(dip_signal(), 0.0, CFG)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            detect_stalls(np.zeros((2, 2)), 20.0, CFG)
+
+
+class TestDurationFilters:
+    def test_short_dip_rejected_by_cycles(self):
+        x = dip_signal(dips=((100, 102),))  # 2 samples = 40 cycles < 50
+        assert detect_stalls(x, 20.0, CFG) == []
+
+    def test_min_samples_rejects_narrow_dip(self):
+        cfg = DetectorConfig(
+            min_duration_cycles=10.0, min_duration_samples=4, refresh_min_cycles=1200.0
+        )
+        x = dip_signal(dips=((100, 103),))  # 3 samples below threshold
+        assert detect_stalls(x, 20.0, cfg) == []
+        x2 = dip_signal(dips=((100, 105),))
+        assert len(detect_stalls(x2, 20.0, cfg)) == 1
+
+    def test_dip_at_boundary_duration_kept(self):
+        cfg = DetectorConfig(
+            min_duration_cycles=60.0, min_duration_samples=3, refresh_min_cycles=1200.0
+        )
+        x = dip_signal(dips=((100, 104),))  # ~4 samples ~= 80 cycles
+        assert len(detect_stalls(x, 20.0, cfg)) == 1
+
+
+class TestHysteresisMerging:
+    def test_noisy_spike_inside_stall_does_not_split(self):
+        x = dip_signal(dips=((100, 130),))
+        x[115] = 0.5  # above threshold, below recover level
+        stalls = detect_stalls(x, 20.0, CFG)
+        assert len(stalls) == 1
+
+    def test_full_recovery_splits(self):
+        x = dip_signal(dips=((100, 115), (118, 130)))
+        # The gap returns to 0.95 > recover threshold.
+        stalls = detect_stalls(x, 20.0, CFG)
+        assert len(stalls) == 2
+
+    def test_merge_gap_samples_unconditional(self):
+        cfg = DetectorConfig(
+            min_duration_cycles=50.0,
+            min_duration_samples=3,
+            merge_gap_samples=5,
+            refresh_min_cycles=1200.0,
+        )
+        x = dip_signal(dips=((100, 115), (118, 130)))
+        stalls = detect_stalls(x, 20.0, cfg)
+        assert len(stalls) == 1
+
+
+class TestEdgeInterpolation:
+    def test_gradual_edge_interpolated(self):
+        x = np.full(200, 0.9)
+        x[99] = 0.6
+        x[100:120] = 0.05
+        x[120] = 0.6
+        stalls = detect_stalls(x, 20.0, CFG)
+        assert len(stalls) == 1
+        # Crossing of 0.45 lies between samples 99 and 100.
+        assert 99.0 < stalls[0].begin_sample < 100.0
+
+    def test_cycle_positions_consistent(self):
+        stalls = detect_stalls(dip_signal(), 25.0, CFG)
+        s = stalls[0]
+        assert s.begin_cycle == pytest.approx(s.begin_sample * 25.0)
+        assert s.duration_cycles == pytest.approx(s.duration_samples * 25.0)
+
+
+class TestRefreshClassification:
+    def test_long_dip_flagged_refresh(self):
+        x = dip_signal(n=800, dips=((100, 200),))  # 100 samples * 20 = 2000 cycles
+        stalls = detect_stalls(x, 20.0, CFG)
+        assert len(stalls) == 1
+        assert stalls[0].is_refresh
+
+    def test_ordinary_dip_not_flagged(self):
+        stalls = detect_stalls(dip_signal(), 20.0, CFG)
+        assert not any(s.is_refresh for s in stalls)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"threshold": 0.0},
+            {"threshold": 1.0},
+            {"recover_threshold": 0.3},  # below threshold
+            {"min_duration_cycles": 0.0},
+            {"min_duration_samples": 0},
+            {"merge_gap_samples": -1},
+            {"refresh_min_cycles": 10.0},  # below min duration
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ValueError):
+            DetectorConfig(**kwargs)
+
+    def test_stall_ordering_in_time(self):
+        stalls = detect_stalls(dip_signal(), 20.0, CFG)
+        begins = [s.begin_sample for s in stalls]
+        assert begins == sorted(begins)

@@ -1,0 +1,233 @@
+"""Unit tests for the DRAM timing model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import MemoryConfig
+from repro.sim.dram import MainMemory
+
+
+def mem(**kwargs):
+    defaults = dict(
+        access_latency=100,
+        num_banks=4,
+        bank_busy=10,
+        refresh_interval=10_000,
+        refresh_duration=500,
+    )
+    defaults.update(kwargs)
+    return MainMemory(MemoryConfig(**defaults), line_bytes=64)
+
+
+class TestBasicTiming:
+    def test_isolated_access_latency(self):
+        m = mem()
+        resp = m.access(1000, 0x0)
+        assert resp.latency == 100
+        assert resp.ready_cycle == 1100
+        assert not resp.refresh_blocked
+
+    def test_ready_always_after_request(self):
+        m = mem()
+        for cycle in (0, 5_000, 123_456):
+            assert m.access(cycle, cycle * 64).ready_cycle > cycle
+
+    def test_bank_mapping_uses_line_address(self):
+        m = mem()
+        r0 = m.access(0, 0)
+        r1 = m.access(0, 64)
+        assert r0.bank != r1.bank
+
+    def test_same_bank_serializes(self):
+        m = mem()
+        first = m.access(0, 0)
+        # Same line -> same bank; issued while the bank is busy.
+        second = m.access(0, 0)
+        assert second.ready_cycle >= first.ready_cycle - 100 + 10 + 100
+        assert second.latency > first.latency
+
+    def test_different_banks_do_not_serialize(self):
+        m = mem()
+        m.access(0, 0)
+        resp = m.access(0, 64)
+        assert resp.latency == 100
+
+    def test_bank_frees_after_busy_time(self):
+        m = mem()
+        m.access(0, 0)
+        late = m.access(50, 0)  # bank busy only until cycle 10
+        assert late.latency == 100
+
+    def test_accesses_counted(self):
+        m = mem()
+        m.access(0, 0)
+        m.access(0, 64)
+        assert m.accesses == 2
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            mem().access(-1, 0)
+
+
+class TestRefresh:
+    def test_no_refresh_before_first_interval(self):
+        m = mem()
+        assert not m.access(500, 0).refresh_blocked
+
+    def test_access_inside_window_blocks(self):
+        m = mem()
+        start, end = m.refresh_window(1)
+        resp = m.access(start + 10, 0)
+        assert resp.refresh_blocked
+        assert resp.ready_cycle == end + 100
+
+    def test_access_after_window_unblocked(self):
+        m = mem()
+        _, end = m.refresh_window(1)
+        assert not m.access(end + 1, 0).refresh_blocked
+
+    def test_refresh_hits_counted(self):
+        m = mem()
+        start, _ = m.refresh_window(1)
+        m.access(start + 1, 0)
+        assert m.refresh_hits == 1
+
+    def test_windows_are_jittered(self):
+        m = mem()
+        offsets = {
+            m.refresh_window(k)[0] - k * m.config.refresh_interval
+            for k in range(1, 30)
+        }
+        assert len(offsets) > 5  # not phase-locked
+
+    def test_window_starts_within_interval(self):
+        m = mem()
+        for k in range(1, 50):
+            start, end = m.refresh_window(k)
+            assert k * 10_000 <= start < (k + 1) * 10_000
+            assert end - start == 500
+
+    def test_next_refresh_monotone(self):
+        m = mem()
+        nxt = m.next_refresh(12_345)
+        assert nxt >= 12_345
+        start, _ = m.refresh_window(nxt // 10_000)
+        assert nxt == start
+
+    def test_next_refresh_raises_when_disabled(self):
+        m = mem(refresh_enabled=False)
+        with pytest.raises(RuntimeError):
+            m.next_refresh(0)
+
+    def test_disabled_refresh_never_blocks(self):
+        m = mem(refresh_enabled=False)
+        for cycle in range(0, 100_000, 7_777):
+            assert not m.access(cycle, 0).refresh_blocked
+
+
+class TestContention:
+    def test_zero_probability_is_deterministic(self):
+        m = mem(contention_prob=0.0)
+        latencies = {m.access(k * 1000, k * 128).latency for k in range(20)}
+        assert latencies == {100}
+
+    def test_contention_inflates_some_latencies(self):
+        m = MainMemory(
+            MemoryConfig(
+                access_latency=100,
+                num_banks=4,
+                bank_busy=0,
+                refresh_enabled=False,
+                contention_prob=0.5,
+                contention_mean_cycles=200.0,
+            ),
+            rng=np.random.default_rng(42),
+        )
+        latencies = [m.access(k * 10_000, k * 128).latency for k in range(200)]
+        assert m.contention_hits > 20
+        assert max(latencies) > 150
+        assert min(latencies) == 100
+
+
+class TestReset:
+    def test_reset_clears_state(self):
+        m = mem()
+        m.access(0, 0)
+        m.access(0, 0)
+        m.reset()
+        assert m.accesses == 0
+        assert m.refresh_hits == 0
+        assert m.contention_hits == 0
+        assert m.busy_segments == []
+        # Bank no longer busy.
+        assert m.access(0, 0).latency == 100
+
+    def test_busy_segments_recorded(self):
+        m = mem()
+        m.access(0, 0)
+        assert m.busy_segments == [(0, 100)]
+
+
+class TestRowBuffer:
+    def make(self):
+        return MainMemory(
+            MemoryConfig(
+                access_latency=100,
+                num_banks=4,
+                bank_busy=0,
+                refresh_enabled=False,
+                row_buffer_enabled=True,
+                row_hit_latency=40,
+                row_bytes=8192,
+            ),
+            line_bytes=64,
+        )
+
+    def test_first_access_is_row_miss(self):
+        m = self.make()
+        assert m.access(0, 0x0).latency == 100
+
+    def test_same_row_hits(self):
+        m = self.make()
+        m.access(0, 0x0)
+        # Line 4 maps back to bank 0 (4 banks) and lives in row 0.
+        resp = m.access(1000, 0x100)
+        assert resp.latency == 40
+        assert m.row_hits == 1
+
+    def test_row_conflict_pays_full_latency(self):
+        m = self.make()
+        m.access(0, 0x0)
+        # Same bank (line addr bits), different row.
+        conflict = 4 * 8192  # row 4; bank = (addr>>6) & 3 = 0
+        resp = m.access(1000, conflict)
+        assert resp.latency == 100
+
+    def test_rows_tracked_per_bank(self):
+        m = self.make()
+        m.access(0, 0x0)        # bank 0, row 0
+        m.access(0, 0x40 * 1)   # bank 1
+        resp = m.access(1000, 0x0)  # bank 0's row still open
+        assert resp.latency == 40
+
+    def test_reset_closes_rows(self):
+        m = self.make()
+        m.access(0, 0x0)
+        m.reset()
+        assert m.access(0, 0x0).latency == 100
+        assert m.row_hits == 0
+
+    def test_disabled_by_default(self):
+        m = mem(refresh_enabled=False)
+        m.access(0, 0x0)
+        assert m.access(1000, 0x40).latency == 100
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(row_buffer_enabled=True, row_hit_latency=0)
+        with pytest.raises(ValueError):
+            MemoryConfig(
+                access_latency=100, row_buffer_enabled=True, row_hit_latency=200
+            )
+        with pytest.raises(ValueError):
+            MemoryConfig(row_buffer_enabled=True, row_bytes=3000)

@@ -1,0 +1,331 @@
+"""Unit tests for the EM signal chain."""
+
+import numpy as np
+import pytest
+
+from repro.emsignal.apparatus import Apparatus, measure
+from repro.emsignal.channel import Channel, ChannelConfig
+from repro.emsignal.dsp import (
+    db_to_linear_power,
+    lowpass,
+    resample_to_rate,
+    rms,
+    stft_magnitude,
+)
+from repro.emsignal.memprobe import MemProbeConfig, memory_probe_signal
+from repro.emsignal.receiver import Capture, MHZ, PAPER_BANDWIDTHS_HZ, Receiver
+from repro.emsignal.spectrogram import compute_spectrogram
+from repro.emsignal.synth import EmissionModel, emitted_envelope
+from repro.sim.config import MemoryConfig
+from repro.sim.trace import DLOAD, GroundTruth, MissRecord
+
+
+class TestDsp:
+    def test_resample_halves_length(self):
+        x = np.sin(np.linspace(0, 40 * np.pi, 1000))
+        y = resample_to_rate(x, 100.0, 50.0)
+        assert len(y) == pytest.approx(500, abs=2)
+
+    def test_resample_identity(self):
+        x = np.arange(10.0)
+        np.testing.assert_array_equal(resample_to_rate(x, 5.0, 5.0), x)
+
+    def test_resample_empty(self):
+        assert resample_to_rate(np.array([]), 10, 5).size == 0
+
+    def test_resample_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            resample_to_rate(np.zeros(5), 0.0, 1.0)
+
+    def test_lowpass_attenuates_high_frequency(self):
+        t = np.arange(4000) / 100.0
+        lo = np.sin(2 * np.pi * 1.0 * t)
+        hi = np.sin(2 * np.pi * 40.0 * t)
+        y = lowpass(lo + hi, cutoff_hz=5.0, rate_hz=100.0)
+        # The 40 Hz component is essentially gone, 1 Hz preserved.
+        assert rms(y) == pytest.approx(rms(lo), rel=0.1)
+
+    def test_lowpass_above_nyquist_is_identity(self):
+        x = np.random.default_rng(0).random(100)
+        np.testing.assert_array_equal(lowpass(x, 60.0, 100.0), x)
+
+    def test_lowpass_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            lowpass(np.zeros(10), 0.0, 1.0)
+
+    def test_stft_shape(self):
+        x = np.random.default_rng(0).random(2048)
+        freqs, times, mag = stft_magnitude(x, 100.0, window_samples=128)
+        assert mag.shape == (len(freqs), len(times))
+        assert mag.min() >= 0
+
+    def test_stft_detects_tone(self):
+        t = np.arange(4096) / 100.0
+        x = np.sin(2 * np.pi * 20.0 * t)
+        freqs, _, mag = stft_magnitude(x, 100.0, window_samples=256)
+        peak = freqs[np.argmax(mag.mean(axis=1))]
+        assert peak == pytest.approx(20.0, abs=1.0)
+
+    def test_stft_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            stft_magnitude(np.zeros(100), 1.0, window_samples=4)
+
+    def test_rms(self):
+        assert rms(np.array([3.0, -3.0])) == pytest.approx(3.0)
+        assert rms(np.array([])) == 0.0
+
+    def test_db_to_linear(self):
+        assert db_to_linear_power(10.0) == pytest.approx(10.0)
+        assert db_to_linear_power(0.0) == pytest.approx(1.0)
+
+
+class TestSynth:
+    def test_linear_by_default_shape(self):
+        power = np.array([0.1, 0.5, 1.0])
+        env = emitted_envelope(power, EmissionModel(compression=1.0))
+        np.testing.assert_allclose(env, power)
+
+    def test_compression_flattens_top(self):
+        power = np.array([0.25, 1.0])
+        env = emitted_envelope(power, EmissionModel(compression=0.5))
+        assert env[1] / env[0] < power[1] / power[0]
+
+    def test_floor_added(self):
+        env = emitted_envelope(np.zeros(4), EmissionModel(floor=0.2))
+        np.testing.assert_allclose(env, 0.2)
+
+    def test_monotone(self):
+        power = np.linspace(0, 1, 50)
+        env = emitted_envelope(power)
+        assert np.all(np.diff(env) >= 0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            emitted_envelope(np.array([-0.1]))
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            EmissionModel(gain=0.0)
+        with pytest.raises(ValueError):
+            EmissionModel(compression=3.0)
+
+
+class TestChannel:
+    def square(self, n=4000):
+        x = np.full(n, 0.9)
+        x[::50] = 0.1
+        return x
+
+    def test_gain_applied(self):
+        clean = ChannelConfig(probe_gain=3.0, snr_db=80.0, drift_amplitude=0.0)
+        y = Channel(clean).apply(self.square(), 50e6)
+        assert np.median(y) == pytest.approx(2.7, rel=0.01)
+
+    def test_noise_scales_with_snr(self):
+        lo = Channel(ChannelConfig(snr_db=10.0)).apply(self.square(), 50e6)
+        hi = Channel(ChannelConfig(snr_db=40.0)).apply(self.square(), 50e6)
+        resid_lo = np.std(lo[1:49] - np.median(lo))
+        resid_hi = np.std(hi[1:49] - np.median(hi))
+        assert resid_lo > 3 * resid_hi
+
+    def test_output_non_negative(self):
+        y = Channel(ChannelConfig(snr_db=0.0)).apply(self.square(), 50e6)
+        assert y.min() >= 0.0
+
+    def test_drift_modulates_slowly(self):
+        cfg = ChannelConfig(snr_db=80.0, drift_amplitude=0.2, drift_period_s=4e-5)
+        y = Channel(cfg).apply(np.full(4000, 1.0), 50e6)
+        assert y.max() > 1.1
+        assert y.min() < 0.9
+
+    def test_deterministic_per_seed(self):
+        cfg = ChannelConfig(seed=5)
+        a = Channel(cfg).apply(self.square(), 50e6)
+        b = Channel(cfg).apply(self.square(), 50e6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_signal(self):
+        assert Channel().apply(np.array([]), 50e6).size == 0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Channel().apply(self.square(), 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(probe_gain=0.0)
+        with pytest.raises(ValueError):
+            ChannelConfig(drift_amplitude=1.5)
+        with pytest.raises(ValueError):
+            ChannelConfig(drift_period_s=0.0)
+
+
+class TestReceiver:
+    def test_capture_rate_equals_bandwidth(self):
+        env = np.random.default_rng(0).random(5000)
+        cap = Receiver(25 * MHZ).capture(env, rate_hz=50e6, clock_hz=1e9)
+        assert cap.sample_rate_hz == 25 * MHZ
+        assert len(cap.magnitude) == pytest.approx(2500, abs=5)
+
+    def test_sample_period_cycles(self):
+        cap = Capture(np.zeros(10), 40 * MHZ, 1.008e9, 40 * MHZ)
+        assert cap.sample_period_cycles == pytest.approx(25.2)
+
+    def test_duration(self):
+        cap = Capture(np.zeros(400), 40 * MHZ, 1e9, 40 * MHZ)
+        assert cap.duration_s == pytest.approx(1e-5)
+
+    def test_magnitude_non_negative(self):
+        env = np.random.default_rng(0).random(5000) - 0.2
+        cap = Receiver(10 * MHZ).capture(np.maximum(env, 0), 50e6, 1e9)
+        assert cap.magnitude.min() >= 0.0
+
+    def test_narrow_bandwidth_smears_dips(self):
+        env = np.full(5000, 0.9)
+        env[2500:2504] = 0.1  # a 4-sample dip at 50 MS/s
+        wide = Receiver(50 * MHZ).capture(env, 50e6, 1e9).magnitude
+        narrow = Receiver(5 * MHZ).capture(env, 50e6, 1e9).magnitude
+        assert narrow.min() > wide.min()  # dip depth reduced
+
+    def test_region_names_forwarded(self):
+        cap = Receiver(40 * MHZ).capture(
+            np.zeros(100), 50e6, 1e9, region_names={1: "x"}
+        )
+        assert cap.region_names == {1: "x"}
+
+    def test_paper_bandwidths_constant(self):
+        assert [b / MHZ for b in PAPER_BANDWIDTHS_HZ] == [20, 40, 60, 80, 160]
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            Receiver(0)
+
+
+class TestApparatus:
+    def test_measure_end_to_end(self, sesc_run):
+        cap = measure(sesc_run, bandwidth_hz=40 * MHZ)
+        assert isinstance(cap, Capture)
+        assert cap.clock_hz == sesc_run.config.clock_hz
+        assert cap.bandwidth_hz == 40 * MHZ
+        assert len(cap.magnitude) > 0
+
+    def test_apparatus_configurable(self, sesc_run):
+        app = Apparatus(
+            emission=EmissionModel(gain=2.0),
+            channel=ChannelConfig(snr_db=60.0),
+            bandwidth_hz=20 * MHZ,
+        )
+        cap = app.measure(sesc_run)
+        assert cap.sample_rate_hz == 20 * MHZ
+
+
+class TestMemProbe:
+    def make_truth(self):
+        misses = [
+            MissRecord(0, DLOAD, 0x1000, 100, 380, stall_id=0),
+            MissRecord(1, DLOAD, 0x2000, 5_000, 5_280, stall_id=1),
+        ]
+        return GroundTruth(misses=misses, total_cycles=200_000)
+
+    def test_bursts_at_miss_service(self):
+        cfg = MemProbeConfig(dma_rate_per_s=0.0)
+        sig = memory_probe_signal(
+            self.make_truth(), MemoryConfig(refresh_enabled=False), 1e9, 20, cfg
+        )
+        # Activity right before each ready_cycle.
+        assert sig[int(370 / 20)] > 0.5
+        assert sig[int(5_270 / 20)] > 0.5
+        # Quiet elsewhere.
+        assert sig[int(100_000 / 20)] == pytest.approx(cfg.idle_level)
+
+    def test_refresh_bursts_present(self):
+        cfg = MemProbeConfig(dma_rate_per_s=0.0)
+        mem = MemoryConfig(refresh_interval=50_000, refresh_duration=2_000)
+        sig = memory_probe_signal(self.make_truth(), mem, 1e9, 20, cfg)
+        assert sig[int(50_500 / 20)] > 0.5
+
+    def test_dma_adds_unrelated_activity(self):
+        quiet = memory_probe_signal(
+            self.make_truth(),
+            MemoryConfig(refresh_enabled=False),
+            1e9,
+            20,
+            MemProbeConfig(dma_rate_per_s=0.0),
+        )
+        busy = memory_probe_signal(
+            self.make_truth(),
+            MemoryConfig(refresh_enabled=False),
+            1e9,
+            20,
+            MemProbeConfig(dma_rate_per_s=500_000.0, seed=1),
+        )
+        assert busy.sum() > quiet.sum()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MemProbeConfig(burst_level=0.01, idle_level=0.5)
+
+
+class TestSpectrogram:
+    def test_dc_zeroed(self):
+        x = 5.0 + np.random.default_rng(0).random(2048)
+        spec = compute_spectrogram(x, 100.0, window_samples=128)
+        assert np.all(spec.magnitude[0, :] == 0.0)
+
+    def test_axes_consistent(self):
+        spec = compute_spectrogram(np.random.default_rng(0).random(2048), 100.0, 128)
+        assert spec.magnitude.shape == (len(spec.freqs_hz), spec.n_frames)
+
+    def test_mean_spectrum_shape(self):
+        spec = compute_spectrogram(np.random.default_rng(0).random(2048), 100.0, 128)
+        assert spec.mean_spectrum().shape == (len(spec.freqs_hz),)
+
+    def test_frame_time_bounds(self):
+        spec = compute_spectrogram(np.random.default_rng(0).random(2048), 100.0, 128)
+        lo, hi = spec.frame_time_bounds(1)
+        assert hi > lo
+
+
+class TestInterference:
+    def square(self, n=4000):
+        x = np.full(n, 0.9)
+        x[::50] = 0.1
+        return x
+
+    def test_zero_level_adds_nothing(self):
+        clean = ChannelConfig(snr_db=80.0, drift_amplitude=0.0, seed=2)
+        with_zero = ChannelConfig(
+            snr_db=80.0, drift_amplitude=0.0, interference_level=0.0, seed=2
+        )
+        a = Channel(clean).apply(self.square(), 50e6)
+        b = Channel(with_zero).apply(self.square(), 50e6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_interference_raises_dip_floors(self):
+        cfg = ChannelConfig(
+            snr_db=80.0, drift_amplitude=0.0,
+            interference_level=0.5, interference_duty=0.9, seed=2,
+        )
+        y = Channel(cfg).apply(self.square(), 50e6)
+        # Many dip samples are lifted by interference bursts.
+        dips = y[::50]
+        assert np.median(dips) > 0.2
+
+    def test_duty_controls_active_fraction(self):
+        def active_fraction(duty):
+            cfg = ChannelConfig(
+                snr_db=80.0, drift_amplitude=0.0,
+                interference_level=1.0, interference_duty=duty, seed=3,
+            )
+            y = Channel(cfg).apply(np.full(20_000, 0.5), 50e6)
+            return float(np.mean(y > 0.8))
+
+        assert active_fraction(0.6) > 2 * active_fraction(0.1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(interference_level=-0.1)
+        with pytest.raises(ValueError):
+            ChannelConfig(interference_duty=1.5)
+        with pytest.raises(ValueError):
+            ChannelConfig(interference_burst_s=0.0)

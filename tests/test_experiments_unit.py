@@ -1,0 +1,119 @@
+"""Unit tests for the experiment drivers (fast paths only)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import olimex, sesc
+from repro.experiments.runner import (
+    ExperimentRun,
+    microbenchmark_window,
+    run_device,
+    run_simulator,
+    window_cycles,
+)
+from repro.experiments.tables import (
+    DEVICE_ORDER,
+    MICRO_GRID,
+    Table2Row,
+    Table3Row,
+    Table4Row,
+    format_table2,
+    format_table3,
+    format_table4,
+    table1_rows,
+)
+from repro.workloads import Microbenchmark
+
+
+@pytest.fixture(scope="module")
+def sim_run():
+    workload = Microbenchmark(
+        total_misses=48, consecutive_misses=4, blank_iterations=6000
+    )
+    return run_simulator(workload, config=sesc()), workload
+
+
+@pytest.fixture(scope="module")
+def dev_run():
+    workload = Microbenchmark(
+        total_misses=48, consecutive_misses=4, blank_iterations=6000
+    )
+    return run_device(workload, olimex(), bandwidth_hz=40e6), workload
+
+
+class TestRunner:
+    def test_simulator_run_shape(self, sim_run):
+        run, _ = sim_run
+        assert isinstance(run, ExperimentRun)
+        assert run.capture is None
+        assert len(run.signal) == len(run.result.power_trace)
+        assert run.report.miss_count > 0
+
+    def test_device_run_has_capture(self, dev_run):
+        run, _ = dev_run
+        assert run.capture is not None
+        assert run.capture.bandwidth_hz == 40e6
+        assert run.sample_period_cycles == pytest.approx(
+            run.result.config.clock_hz / 40e6
+        )
+
+    def test_microbenchmark_window_counts(self, dev_run):
+        run, workload = dev_run
+        report, window = microbenchmark_window(run)
+        assert abs(report.miss_count - workload.total_misses) <= 2
+        assert window.end_sample > window.begin_sample
+
+    def test_window_cycles_conversion(self, dev_run):
+        run, _ = dev_run
+        _, window = microbenchmark_window(run)
+        lo, hi = window_cycles(run, window)
+        assert lo == pytest.approx(window.begin_sample * run.sample_period_cycles)
+        assert hi > lo
+
+    def test_device_seed_changes_noise(self):
+        workload = Microbenchmark(
+            total_misses=16, consecutive_misses=4, blank_iterations=3000
+        )
+        a = run_device(workload, olimex(), seed=0)
+        b = run_device(workload, olimex(), seed=1)
+        assert not np.array_equal(a.signal, b.signal)
+
+
+class TestTableHelpers:
+    def test_table1_covers_devices(self):
+        rows = table1_rows()
+        assert [r.device for r in rows] == list(DEVICE_ORDER)
+        by_dev = {r.device: r for r in rows}
+        assert by_dev["alcatel"].llc_bytes > by_dev["olimex"].llc_bytes
+
+    def test_micro_grid_matches_paper(self):
+        assert MICRO_GRID == ((256, 1), (256, 5), (1024, 10), (4096, 50))
+
+    def test_format_table2_layout(self):
+        rows = [
+            Table2Row(256, 5, "olimex", 256, 255, 0.9961),
+            Table2Row(256, 5, "samsung", 256, 250, 0.9766),
+        ]
+        text = format_table2(rows)
+        lines = text.splitlines()
+        assert "olimex" in lines[0] and "samsung" in lines[0]
+        assert "99.61%" in text and "97.66%" in text
+
+    def test_format_table3_layout(self):
+        rows = [Table3Row("mcf", 600, 570, 0.95, 0.991)]
+        text = format_table3(rows)
+        assert "mcf" in text
+        assert "95.00" in text
+        assert "99.10" in text
+
+    def test_format_table4_layout_and_average(self):
+        rows = [
+            Table4Row("mcf", "olimex", 600, 3.28, 2),
+            Table4Row("mcf", "alcatel", 300, 5.22, 1),
+            Table4Row("vpr", "olimex", 200, 0.6, 0),
+            Table4Row("vpr", "alcatel", 5, 0.09, 0),
+        ]
+        text = format_table4(rows)
+        assert "Average" in text
+        # Average of olimex counts: (600 + 200) / 2 = 400.
+        assert "400.0" in text

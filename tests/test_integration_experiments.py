@@ -1,0 +1,106 @@
+"""Integration tests of the experiment drivers (tables and figures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import tables
+from repro.experiments.figures import (
+    fig1_stall_dip,
+    fig2_hit_vs_miss,
+    fig3a_hidden_misses,
+    fig3b_overlapped_misses,
+    fig10_dual_probe,
+    fig13_boot_profile,
+)
+
+
+class TestTables:
+    def test_table1_matches_paper_specs(self):
+        rows = {r.device: r for r in tables.table1_rows()}
+        assert rows["alcatel"].frequency_hz == pytest.approx(1.1e9)
+        assert rows["samsung"].frequency_hz == pytest.approx(0.8e9)
+        assert rows["olimex"].frequency_hz == pytest.approx(1.008e9)
+        assert rows["alcatel"].llc_bytes == 1024 * 1024
+        assert rows["samsung"].prefetcher
+
+    def test_table2_small_grid_accuracy(self):
+        rows = tables.table2_rows(grid=((128, 4),), devices=("olimex",))
+        assert len(rows) == 1
+        assert rows[0].accuracy > 0.95
+
+    def test_table2_formatting(self):
+        rows = tables.table2_rows(grid=((64, 4),), devices=("olimex",))
+        text = tables.format_table2(rows)
+        assert "olimex" in text
+        assert "%" in text
+
+    def test_table3_micro_rows(self):
+        rows = tables.table3_micro_rows(grid=((128, 4),))
+        assert rows[0].miss_accuracy > 0.95
+        assert rows[0].stall_accuracy > 0.95
+
+    def test_table3_spec_row(self):
+        rows = tables.table3_spec_rows(benchmarks=("twolf",), scale=0.35)
+        assert rows[0].benchmark == "twolf"
+        assert rows[0].miss_accuracy > 0.8
+        assert rows[0].stall_accuracy > 0.95
+
+    def test_table4_rows_structure(self):
+        rows = tables.table4_rows(
+            benchmarks=("vpr",), grid=(), devices=("olimex", "alcatel"), scale=0.35
+        )
+        assert len(rows) == 2
+        text = tables.format_table4(rows)
+        assert "Average" in text
+
+    def test_perf_anecdote_matches_paper(self):
+        pa = tables.perf_anecdote(runs=300, seed=1)
+        # Paper: mean 32,768, std 14,543 for 1,024 true misses.
+        assert pa.true_misses == 1024
+        assert 24_000 < pa.mean_reported < 43_000
+        assert 8_000 < pa.std_reported < 22_000
+
+
+class TestFigures:
+    def test_fig1_shows_a_dip(self):
+        fig = fig1_stall_dip(tm=32)
+        assert len(fig.signal) > 0
+        assert fig.moving_avg is not None
+        # The dip bottoms well below the busy level around it.
+        assert fig.signal.min() < 0.5 * np.median(fig.signal)
+        # Olimex stalls run ~300 ns (Section III-C).
+        assert 150e-9 < fig.annotations["stall_seconds"] < 600e-9
+
+    def test_fig2_order_of_magnitude_contrast(self):
+        hit, miss = fig2_hit_vs_miss()
+        # Fig. 2: LLC-miss stalls are an order of magnitude longer
+        # than the brief LLC-hit stalls.
+        assert hit.annotations["mean_brief_stall_cycles"] < 30
+        assert miss.annotations["mean_memory_stall_cycles"] > 200
+
+    def test_fig3a_misses_without_stalls(self):
+        r = fig3a_hidden_misses()
+        assert r.hidden_misses >= 0.8 * r.total_misses
+        assert r.detected <= r.total_misses - r.hidden_misses + 1
+
+    def test_fig3b_overlap_underreports_misses(self):
+        r = fig3b_overlapped_misses()
+        # Overlapped I$/D$ misses collapse into fewer detected stalls.
+        assert r.max_misses_per_stall >= 2
+        assert r.detected < r.total_misses
+
+    def test_fig10_dips_coincide_with_memory_activity(self):
+        r = fig10_dual_probe(tm=40, cm=10)
+        assert r.coincidence > 0.9
+        assert len(r.processor.signal) == len(r.memory.signal)
+
+    def test_fig13_two_boot_runs_similar_but_distinct(self):
+        runs = fig13_boot_profile(scale=0.3)
+        assert len(runs) == 2
+        a, b = runs
+        assert a.total_misses > 50
+        # Similar totals (same boot flow) ...
+        assert abs(a.total_misses - b.total_misses) < 0.3 * a.total_misses
+        # ... but not the identical trace (different run).
+        n = min(len(a.miss_rate), len(b.miss_rate))
+        assert not np.array_equal(a.miss_rate[:n], b.miss_rate[:n])

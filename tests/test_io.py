@@ -1,0 +1,156 @@
+"""Tests for capture/report/ground-truth serialization."""
+
+import numpy as np
+import pytest
+
+from repro import io as repro_io
+from repro.core.events import DetectedStall, ProfileReport
+from repro.emsignal.receiver import Capture
+from repro.sim.trace import (
+    CAUSE_DATA_MEM,
+    DLOAD,
+    GroundTruth,
+    IFETCH,
+    MissRecord,
+    StallRecord,
+)
+
+
+@pytest.fixture()
+def capture():
+    rng = np.random.default_rng(0)
+    return Capture(
+        magnitude=rng.random(500),
+        sample_rate_hz=40e6,
+        clock_hz=1.008e9,
+        bandwidth_hz=40e6,
+        region_names={1: "main", 2: "loop"},
+    )
+
+
+@pytest.fixture()
+def report():
+    stalls = [
+        DetectedStall(10.5, 24.25, 210.0, 485.0, 0.04, is_refresh=False, region=1),
+        DetectedStall(100.0, 220.0, 2000.0, 4400.0, 0.02, is_refresh=True),
+    ]
+    return ProfileReport(
+        stalls=stalls,
+        total_cycles=50_000.0,
+        clock_hz=1.008e9,
+        sample_period_cycles=25.2,
+        region_names={1: "main"},
+    )
+
+
+@pytest.fixture()
+def truth():
+    misses = [
+        MissRecord(0, DLOAD, 0x1000, 100, 380, stall_id=0, region=1),
+        MissRecord(1, IFETCH, 0x2000, 500, 780, stall_id=None,
+                   refresh_blocked=True, region=2),
+    ]
+    stalls = [StallRecord(0, 120, 380, CAUSE_DATA_MEM, [0], False, 1)]
+    return GroundTruth(
+        misses=misses,
+        stalls=stalls,
+        total_cycles=1000,
+        total_instructions=4000,
+        region_names={1: "a", 2: "b"},
+        region_cycles={1: 600, 2: 400},
+    )
+
+
+class TestCaptureRoundtrip:
+    def test_roundtrip(self, capture, tmp_path):
+        path = tmp_path / "cap.npz"
+        repro_io.save_capture(path, capture)
+        loaded = repro_io.load_capture(path)
+        np.testing.assert_array_equal(loaded.magnitude, capture.magnitude)
+        assert loaded.sample_rate_hz == capture.sample_rate_hz
+        assert loaded.clock_hz == capture.clock_hz
+        assert loaded.bandwidth_hz == capture.bandwidth_hz
+        assert loaded.region_names == capture.region_names
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, format="something-else", data=np.zeros(3))
+        with pytest.raises(ValueError):
+            repro_io.load_capture(path)
+
+
+class TestReportRoundtrip:
+    def test_roundtrip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        repro_io.save_report(path, report)
+        loaded = repro_io.load_report(path)
+        assert loaded.miss_count == report.miss_count
+        assert loaded.total_cycles == report.total_cycles
+        assert loaded.clock_hz == report.clock_hz
+        assert loaded.region_names == report.region_names
+        for a, b in zip(report.stalls, loaded.stalls):
+            assert a == b
+
+    def test_statistics_survive(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        repro_io.save_report(path, report)
+        loaded = repro_io.load_report(path)
+        assert loaded.stall_cycles == pytest.approx(report.stall_cycles)
+        assert loaded.refresh_count == report.refresh_count
+
+    def test_dict_rejects_wrong_format(self):
+        with pytest.raises(ValueError):
+            repro_io.report_from_dict({"format": "nope", "stalls": []})
+
+
+class TestGroundTruthRoundtrip:
+    def test_roundtrip(self, truth, tmp_path):
+        path = tmp_path / "truth.npz"
+        repro_io.save_ground_truth(path, truth)
+        loaded = repro_io.load_ground_truth(path)
+        assert loaded.total_cycles == truth.total_cycles
+        assert loaded.total_instructions == truth.total_instructions
+        assert loaded.region_names == truth.region_names
+        assert loaded.region_cycles == truth.region_cycles
+        assert loaded.miss_count() == truth.miss_count()
+        for a, b in zip(truth.misses, loaded.misses):
+            assert a == b
+        for a, b in zip(truth.stalls, loaded.stalls):
+            assert a == b
+
+    def test_queries_survive(self, truth, tmp_path):
+        path = tmp_path / "truth.npz"
+        repro_io.save_ground_truth(path, truth)
+        loaded = repro_io.load_ground_truth(path)
+        assert loaded.memory_stall_cycles() == truth.memory_stall_cycles()
+        assert loaded.hidden_miss_count() == truth.hidden_miss_count()
+
+    def test_empty_truth(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        repro_io.save_ground_truth(path, GroundTruth())
+        loaded = repro_io.load_ground_truth(path)
+        assert loaded.miss_count() == 0
+        assert loaded.stalls == []
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, format="emprof-capture-v1")
+        with pytest.raises(ValueError):
+            repro_io.load_ground_truth(path)
+
+
+class TestEndToEndPersistence:
+    def test_simulated_capture_roundtrip(self, olimex_run, tmp_path):
+        from repro.emsignal import measure
+
+        cap = measure(olimex_run, bandwidth_hz=40e6)
+        path = tmp_path / "run.npz"
+        repro_io.save_capture(path, cap)
+        loaded = repro_io.load_capture(path)
+
+        from repro.core.profiler import Emprof
+
+        a = Emprof.from_capture(cap).profile()
+        b = Emprof.from_capture(loaded).profile()
+        assert a.miss_count == b.miss_count
+        assert a.stall_cycles == pytest.approx(b.stall_cycles)

@@ -1,0 +1,91 @@
+"""Unit tests for the Machine assembly and run loop."""
+
+import numpy as np
+import pytest
+
+from repro.devices import samsung, sesc
+from repro.sim.isa import alu, load
+from repro.sim.machine import Machine, SimulationResult, simulate
+from repro.workloads.base import StreamWorkload
+
+
+def tiny_workload(n_loads=4):
+    def factory(config):
+        for k in range(200):
+            yield alu(0x100 + 4 * (k % 8))
+        for k in range(n_loads):
+            yield load(0x100, 0x100_0000 + k * 4096, dep=0)
+            for j in range(40):
+                yield alu(0x120 + 4 * (j % 8))
+
+    return StreamWorkload("tiny", factory, {0: "all"})
+
+
+class TestMachine:
+    def test_run_returns_result(self):
+        result = Machine(sesc()).run(tiny_workload())
+        assert isinstance(result, SimulationResult)
+        assert len(result.power_trace) > 0
+        assert result.ground_truth.total_instructions == 200 + 4 * 41
+
+    def test_misses_counted(self):
+        result = Machine(sesc()).run(tiny_workload(6))
+        loads = [m for m in result.ground_truth.misses if m.kind == "load"]
+        assert len(loads) == 6
+
+    def test_stats_keys(self):
+        stats = Machine(sesc()).run(tiny_workload()).stats
+        for key in ("llc_misses", "memory_accesses", "llc_miss_rate", "prefetches"):
+            assert key in stats
+
+    def test_prefetch_stat_nonzero_only_with_prefetcher(self):
+        plain = Machine(sesc()).run(tiny_workload()).stats["prefetches"]
+        assert plain == 0.0
+        pf = Machine(samsung()).run(tiny_workload()).stats
+        assert pf["prefetches"] >= 0.0
+
+    def test_duration_seconds(self):
+        result = Machine(sesc()).run(tiny_workload())
+        expected = result.ground_truth.total_cycles / result.config.clock_hz
+        assert result.duration_seconds == pytest.approx(expected)
+
+    def test_sample_period(self):
+        result = Machine(sesc()).run(tiny_workload())
+        assert result.sample_period_cycles == 20
+
+    def test_power_trace_covers_run(self):
+        result = Machine(sesc()).run(tiny_workload())
+        nbins = -(-result.ground_truth.total_cycles // 20)
+        assert len(result.power_trace) == nbins
+
+    def test_reset_restores_cold_caches(self):
+        machine = Machine(sesc())
+        first = machine.run(tiny_workload())
+        machine.reset()
+        second = machine.run(tiny_workload())
+        assert first.ground_truth.miss_count() == second.ground_truth.miss_count()
+
+    def test_without_reset_caches_stay_warm(self):
+        machine = Machine(sesc())
+        machine.run(tiny_workload())
+        warm = machine.run(tiny_workload())
+        assert warm.ground_truth.miss_count() == 0
+
+    def test_accepts_plain_iterable(self):
+        instrs = [alu(0x100 + 4 * k) for k in range(32)]
+        result = Machine(sesc()).run(instrs)
+        assert result.ground_truth.total_instructions == 32
+
+    def test_simulate_convenience(self):
+        result = simulate(tiny_workload(), sesc(), seed=1)
+        assert result.config.name == "sesc"
+
+    def test_same_seed_reproducible(self):
+        a = simulate(tiny_workload(), sesc(), seed=5)
+        b = simulate(tiny_workload(), sesc(), seed=5)
+        np.testing.assert_array_equal(a.power_trace, b.power_trace)
+        assert a.ground_truth.total_cycles == b.ground_truth.total_cycles
+
+    def test_region_names_from_workload(self):
+        result = simulate(tiny_workload(), sesc())
+        assert result.ground_truth.region_names == {0: "all"}

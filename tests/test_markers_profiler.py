@@ -1,0 +1,119 @@
+"""Unit tests for marker-window isolation and the Emprof facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.markers import find_marker_window
+from repro.core.profiler import Emprof, EmprofConfig
+from repro.core.detect import DetectorConfig
+
+
+def marked_signal(marker_len=500, middle_len=800, low=0.1, high=0.9, seed=0):
+    """Two flat busy markers around a dip-rich middle section."""
+    rng = np.random.default_rng(seed)
+    marker = np.full(marker_len, high) + rng.normal(0, 0.005, marker_len)
+    middle = np.full(middle_len, high) + rng.normal(0, 0.03, middle_len)
+    for start in range(50, middle_len - 20, 90):
+        middle[start : start + 14] = low
+    lead = np.full(200, 0.5) + rng.normal(0, 0.12, 200)
+    return np.concatenate([lead, marker, middle, marker.copy()])
+
+
+class TestMarkerWindow:
+    def test_finds_window(self):
+        sig = marked_signal()
+        win = find_marker_window(sig, marker_min_samples=300)
+        # Window covers the middle, not the markers.
+        assert 650 < win.begin_sample < 780
+        assert len(sig) - 580 < win.end_sample < len(sig) - 420
+
+    def test_window_width(self):
+        win = find_marker_window(marked_signal(), marker_min_samples=300)
+        assert win.width == win.end_sample - win.begin_sample
+
+    def test_markers_reported(self):
+        win = find_marker_window(marked_signal(), marker_min_samples=300)
+        assert len(win.markers) >= 2
+
+    def test_fails_without_markers(self):
+        rng = np.random.default_rng(0)
+        noise = 0.5 + 0.2 * rng.random(3000)
+        with pytest.raises(ValueError):
+            find_marker_window(noise, marker_min_samples=300)
+
+    def test_fails_on_short_signal(self):
+        with pytest.raises(ValueError):
+            find_marker_window(np.full(100, 0.9), marker_min_samples=300)
+
+    def test_rejects_tiny_marker_min(self):
+        with pytest.raises(ValueError):
+            find_marker_window(marked_signal(), marker_min_samples=2)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            find_marker_window(np.zeros((10, 10)), marker_min_samples=4)
+
+
+class TestEmprofFacade:
+    def test_profile_counts_dips(self):
+        sig = marked_signal()
+        prof = Emprof(sig, sample_rate_hz=50e6, clock_hz=1e9)
+        report = prof.profile()
+        assert report.miss_count > 0
+        assert report.total_cycles == pytest.approx(len(sig) * 20.0)
+
+    def test_sample_period(self):
+        prof = Emprof(np.zeros(10), sample_rate_hz=50e6, clock_hz=1e9)
+        assert prof.sample_period_cycles == pytest.approx(20.0)
+
+    def test_normalized_cached(self):
+        prof = Emprof(marked_signal(), sample_rate_hz=50e6, clock_hz=1e9)
+        a = prof.normalized()
+        b = prof.normalized()
+        assert a is b
+
+    def test_profile_window_restricts(self):
+        sig = marked_signal()
+        prof = Emprof(sig, sample_rate_hz=50e6, clock_hz=1e9)
+        win = find_marker_window(sig, marker_min_samples=300)
+        inner = prof.profile_window(win.begin_sample, win.end_sample)
+        full = prof.profile()
+        assert 0 < inner.miss_count <= full.miss_count
+        # All window stalls are located inside the window.
+        for s in inner.stalls:
+            assert win.begin_sample <= s.begin_sample
+            assert s.end_sample <= win.end_sample + 1
+
+    def test_profile_window_bad_bounds(self):
+        prof = Emprof(np.zeros(100), sample_rate_hz=50e6, clock_hz=1e9)
+        with pytest.raises(ValueError):
+            prof.profile_window(50, 200)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            Emprof(np.zeros(10), sample_rate_hz=0, clock_hz=1e9)
+
+    def test_rejects_2d_signal(self):
+        with pytest.raises(ValueError):
+            Emprof(np.zeros((2, 5)), sample_rate_hz=1.0, clock_hz=1.0)
+
+    def test_from_simulation(self, sesc_run):
+        prof = Emprof.from_simulation(sesc_run)
+        assert prof.clock_hz == sesc_run.config.clock_hz
+        assert prof.sample_rate_hz == sesc_run.sample_rate_hz
+        assert len(prof.signal) == len(sesc_run.power_trace)
+
+    def test_custom_config_respected(self):
+        sig = marked_signal()
+        strict = EmprofConfig(
+            detector=DetectorConfig(min_duration_cycles=5000.0, refresh_min_cycles=6000.0)
+        )
+        n_strict = Emprof(sig, 50e6, 1e9, config=strict).profile().miss_count
+        n_default = Emprof(sig, 50e6, 1e9).profile().miss_count
+        assert n_strict < n_default
+
+    def test_region_names_carried(self):
+        prof = Emprof(
+            marked_signal(), 50e6, 1e9, region_names={1: "main"}
+        )
+        assert prof.profile().region_names == {1: "main"}

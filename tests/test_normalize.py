@@ -1,0 +1,120 @@
+"""Unit tests for moving min/max normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalize import (
+    NormalizerConfig,
+    moving_average,
+    moving_extrema,
+    normalize,
+)
+
+
+def square_wave(n=2000, period=100, low=0.1, high=0.9):
+    x = np.full(n, high)
+    for start in range(0, n, period):
+        x[start : start + period // 4] = low
+    return x
+
+
+class TestMovingAverage:
+    def test_constant_signal_unchanged(self):
+        x = np.full(100, 3.0)
+        np.testing.assert_allclose(moving_average(x, 9), 3.0)
+
+    def test_window_one_is_identity(self):
+        x = np.arange(10.0)
+        np.testing.assert_array_equal(moving_average(x, 1), x)
+
+    def test_smooths_impulse(self):
+        x = np.zeros(51)
+        x[25] = 1.0
+        y = moving_average(x, 5)
+        assert y[25] == pytest.approx(0.2)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_average(np.zeros(10), 0)
+
+
+class TestMovingExtrema:
+    def test_tracks_local_extremes(self):
+        x = square_wave()
+        mmin, mmax = moving_extrema(x, 201)
+        assert np.all(mmin <= x)
+        assert np.all(mmax >= x)
+        # Interior windows span both levels.
+        assert mmin[500] == pytest.approx(0.1)
+        assert mmax[500] == pytest.approx(0.9)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_extrema(np.zeros(10), -1)
+
+
+class TestNormalize:
+    def test_output_in_unit_range(self):
+        x = square_wave()
+        y = normalize(x, NormalizerConfig(window_samples=301))
+        assert y.min() >= 0.0
+        assert y.max() <= 1.0
+
+    def test_dips_map_to_zero_busy_to_one(self):
+        x = square_wave()
+        y = normalize(x, NormalizerConfig(window_samples=301))
+        assert y[505] == pytest.approx(0.0, abs=0.05)  # inside a dip
+        assert y[560] == pytest.approx(1.0, abs=0.05)  # busy level
+
+    def test_gain_invariance(self):
+        x = square_wave()
+        cfg = NormalizerConfig(window_samples=301)
+        y1 = normalize(x, cfg)
+        y2 = normalize(x * 7.3, cfg)
+        np.testing.assert_allclose(y1, y2, atol=1e-12)
+
+    def test_slow_drift_compensated(self):
+        x = square_wave(4000)
+        drift = 1.0 + 0.3 * np.sin(np.linspace(0, 2 * np.pi, 4000))
+        cfg = NormalizerConfig(window_samples=301)
+        y = normalize(x * drift, cfg)
+        base = normalize(x, cfg)
+        # Same dips detected at the same places despite the drift.
+        assert np.array_equal(y < 0.45, base < 0.45)
+
+    def test_flat_signal_normalizes_to_one(self):
+        # No dynamic range -> no dips -> everything reads busy.
+        x = np.full(1000, 0.8) + 0.001 * np.sin(np.arange(1000))
+        y = normalize(x, NormalizerConfig(window_samples=101))
+        assert np.all(y == 1.0)
+
+    def test_min_range_ratio_guards_ripple(self):
+        # 20% ripple, below the default 35% range requirement.
+        x = 0.8 + 0.08 * np.sign(np.sin(np.arange(2000) / 7))
+        y = normalize(x, NormalizerConfig(window_samples=201))
+        assert np.all(y == 1.0)
+
+    def test_empty_signal(self):
+        assert normalize(np.array([])).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            normalize(np.zeros((3, 3)))
+
+    def test_smoothing_option(self):
+        x = square_wave()
+        x[760] = 5.0  # a one-sample glitch in a busy stretch
+        smoothed = normalize(x, NormalizerConfig(window_samples=301, smooth_samples=5))
+        raw = normalize(x, NormalizerConfig(window_samples=301))
+        # Smoothing keeps the glitch from dragging nearby busy samples
+        # toward the dip threshold.
+        busy_idx = 780
+        assert smoothed[busy_idx] > raw[busy_idx]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NormalizerConfig(window_samples=2)
+        with pytest.raises(ValueError):
+            NormalizerConfig(min_range_ratio=1.5)
+        with pytest.raises(ValueError):
+            NormalizerConfig(smooth_samples=0)

@@ -1,0 +1,270 @@
+"""Behavioural tests of the in-order pipeline timing model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cache import CacheHierarchy
+from repro.sim.config import CacheConfig, CoreConfig, MemoryConfig, PowerConfig
+from repro.sim.dram import MainMemory
+from repro.sim.isa import NO_CONSUMER, alu, branch, load, store
+from repro.sim.pipeline import Pipeline
+from repro.sim.power import PowerAccumulator
+from repro.sim.trace import (
+    CAUSE_DATA_MEM,
+    CAUSE_IFETCH_MEM,
+    CAUSE_LLC_HIT,
+    CAUSE_MSHR_FULL,
+    CAUSE_RUNAHEAD,
+    CAUSE_STOREBUF,
+)
+
+MEM_LAT = 100
+
+
+def build(width=2, mshr=4, runahead=1000, store_buffer=2, llc_hit_latency=20):
+    core = CoreConfig(
+        width=width,
+        mshr_entries=mshr,
+        runahead=runahead,
+        fetch_buffer=4,
+        store_buffer=store_buffer,
+    )
+    power_cfg = PowerConfig(bin_cycles=10)
+    hierarchy = CacheHierarchy(
+        CacheConfig(4 * 1024, associativity=2),
+        CacheConfig(4 * 1024, associativity=2),
+        CacheConfig(64 * 1024, associativity=8),
+        np.random.default_rng(0),
+    )
+    memory = MainMemory(
+        MemoryConfig(
+            access_latency=MEM_LAT, num_banks=8, bank_busy=0, refresh_enabled=False
+        )
+    )
+    pipe = Pipeline(
+        core, power_cfg, hierarchy, memory, llc_hit_latency=llc_hit_latency
+    )
+    return pipe, PowerAccumulator(power_cfg)
+
+
+def run(pipe, power, instrs):
+    return pipe.run(iter(instrs), power)
+
+
+def prewarm(pipe, pcs=(0x100,), addrs=()):
+    """Pre-touch code/data lines so tests see only the misses they plant."""
+    for pc in pcs:
+        pipe.hierarchy.lookup_instruction(pc)
+    for addr in addrs:
+        pipe.hierarchy.lookup_data(addr)
+
+
+def warm_code(n, pc=0x100):
+    """ALU filler on a handful of warm I-lines."""
+    return [alu(pc + 4 * (k % 8)) for k in range(n)]
+
+
+class TestIssueTiming:
+    def test_width_limits_ipc(self):
+        pipe, power = build(width=2)
+        prewarm(pipe)
+        truth = run(pipe, power, warm_code(100))
+        assert truth.total_cycles == pytest.approx(50, abs=2)
+
+    def test_wider_core_is_faster(self):
+        cycles = []
+        for width in (1, 4):
+            pipe, power = build(width=width)
+            prewarm(pipe)
+            cycles.append(run(pipe, power, warm_code(120)).total_cycles)
+        assert cycles[0] > 3 * cycles[1]
+
+    def test_instruction_count_recorded(self):
+        pipe, power = build()
+        truth = run(pipe, power, warm_code(37))
+        assert truth.total_instructions == 37
+
+
+class TestDataMissStalls:
+    def test_cold_load_with_immediate_consumer_stalls(self):
+        pipe, power = build()
+        prewarm(pipe)
+        instrs = warm_code(8) + [load(0x100, 0x10_0000, dep=0)] + warm_code(8)
+        truth = run(pipe, power, instrs)
+        mem_stalls = [s for s in truth.stalls if s.cause == CAUSE_DATA_MEM]
+        assert len(mem_stalls) == 1
+        assert mem_stalls[0].duration == pytest.approx(MEM_LAT, abs=8)
+
+    def test_miss_recorded_with_latency(self):
+        pipe, power = build()
+        prewarm(pipe)
+        truth = run(pipe, power, warm_code(4) + [load(0x100, 0x20_0000, dep=0)] + warm_code(4))
+        assert truth.miss_count() == 1
+        assert truth.misses[0].latency == MEM_LAT
+
+    def test_far_consumer_hides_latency(self):
+        pipe, power = build(width=1)
+        prewarm(pipe)
+        # 150 independent instructions cover the 100-cycle latency.
+        instrs = [load(0x100, 0x30_0000, dep=150)] + warm_code(160)
+        truth = run(pipe, power, instrs)
+        assert truth.miss_count() == 1
+        assert truth.hidden_miss_count() == 1
+        assert truth.memory_stall_count() == 0
+
+    def test_near_consumer_partially_hides(self):
+        pipe, power = build(width=1)
+        prewarm(pipe)
+        instrs = [load(0x100, 0x40_0000, dep=40)] + warm_code(200)
+        truth = run(pipe, power, instrs)
+        stalls = truth.memory_stalls()
+        assert len(stalls) == 1
+        # ~40 cycles of the 100 were hidden by independent work.
+        assert stalls[0].duration == pytest.approx(MEM_LAT - 40, abs=8)
+
+    def test_l1_hit_causes_no_stall(self):
+        pipe, power = build()
+        prewarm(pipe)
+        instrs = (
+            warm_code(4)
+            + [load(0x100, 0x50_0000, dep=5)]
+            + warm_code(200)
+            + [load(0x100, 0x50_0000, dep=0)]
+            + warm_code(8)
+        )
+        truth = run(pipe, power, instrs)
+        # Second load hits L1: exactly one memory stall at most (first load).
+        assert truth.miss_count() == 1
+
+    def test_llc_hit_produces_brief_stall(self):
+        pipe, power = build(llc_hit_latency=20)
+        prewarm(pipe)
+        # Touch a line, evict it from L1 by filling the L1 set, re-load.
+        target = 0x60_0000
+        l1_sets = 4 * 1024 // (64 * 2)
+        evict = [load(0x100, target + (k + 1) * l1_sets * 64, dep=2) for k in range(4)]
+        instrs = (
+            warm_code(4)
+            + [load(0x100, target, dep=2)]
+            + warm_code(150)
+            + evict
+            + warm_code(150)
+            + [load(0x100, target, dep=0)]
+            + warm_code(8)
+        )
+        truth = run(pipe, power, instrs)
+        brief = [s for s in truth.stalls if s.cause == CAUSE_LLC_HIT]
+        if truth.misses and not any(
+            m.addr == target and m.detect_cycle > 100 for m in truth.misses
+        ):
+            # The re-load stayed out of memory; it must show as a brief stall.
+            assert brief
+            assert all(s.duration < 25 for s in brief)
+
+
+class TestResources:
+    def test_mshr_exhaustion_stalls(self):
+        pipe, power = build(mshr=2)
+        prewarm(pipe)
+        # Three back-to-back dead-load misses: third must wait for an MSHR.
+        instrs = [
+            load(0x100, 0x70_0000, dep=NO_CONSUMER),
+            load(0x104, 0x71_0000, dep=NO_CONSUMER),
+            load(0x108, 0x72_0000, dep=NO_CONSUMER),
+        ] + warm_code(8)
+        truth = run(pipe, power, instrs)
+        assert any(s.cause == CAUSE_MSHR_FULL for s in truth.stalls)
+
+    def test_runahead_exhaustion_stalls(self):
+        pipe, power = build(runahead=20)
+        prewarm(pipe)
+        instrs = [load(0x100, 0x73_0000, dep=NO_CONSUMER)] + warm_code(400)
+        truth = run(pipe, power, instrs)
+        assert any(s.cause == CAUSE_RUNAHEAD for s in truth.stalls)
+
+    def test_store_misses_buffered_silently(self):
+        pipe, power = build(store_buffer=8)
+        prewarm(pipe)
+        instrs = warm_code(4) + [store(0x100, 0x74_0000)] + warm_code(300)
+        truth = run(pipe, power, instrs)
+        assert truth.miss_count() == 1
+        assert truth.misses[0].kind == "store"
+        assert truth.memory_stall_count() == 0
+
+    def test_store_buffer_overflow_stalls(self):
+        pipe, power = build(store_buffer=1)
+        prewarm(pipe)
+        instrs = [store(0x100, 0x75_0000 + k * 4096) for k in range(4)] + warm_code(8)
+        truth = run(pipe, power, instrs)
+        assert any(s.cause == CAUSE_STOREBUF for s in truth.stalls)
+
+
+class TestInstructionFetch:
+    def test_cold_code_sweep_causes_ifetch_misses(self):
+        pipe, power = build()
+        instrs = [alu(0x8_0000 + 4 * k) for k in range(64)]  # 4 cold I-lines
+        truth = run(pipe, power, instrs)
+        ifetch = [m for m in truth.misses if m.kind == "ifetch"]
+        assert len(ifetch) == 4
+        assert any(s.cause == CAUSE_IFETCH_MEM for s in truth.stalls)
+
+    def test_warm_loop_causes_no_fetch_misses(self):
+        pipe, power = build()
+        body = [alu(0x9_0000 + 4 * k) for k in range(8)]
+        truth = run(pipe, power, body * 50)
+        ifetch = [m for m in truth.misses if m.kind == "ifetch"]
+        assert len(ifetch) <= 1  # only the first-line cold miss
+
+    def test_ifetch_stall_begins_after_drain(self):
+        pipe, power = build()
+        instrs = warm_code(40) + [alu(0xA_0000)] + warm_code(8)
+        truth = run(pipe, power, instrs)
+        stall = next(s for s in truth.stalls if s.cause == CAUSE_IFETCH_MEM)
+        miss = next(m for m in truth.misses if m.kind == "ifetch")
+        assert stall.begin_cycle > miss.detect_cycle
+        assert stall.end_cycle == miss.ready_cycle
+
+
+class TestOverlapAttribution:
+    def test_overlapping_misses_share_one_stall(self):
+        pipe, power = build(mshr=4)
+        prewarm(pipe)
+        instrs = (
+            warm_code(4)
+            + [
+                load(0x100, 0xB0_0000, dep=NO_CONSUMER),
+                load(0x104, 0xB1_0000, dep=0),
+            ]
+            + warm_code(8)
+        )
+        truth = run(pipe, power, instrs)
+        stalls = truth.memory_stalls()
+        assert len(stalls) == 1
+        assert len(stalls[0].miss_ids) == 2
+
+    def test_miss_stall_linkage(self):
+        pipe, power = build()
+        prewarm(pipe)
+        instrs = warm_code(4) + [load(0x100, 0xC0_0000, dep=0)] + warm_code(8)
+        truth = run(pipe, power, instrs)
+        miss = next(m for m in truth.misses if m.kind == "load")
+        assert miss.stall_id is not None
+        assert miss.miss_id in truth.stalls[miss.stall_id].miss_ids
+
+
+class TestRegionAccounting:
+    def test_region_cycles_sum_to_total(self):
+        pipe, power = build()
+        prewarm(pipe)
+        instrs = [alu(0x100 + 4 * (k % 8), region=1 + k // 50) for k in range(100)]
+        truth = run(pipe, power, instrs)
+        assert sum(truth.region_cycles.values()) == truth.total_cycles
+
+    def test_stall_carries_region(self):
+        pipe, power = build()
+        prewarm(pipe)
+        instrs = warm_code(4) + [load(0x100, 0xD0_0000, dep=0, region=7)] + [
+            alu(0x104, region=7)
+        ] * 8
+        truth = run(pipe, power, instrs)
+        assert truth.memory_stalls()[0].region == 7

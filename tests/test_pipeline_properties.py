@@ -1,0 +1,164 @@
+"""Property-based tests on pipeline timing invariants.
+
+The pipeline's ground truth is the reference every accuracy number in
+the reproduction is computed against, so its internal consistency is
+checked against randomly generated programs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import CacheHierarchy
+from repro.sim.config import CacheConfig, CoreConfig, MemoryConfig, PowerConfig
+from repro.sim.dram import MainMemory
+from repro.sim.isa import ALU, BRANCH, Instr, LOAD, MUL, NO_CONSUMER, STORE
+from repro.sim.pipeline import Pipeline
+from repro.sim.power import PowerAccumulator
+
+# A compact encodable program: list of (op_code, locality, dep) where
+# op_code selects the kind, locality the address region, dep the
+# consumer distance.
+program_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=30),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+
+def decode(program):
+    """Turn the encoded program into an instruction stream."""
+    instrs = []
+    pc_hot = 0x1000
+    for i, (op_code, locality, dep) in enumerate(program):
+        pc = pc_hot + 4 * (i % 8)
+        if op_code == 0:
+            instrs.append(Instr(ALU, pc, 0, NO_CONSUMER, 0.12, 0))
+        elif op_code == 1:
+            instrs.append(Instr(MUL, pc, 0, NO_CONSUMER, 0.2, 0))
+        elif op_code == 2:
+            instrs.append(Instr(BRANCH, pc, 0, NO_CONSUMER, 0.1, 0))
+        elif op_code == 3:
+            addr = 0x10_0000 + locality * 0x10_0000 + (i * 8192 if locality == 3 else 64 * (i % 16))
+            instrs.append(Instr(LOAD, pc, addr, dep, 0.16, 0))
+        else:
+            addr = 0x50_0000 + locality * 0x10_0000 + 64 * i
+            instrs.append(Instr(STORE, pc, addr, NO_CONSUMER, 0.15, 0))
+    return instrs
+
+
+def run_program(program, width=2, mshr=2, runahead=64):
+    core = CoreConfig(
+        width=width, mshr_entries=mshr, runahead=runahead,
+        fetch_buffer=4, store_buffer=2,
+    )
+    power_cfg = PowerConfig(bin_cycles=10)
+    hierarchy = CacheHierarchy(
+        CacheConfig(2048, associativity=2),
+        CacheConfig(2048, associativity=2),
+        CacheConfig(16 * 1024, associativity=4),
+        np.random.default_rng(0),
+    )
+    memory = MainMemory(
+        MemoryConfig(access_latency=80, num_banks=4, bank_busy=8,
+                     refresh_interval=5_000, refresh_duration=200)
+    )
+    pipe = Pipeline(core, power_cfg, hierarchy, memory, llc_hit_latency=10)
+    power = PowerAccumulator(power_cfg)
+    truth = pipe.run(iter(decode(program)), power)
+    return truth, power
+
+
+@given(program_strategy)
+@settings(max_examples=60, deadline=None)
+def test_cycles_bounded_below_by_width(program):
+    truth, _ = run_program(program, width=2)
+    assert truth.total_cycles >= len(program) // 2
+    assert truth.total_instructions == len(program)
+
+
+@given(program_strategy)
+@settings(max_examples=60, deadline=None)
+def test_stall_intervals_disjoint_and_ordered(program):
+    truth, _ = run_program(program)
+    intervals = [(s.begin_cycle, s.end_cycle) for s in truth.stalls]
+    for begin, end in intervals:
+        assert 0 <= begin < end <= truth.total_cycles
+    for (b1, e1), (b2, e2) in zip(intervals, intervals[1:]):
+        assert b2 >= e1  # time-ordered and non-overlapping
+
+
+@given(program_strategy)
+@settings(max_examples=60, deadline=None)
+def test_miss_records_consistent(program):
+    truth, _ = run_program(program)
+    for k, miss in enumerate(truth.misses):
+        assert miss.miss_id == k
+        assert miss.ready_cycle > miss.detect_cycle
+        if miss.stall_id is not None:
+            stall = truth.stalls[miss.stall_id]
+            assert miss.miss_id in stall.miss_ids
+
+
+@given(program_strategy)
+@settings(max_examples=60, deadline=None)
+def test_stall_cycles_bounded_by_total(program):
+    truth, _ = run_program(program)
+    all_stall = sum(s.duration for s in truth.stalls)
+    assert all_stall <= truth.total_cycles
+    assert truth.memory_stall_cycles() <= all_stall
+
+
+@given(program_strategy)
+@settings(max_examples=60, deadline=None)
+def test_region_cycles_partition_time(program):
+    truth, _ = run_program(program)
+    assert sum(truth.region_cycles.values()) == truth.total_cycles
+
+
+@given(program_strategy)
+@settings(max_examples=40, deadline=None)
+def test_power_trace_covers_run_and_floors_at_idle(program):
+    truth, power = run_program(program)
+    trace = power.finalize(truth.total_cycles)
+    assert len(trace) == -(-truth.total_cycles // 10)
+    assert np.all(trace >= 0.12 - 1e-12)
+
+
+@given(program_strategy)
+@settings(max_examples=40, deadline=None)
+def test_determinism(program):
+    a, _ = run_program(program)
+    b, _ = run_program(program)
+    assert a.total_cycles == b.total_cycles
+    assert [s.begin_cycle for s in a.stalls] == [s.begin_cycle for s in b.stalls]
+
+
+@given(program_strategy)
+@settings(max_examples=40, deadline=None)
+def test_ooo_never_slower_than_in_order(program):
+    in_order, _ = run_program(program)
+    core = CoreConfig(
+        width=2, mshr_entries=2, runahead=64, fetch_buffer=4,
+        store_buffer=2, out_of_order=True,
+    )
+    power_cfg = PowerConfig(bin_cycles=10)
+    hierarchy = CacheHierarchy(
+        CacheConfig(2048, associativity=2),
+        CacheConfig(2048, associativity=2),
+        CacheConfig(16 * 1024, associativity=4),
+        np.random.default_rng(0),
+    )
+    memory = MainMemory(
+        MemoryConfig(access_latency=80, num_banks=4, bank_busy=8,
+                     refresh_interval=5_000, refresh_duration=200)
+    )
+    pipe = Pipeline(core, power_cfg, hierarchy, memory, llc_hit_latency=10)
+    ooo = pipe.run(iter(decode(program)), PowerAccumulator(power_cfg))
+    # Relaxing the consumer constraint can only remove stall time.
+    assert ooo.total_cycles <= in_order.total_cycles

@@ -1,0 +1,93 @@
+"""Unit tests for the stride prefetcher."""
+
+import numpy as np
+
+from repro.sim.cache import Cache
+from repro.sim.config import CacheConfig
+from repro.sim.prefetcher import StridePrefetcher
+
+
+def setup(degree=2):
+    llc = Cache(CacheConfig(64 * 1024, associativity=8), np.random.default_rng(0))
+    return llc, StridePrefetcher(llc, degree=degree)
+
+
+def miss_stream(pf, start_line, stride, count, line_bytes=64):
+    for k in range(count):
+        pf.on_llc_miss((start_line + k * stride) * line_bytes)
+
+
+class TestStrideDetection:
+    def test_unit_stride_confirmed_and_prefetched(self):
+        llc, pf = setup()
+        miss_stream(pf, 100, 1, 3)
+        assert pf.issued >= 2
+        # The next lines ahead of the stream are now resident.
+        assert llc.probe(103 * 64)
+
+    def test_large_stride_covered(self):
+        llc, pf = setup()
+        miss_stream(pf, 0, 16, 3)
+        assert llc.probe(48 * 64)
+
+    def test_negative_stride_covered(self):
+        llc, pf = setup()
+        miss_stream(pf, 1000, -2, 3)
+        assert llc.probe((1000 - 3 * 2) * 64)
+
+    def test_random_stream_issues_nothing(self):
+        llc, pf = setup()
+        rng = np.random.default_rng(5)
+        for _ in range(40):
+            pf.on_llc_miss(int(rng.integers(0, 1 << 20)) * 64)
+        # A random stream should trigger essentially no prefetches.
+        assert pf.issued <= 2
+
+    def test_degree_controls_coverage(self):
+        _, pf1 = setup(degree=1)
+        miss_stream(pf1, 0, 1, 4)
+        _, pf4 = setup(degree=4)
+        miss_stream(pf4, 0, 1, 4)
+        assert pf4.issued > pf1.issued
+
+    def test_zero_degree_disabled(self):
+        llc, pf = setup(degree=0)
+        miss_stream(pf, 0, 1, 10)
+        assert pf.issued == 0
+
+    def test_repeat_miss_same_line_ignored(self):
+        llc, pf = setup()
+        for _ in range(5):
+            pf.on_llc_miss(64 * 10)
+        assert pf.issued == 0
+
+    def test_already_resident_counts_hint(self):
+        llc, pf = setup()
+        llc.fill(3 * 64)
+        llc.fill(4 * 64)
+        miss_stream(pf, 0, 1, 3)  # wants to prefetch lines 3, 4
+        assert pf.useful_hint >= 1
+
+    def test_reset_clears_everything(self):
+        llc, pf = setup()
+        miss_stream(pf, 0, 1, 5)
+        pf.reset()
+        assert pf.issued == 0
+        assert pf.useful_hint == 0
+        # After reset, stream must be re-learned from scratch.
+        pf.on_llc_miss(500 * 64)
+        assert pf.issued == 0
+
+    def test_rejects_negative_degree(self):
+        import pytest
+
+        llc, _ = setup()
+        with pytest.raises(ValueError):
+            StridePrefetcher(llc, degree=-1)
+
+    def test_table_bounded(self):
+        llc, pf = setup()
+        # Many unrelated one-off misses; table must not grow unbounded.
+        for k in range(100):
+            pf.on_llc_miss((k * 1000 + k * k) * 64)
+        assert len(pf._streams) <= StridePrefetcher.TABLE_SIZE

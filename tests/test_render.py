@@ -1,0 +1,106 @@
+"""Tests for the ASCII rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import DetectedStall, ProfileReport
+from repro.render import histogram_bars, report_panel, signal_strip, sparkline
+
+
+class TestSparkline:
+    def test_width(self):
+        assert len(sparkline(np.sin(np.arange(500)), width=40)) == 40
+
+    def test_constant_is_flat(self):
+        line = sparkline(np.full(100, 3.0), width=20)
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert len(sparkline([], width=10)) == 10
+
+    def test_ascii_only_uses_ascii(self):
+        line = sparkline(np.arange(100.0), width=20, ascii_only=True)
+        assert all(ord(c) < 128 for c in line)
+
+    def test_ramp_is_monotone(self):
+        line = sparkline(np.arange(200.0), width=10, ascii_only=True)
+        order = " .:-=+*#%@"
+        ranks = [order.index(c) for c in line]
+        assert ranks == sorted(ranks)
+
+
+class TestSignalStrip:
+    def test_shape(self):
+        art = signal_strip(np.random.default_rng(0).random(500), width=40, height=6)
+        lines = art.splitlines()
+        assert len(lines) == 7  # height rows + axis
+        assert all(len(line) == 40 for line in lines)
+
+    def test_dip_shows_as_valley(self):
+        x = np.full(400, 1.0)
+        x[180:220] = 0.05
+        art = signal_strip(x, width=40, height=6, ascii_only=True)
+        top_row = art.splitlines()[0]
+        # The middle columns (the dip) are empty at the top level.
+        assert top_row[18:22].strip() == ""
+        assert top_row[0] == "#"
+
+    def test_rejects_tiny_height(self):
+        with pytest.raises(ValueError):
+            signal_strip(np.zeros(10), height=1)
+
+
+class TestHistogramBars:
+    def test_renders_rows(self):
+        edges = np.array([0.0, 100.0, 200.0, 300.0])
+        counts = np.array([5, 10, 2])
+        art = histogram_bars(edges, counts, width=20)
+        assert len(art.splitlines()) == 3
+        assert "100" in art
+
+    def test_bar_lengths_proportional(self):
+        edges = np.array([0.0, 100.0, 200.0])
+        counts = np.array([2, 10])
+        art = histogram_bars(edges, counts, width=20, ascii_only=True)
+        rows = art.splitlines()
+        assert rows[1].count("#") > 3 * rows[0].count("#")
+
+    def test_empty_histogram(self):
+        assert "empty" in histogram_bars(np.array([0.0, 1.0]), np.array([0]))
+
+    def test_rejects_mismatched_edges(self):
+        with pytest.raises(ValueError):
+            histogram_bars(np.array([0.0, 1.0]), np.array([1, 2]))
+
+    def test_folds_many_bins(self):
+        edges = np.arange(101.0)
+        counts = np.ones(100, dtype=int)
+        art = histogram_bars(edges, counts, max_rows=10)
+        assert len(art.splitlines()) == 10
+
+
+class TestReportPanel:
+    def make_report(self):
+        stalls = [DetectedStall(10 * k, 10 * k + 14, 200.0 * k, 200.0 * k + 280, 0.05)
+                  for k in range(1, 6)]
+        return ProfileReport(
+            stalls=stalls, total_cycles=100_000, clock_hz=1e9,
+            sample_period_cycles=20.0,
+        )
+
+    def test_panel_contains_sections(self):
+        x = np.random.default_rng(0).random(400)
+        panel = report_panel(self.make_report(), signal=x)
+        assert "EMPROF profile" in panel
+        assert "signal (time ->)" in panel
+        assert "stall-latency histogram" in panel
+
+    def test_panel_without_signal(self):
+        panel = report_panel(self.make_report())
+        assert "signal" not in panel
+        assert "histogram" in panel
+
+    def test_panel_empty_report(self):
+        report = ProfileReport([], 1000, 1e9, 20.0)
+        panel = report_panel(report)
+        assert "0 LLC-miss stalls" in panel

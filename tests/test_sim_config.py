@@ -1,0 +1,145 @@
+"""Unit tests for the machine configuration objects."""
+
+import pytest
+
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    MachineConfig,
+    MemoryConfig,
+    PowerConfig,
+)
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=32 * 1024, line_bytes=64, associativity=4)
+        assert cfg.num_sets == 128
+
+    def test_direct_mapped(self):
+        cfg = CacheConfig(size_bytes=8 * 1024, line_bytes=64, associativity=1)
+        assert cfg.num_sets == 128
+
+    def test_fully_sized_set(self):
+        cfg = CacheConfig(size_bytes=4096, line_bytes=64, associativity=64)
+        assert cfg.num_sets == 1
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, line_bytes=48)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, associativity=0)
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=4)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, hit_latency=0)
+
+
+class TestMemoryConfig:
+    def test_defaults_valid(self):
+        cfg = MemoryConfig()
+        assert cfg.refresh_enabled
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(access_latency=0)
+
+    def test_rejects_non_power_of_two_banks(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(num_banks=3)
+
+    def test_rejects_refresh_longer_than_interval(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(refresh_interval=100, refresh_duration=200)
+
+    def test_refresh_validation_skipped_when_disabled(self):
+        cfg = MemoryConfig(refresh_enabled=False, refresh_interval=0)
+        assert not cfg.refresh_enabled
+
+    def test_rejects_bad_contention_prob(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(contention_prob=1.5)
+
+    def test_rejects_negative_contention_delay(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(contention_mean_cycles=-1.0)
+
+
+class TestCoreConfig:
+    def test_defaults_valid(self):
+        cfg = CoreConfig()
+        assert cfg.width == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"width": 0},
+            {"mshr_entries": 0},
+            {"runahead": -1},
+            {"fetch_buffer": -1},
+            {"store_buffer": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            CoreConfig(**kwargs)
+
+
+class TestPowerConfig:
+    def test_rejects_zero_bin(self):
+        with pytest.raises(ValueError):
+            PowerConfig(bin_cycles=0)
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ValueError):
+            PowerConfig(idle_level=-0.1)
+
+
+class TestMachineConfig:
+    def test_sample_rate(self):
+        cfg = MachineConfig(clock_hz=1e9, power=PowerConfig(bin_cycles=20))
+        assert cfg.sample_rate_hz == pytest.approx(50e6)
+
+    def test_cycles_seconds_roundtrip(self):
+        cfg = MachineConfig(clock_hz=1e9)
+        assert cfg.cycles(1e-6) == 1000
+        assert cfg.seconds(1000) == pytest.approx(1e-6)
+
+    def test_line_bytes_shared(self):
+        cfg = MachineConfig()
+        assert cfg.line_bytes == cfg.llc.line_bytes
+
+    def test_with_bandwidth_bins(self):
+        cfg = MachineConfig().with_bandwidth_bins(5)
+        assert cfg.power.bin_cycles == 5
+        # Original untouched (frozen dataclasses).
+        assert MachineConfig().power.bin_cycles == 20
+
+    def test_rejects_mismatched_line_sizes(self):
+        with pytest.raises(ValueError):
+            MachineConfig(l1d=CacheConfig(32 * 1024, line_bytes=32))
+
+    def test_rejects_llc_smaller_than_l1(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                l1d=CacheConfig(512 * 1024),
+                llc=CacheConfig(256 * 1024, associativity=8),
+            )
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ValueError):
+            MachineConfig(clock_hz=0)
+
+    def test_rejects_negative_prefetch_degree(self):
+        with pytest.raises(ValueError):
+            MachineConfig(prefetch_degree=-1)

@@ -1,0 +1,132 @@
+"""Tests for the data-TLB model and its pipeline integration."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.devices import sesc
+from repro.sim.isa import alu, load
+from repro.sim.machine import simulate
+from repro.sim.tlb import Tlb
+from repro.workloads.base import StreamWorkload
+
+
+class TestTlbUnit:
+    def test_first_access_misses(self):
+        tlb = Tlb(entries=4)
+        assert tlb.access(0x1000) is False
+        assert tlb.misses == 1
+
+    def test_same_page_hits(self):
+        tlb = Tlb(entries=4, page_bytes=4096)
+        tlb.access(0x1000)
+        assert tlb.access(0x1FFF) is True
+
+    def test_different_page_misses(self):
+        tlb = Tlb(entries=4, page_bytes=4096)
+        tlb.access(0x1000)
+        assert tlb.access(0x2000) is False
+
+    def test_capacity_bounded(self):
+        tlb = Tlb(entries=4)
+        for k in range(10):
+            tlb.access(k * 4096)
+        assert tlb.occupancy == 4
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.access(0 * 4096)
+        tlb.access(1 * 4096)
+        tlb.access(0 * 4096)  # refresh page 0
+        tlb.access(2 * 4096)  # evicts page 1 (least recent)
+        assert tlb.access(0 * 4096) is True
+        assert tlb.access(1 * 4096) is False
+
+    def test_miss_rate(self):
+        tlb = Tlb(entries=4)
+        tlb.access(0x0)
+        tlb.access(0x0)
+        assert tlb.miss_rate() == pytest.approx(0.5)
+        assert Tlb().miss_rate() == 0.0
+
+    def test_flush(self):
+        tlb = Tlb(entries=4)
+        tlb.access(0x0)
+        tlb.flush()
+        assert tlb.occupancy == 0
+        assert tlb.access(0x0) is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=0)
+        with pytest.raises(ValueError):
+            Tlb(page_bytes=3000)
+
+
+def page_hopper(pages, per_page=1):
+    """Loads hopping across ``pages`` distinct pages."""
+
+    def factory(config):
+        for k in range(400):
+            page = (k % pages) * 4096
+            addr = 0x4000_0000 + page + (k % per_page) * 64
+            yield load(0x100, addr, dep=2)
+            for j in range(120):
+                yield alu(0x104 + 4 * (j % 8))
+
+    return StreamWorkload(f"hop{pages}", factory, {0: "hop"})
+
+
+class TestTlbInPipeline:
+    def tlb_config(self, walk=100):
+        cfg = sesc()
+        return replace(
+            cfg, tlb_enabled=True, tlb_entries=16, tlb_walk_cycles=walk
+        )
+
+    def test_tlb_misses_counted_in_stats(self):
+        result = simulate(page_hopper(64), self.tlb_config())
+        assert result.stats["tlb_misses"] > 300  # 64 pages >> 16 entries
+
+    def test_small_working_set_stays_resident(self):
+        result = simulate(page_hopper(8), self.tlb_config())
+        # 8 pages fit the 16-entry TLB: only compulsory misses.
+        assert result.stats["tlb_misses"] == 8
+
+    def test_walks_extend_execution(self):
+        fast = simulate(page_hopper(64), sesc()).ground_truth.total_cycles
+        slow = simulate(
+            page_hopper(64), self.tlb_config(walk=100)
+        ).ground_truth.total_cycles
+        assert slow > fast
+
+    def test_walk_latency_appears_in_miss_latency(self):
+        base = simulate(page_hopper(64), sesc())
+        walked = simulate(page_hopper(64), self.tlb_config(walk=100))
+        lat_base = base.ground_truth.misses[10].latency
+        # Find a corresponding walked miss: latencies include +100.
+        walked_lat = [m.latency for m in walked.ground_truth.misses[5:15]]
+        assert max(walked_lat) >= lat_base + 100
+
+    def test_disabled_by_default(self):
+        result = simulate(page_hopper(64), sesc())
+        assert result.stats["tlb_misses"] == 0.0
+
+    def test_reset_flushes_tlb(self):
+        from repro.sim.machine import Machine
+
+        machine = Machine(self.tlb_config())
+        machine.run(page_hopper(8))
+        machine.reset()
+        second = machine.run(page_hopper(8))
+        # Counters are cumulative (like the cache counters); the flush
+        # shows as a second round of 8 compulsory translation misses.
+        assert second.stats["tlb_misses"] == 16
+
+    def test_without_reset_tlb_stays_warm(self):
+        from repro.sim.machine import Machine
+
+        machine = Machine(self.tlb_config())
+        machine.run(page_hopper(8))
+        warm = machine.run(page_hopper(8))
+        assert warm.stats["tlb_misses"] == 8  # no new misses

@@ -1,0 +1,159 @@
+"""Unit tests for the validation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.detect import DetectorConfig
+from repro.core.events import DetectedStall, ProfileReport
+from repro.core.validate import (
+    count_accuracy,
+    match_stalls,
+    merge_intervals,
+)
+
+
+def det(begin_cycle, end_cycle):
+    period = 20.0
+    return DetectedStall(
+        begin_sample=begin_cycle / period,
+        end_sample=end_cycle / period,
+        begin_cycle=begin_cycle,
+        end_cycle=end_cycle,
+        min_level=0.05,
+    )
+
+
+class TestCountAccuracy:
+    def test_exact(self):
+        assert count_accuracy(100, 100) == 1.0
+
+    def test_undercount(self):
+        assert count_accuracy(95, 100) == pytest.approx(0.95)
+
+    def test_overcount(self):
+        assert count_accuracy(105, 100) == pytest.approx(0.95)
+
+    def test_clamped_at_zero(self):
+        assert count_accuracy(300, 100) == 0.0
+
+    def test_zero_expected_zero_reported(self):
+        assert count_accuracy(0, 0) == 1.0
+
+    def test_zero_expected_nonzero_reported(self):
+        assert count_accuracy(5, 0) == 0.0
+
+
+class TestMergeIntervals:
+    def test_disjoint_untouched(self):
+        iv = np.array([[0, 10], [100, 120]], dtype=float)
+        out = merge_intervals(iv, max_gap=5)
+        np.testing.assert_array_equal(out, iv)
+
+    def test_close_intervals_merge(self):
+        iv = np.array([[0, 10], [12, 20]], dtype=float)
+        out = merge_intervals(iv, max_gap=5)
+        np.testing.assert_array_equal(out, [[0, 20]])
+
+    def test_unsorted_input(self):
+        iv = np.array([[100, 120], [0, 10]], dtype=float)
+        out = merge_intervals(iv, max_gap=5)
+        assert out[0, 0] == 0
+
+    def test_chain_merge(self):
+        iv = np.array([[0, 10], [11, 20], [21, 30]], dtype=float)
+        out = merge_intervals(iv, max_gap=2)
+        np.testing.assert_array_equal(out, [[0, 30]])
+
+    def test_empty(self):
+        out = merge_intervals(np.empty((0, 2)), max_gap=10)
+        assert out.shape == (0, 2)
+
+    def test_overlapping_intervals(self):
+        iv = np.array([[0, 15], [10, 20]], dtype=float)
+        out = merge_intervals(iv, max_gap=0)
+        np.testing.assert_array_equal(out, [[0, 20]])
+
+
+class TestMatchStalls:
+    def test_perfect_match(self):
+        truth = np.array([[100, 380], [1000, 1280]], dtype=float)
+        detected = [det(105, 375), det(1005, 1285)]
+        m = match_stalls(detected, truth)
+        assert m.true_positives == 2
+        assert m.false_positives == 0
+        assert m.false_negatives == 0
+        assert m.precision == 1.0
+        assert m.recall == 1.0
+        assert m.f1 == 1.0
+
+    def test_false_positive(self):
+        truth = np.array([[100, 380]], dtype=float)
+        detected = [det(105, 375), det(5000, 5200)]
+        m = match_stalls(detected, truth)
+        assert m.false_positives == 1
+        assert m.precision == pytest.approx(0.5)
+
+    def test_false_negative(self):
+        truth = np.array([[100, 380], [1000, 1280]], dtype=float)
+        m = match_stalls([det(105, 375)], truth)
+        assert m.false_negatives == 1
+        assert m.recall == pytest.approx(0.5)
+
+    def test_fragmented_detection_counts_once(self):
+        truth = np.array([[100, 500]], dtype=float)
+        detected = [det(100, 280), det(300, 500)]
+        m = match_stalls(detected, truth)
+        assert m.true_positives == 1
+        assert m.false_positives == 0
+        # Duration error accounts for the missing middle piece.
+        assert m.duration_errors[0] == pytest.approx(-20)
+
+    def test_tolerance_padding(self):
+        truth = np.array([[100, 200]], dtype=float)
+        barely_off = [det(205, 300)]
+        assert match_stalls(barely_off, truth, tolerance_cycles=0).true_positives == 0
+        assert match_stalls(barely_off, truth, tolerance_cycles=10).true_positives == 1
+
+    def test_empty_truth(self):
+        m = match_stalls([det(0, 100)], np.empty((0, 2)))
+        assert m.false_positives == 1
+        assert m.recall == 1.0
+
+    def test_empty_detection(self):
+        m = match_stalls([], np.array([[0, 100]], dtype=float))
+        assert m.false_negatives == 1
+        assert m.precision == 1.0
+        assert m.f1 == 0.0
+
+    def test_duration_errors_near_zero_for_good_match(self):
+        truth = np.array([[100, 380]], dtype=float)
+        m = match_stalls([det(100, 380)], truth)
+        assert abs(m.duration_errors[0]) < 1e-9
+
+
+class TestValidateProfileEndToEnd:
+    def test_validate_profile_on_simulation(self, sesc_run):
+        from repro.core.profiler import Emprof
+        from repro.core.validate import validate_profile
+
+        report = Emprof.from_simulation(sesc_run).profile()
+        v = validate_profile(report, sesc_run.ground_truth)
+        # Detection on the clean simulator trace is near-perfect
+        # against the observable merged groups.
+        assert v.group_accuracy > 0.97
+        assert v.stall_accuracy > 0.97
+        assert v.match.precision > 0.97
+        assert v.detected_misses == report.miss_count
+
+    def test_validate_profile_windowed(self, sesc_run):
+        from repro.core.profiler import Emprof
+        from repro.core.validate import validate_profile
+
+        report = Emprof.from_simulation(sesc_run).profile()
+        total = sesc_run.ground_truth.total_cycles
+        v_all = validate_profile(report, sesc_run.ground_truth)
+        v_half = validate_profile(
+            report, sesc_run.ground_truth, window_cycles=(0.0, total / 2)
+        )
+        assert v_half.true_misses <= v_all.true_misses
+        assert v_half.detected_misses <= v_all.detected_misses

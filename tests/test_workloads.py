@@ -1,0 +1,241 @@
+"""Unit tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.devices import sesc
+from repro.sim.isa import BRANCH, Instr, LOAD, NO_CONSUMER, STORE
+from repro.workloads.base import (
+    StreamWorkload,
+    Workload,
+    code_sweep,
+    compute_block,
+    pointer_chase_loop,
+    random_access_loop,
+    streaming_loop,
+    tight_loop,
+)
+from repro.workloads.boot import BootWorkload
+from repro.workloads.microbenchmark import (
+    Microbenchmark,
+    REGION_ACCESSES,
+    REGION_BLANK_END,
+    REGION_BLANK_START,
+    REGION_PAGE_TOUCH,
+)
+from repro.workloads.spec import (
+    SPEC_BENCHMARKS,
+    SpecWorkload,
+    Phase,
+    spec_workload,
+)
+
+CFG = sesc()
+
+
+class TestBaseBuilders:
+    def test_tight_loop_repeats_pcs(self):
+        seq = list(tight_loop(0x100, iterations=3, body_alu=2))
+        assert len(seq) == 9
+        assert seq[0].pc == seq[3].pc
+
+    def test_tight_loop_ends_with_branch(self):
+        seq = list(tight_loop(0x100, 1, body_alu=2))
+        assert seq[-1].op == BRANCH
+
+    def test_tight_loop_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(tight_loop(0x100, -1))
+
+    def test_compute_block_count(self):
+        assert len(list(compute_block(0, 57))) == 57
+
+    def test_compute_block_pattern_modulates_weights(self):
+        plain = [i.weight for i in compute_block(0, 64)]
+        pat = [i.weight for i in compute_block(0, 64, pattern_period=16, pattern_depth=0.05)]
+        assert np.std(pat) > np.std(plain)
+
+    def test_streaming_loop_addresses_sequential(self):
+        seq = [i for i in streaming_loop(0, 0x1000, 64 * 8, stride=64) if i.op == LOAD]
+        addrs = [i.addr for i in seq]
+        assert addrs == sorted(addrs)
+        assert len(addrs) == 8
+
+    def test_streaming_loop_store_ratio(self, rng):
+        seq = list(
+            streaming_loop(0, 0x1000, 64 * 200, stride=64, store_ratio=1.0, rng=rng)
+        )
+        assert all(i.op != LOAD for i in seq if i.op in (LOAD, STORE) and i.op == LOAD)
+        assert any(i.op == STORE for i in seq)
+
+    def test_random_access_loop_within_working_set(self, rng):
+        ws = 64 * 128
+        seq = [
+            i
+            for i in random_access_loop(0, 0x1000, ws, 50, rng)
+            if i.op in (LOAD, STORE)
+        ]
+        assert all(0x1000 <= i.addr < 0x1000 + ws for i in seq)
+
+    def test_random_access_rejects_tiny_ws(self, rng):
+        with pytest.raises(ValueError):
+            list(random_access_loop(0, 0, 32, 10, rng))
+
+    def test_pointer_chase_deps_are_zero(self, rng):
+        loads = [
+            i
+            for i in pointer_chase_loop(0, 0x1000, 64 * 64, 20, rng)
+            if i.op == LOAD
+        ]
+        assert all(i.dep == 0 for i in loads)
+
+    def test_code_sweep_covers_footprint(self):
+        seq = list(code_sweep(0x0, 1024, passes=2))
+        assert len(seq) == 2 * 256
+        assert max(i.pc for i in seq) == 1020
+
+    def test_stream_workload_protocol(self):
+        wl = StreamWorkload("x", lambda cfg: iter([]), {1: "a"})
+        assert isinstance(wl, Workload)
+        assert wl.region_names == {1: "a"}
+
+
+class TestMicrobenchmark:
+    def test_structure_regions_in_order(self):
+        wl = Microbenchmark(total_misses=8, consecutive_misses=2, blank_iterations=10)
+        regions = [i.region for i in wl.instructions(CFG)]
+        first_seen = list(dict.fromkeys(regions))
+        assert first_seen == [
+            REGION_PAGE_TOUCH,
+            REGION_BLANK_START,
+            REGION_ACCESSES,
+            REGION_BLANK_END,
+        ]
+
+    def test_access_loads_are_distinct_lines(self):
+        wl = Microbenchmark(total_misses=32, consecutive_misses=4, blank_iterations=5)
+        loads = [
+            i.addr
+            for i in wl.instructions(CFG)
+            if i.op == LOAD and i.region == REGION_ACCESSES
+        ]
+        assert len(loads) == 32
+        lines = {a // 64 for a in loads}
+        assert len(lines) == 32
+
+    def test_access_loads_avoid_page_touch_lines(self):
+        wl = Microbenchmark(total_misses=16, consecutive_misses=4, blank_iterations=5)
+        touched = set()
+        access = []
+        for i in wl.instructions(CFG):
+            if i.op == LOAD:
+                if i.region == REGION_PAGE_TOUCH:
+                    touched.add(i.addr // 64)
+                elif i.region == REGION_ACCESSES:
+                    access.append(i.addr // 64)
+        assert not touched.intersection(access)
+
+    def test_expected_counts(self):
+        wl = Microbenchmark(total_misses=100, consecutive_misses=10)
+        assert wl.expected_misses() == 100
+        assert wl.expected_groups() == 10
+
+    def test_expected_groups_rounds_up(self):
+        assert Microbenchmark(10, 3).expected_groups() == 4
+
+    def test_seed_changes_addresses(self):
+        a = Microbenchmark(16, 4, blank_iterations=5, seed=1)
+        b = Microbenchmark(16, 4, blank_iterations=5, seed=2)
+        addrs_a = [i.addr for i in a.instructions(CFG) if i.op == LOAD]
+        addrs_b = [i.addr for i in b.instructions(CFG) if i.op == LOAD]
+        assert addrs_a != addrs_b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Microbenchmark(total_misses=0)
+        with pytest.raises(ValueError):
+            Microbenchmark(total_misses=4, consecutive_misses=8)
+        with pytest.raises(ValueError):
+            Microbenchmark(total_misses=4, consecutive_misses=2, gap_instructions=-1)
+
+
+class TestSpecModels:
+    def test_all_ten_benchmarks_present(self):
+        assert len(SPEC_BENCHMARKS) == 10
+        for name in ("mcf", "parser", "bzip2", "vpr"):
+            assert name in SPEC_BENCHMARKS
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            spec_workload("nosuch")
+
+    def test_region_names_assigned(self):
+        wl = spec_workload("parser")
+        names = set(wl.region_names.values())
+        assert {"read_dictionary", "init_randtable", "batch_process"} <= names
+
+    def test_region_id_lookup(self):
+        wl = spec_workload("parser")
+        rid = wl.region_id("batch_process")
+        assert wl.region_names[rid] == "batch_process"
+
+    def test_scale_shrinks_stream(self):
+        full = sum(1 for _ in spec_workload("vpr").instructions(CFG))
+        small = sum(1 for _ in spec_workload("vpr", scale=0.2).instructions(CFG))
+        assert small < full * 0.5
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            spec_workload("mcf", scale=0.0)
+
+    def test_mcf_has_dependent_loads(self):
+        wl = spec_workload("mcf", scale=0.2)
+        deps = [i.dep for i in wl.instructions(CFG) if i.op == LOAD]
+        assert 0 in deps  # the pointer chase
+
+    def test_phases_use_disjoint_address_spaces(self):
+        wl = spec_workload("twolf", scale=0.3)
+        by_region = {}
+        for i in wl.instructions(CFG):
+            if i.op in (LOAD, STORE):
+                by_region.setdefault(i.region, []).append(i.addr)
+        spans = {
+            r: (min(a), max(a)) for r, a in by_region.items() if a
+        }
+        regions = list(spans)
+        for i in range(len(regions)):
+            for j in range(i + 1, len(regions)):
+                lo1, hi1 = spans[regions[i]]
+                lo2, hi2 = spans[regions[j]]
+                assert hi1 < lo2 or hi2 < lo1
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            Phase("x", "unknown_kind")
+        with pytest.raises(ValueError):
+            Phase("x", "random", cold_fraction=2.0)
+        with pytest.raises(ValueError):
+            SpecWorkload("empty", [])
+
+
+class TestBootWorkload:
+    def test_regions_cover_boot_stages(self):
+        boot = BootWorkload(seed=0, scale=0.2)
+        names = set(boot.region_names.values())
+        assert "bootloader" in names
+        assert "kernel_decompress" in names
+        assert "userspace_init" in names
+
+    def test_seeds_differ(self):
+        a = sum(1 for _ in BootWorkload(seed=0, scale=0.1).instructions(CFG))
+        b = sum(1 for _ in BootWorkload(seed=1, scale=0.1).instructions(CFG))
+        assert a != b
+
+    def test_same_seed_reproducible(self):
+        a = sum(1 for _ in BootWorkload(seed=3, scale=0.1).instructions(CFG))
+        b = sum(1 for _ in BootWorkload(seed=3, scale=0.1).instructions(CFG))
+        assert a == b
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            BootWorkload(scale=0.0)

@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench reproduce examples selftest clean
+.PHONY: install test lint bench reproduce examples selftest clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

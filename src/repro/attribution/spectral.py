@@ -70,7 +70,7 @@ class RegionTimeline:
 
 def _normalize_spectrum(spectrum: np.ndarray) -> np.ndarray:
     norm = float(np.linalg.norm(spectrum))
-    if norm == 0.0:
+    if norm <= 0.0:
         return spectrum
     return spectrum / norm
 
@@ -153,7 +153,7 @@ class SpectralProfiler:
         templates = np.stack([self._templates[n] for n in names])  # (R, F)
         frames = spec.magnitude  # (F, T)
         norms = np.linalg.norm(frames, axis=0)
-        norms[norms == 0.0] = 1.0
+        norms[norms <= 0.0] = 1.0
         similarity = templates @ (frames / norms)  # (R, T)
         labels = [names[i] for i in np.argmax(similarity, axis=0)]
         return spec, self._smooth(labels)

@@ -65,7 +65,7 @@ class ZopResult:
 def _normalize_template(x: np.ndarray) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
     std = x.std()
-    if std == 0:
+    if std <= 0:
         return x - x.mean()
     return (x - x.mean()) / std
 

@@ -22,6 +22,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..devtools.contracts import stall_sequence_result
 from .events import DetectedStall
 
 
@@ -131,7 +132,9 @@ def _refine_edge(normalized: np.ndarray, index: int, threshold: float) -> float:
         return float(index)
     a = float(normalized[lo])
     b = float(normalized[hi])
-    if a == b:
+    # Exact equality is the degenerate-slope guard: interpolation is
+    # undefined only when the two samples are bit-identical.
+    if a == b:  # emlint: disable=float-equality
         return float(index)
     frac = (threshold - a) / (b - a)
     if not 0.0 <= frac <= 1.0:
@@ -139,6 +142,7 @@ def _refine_edge(normalized: np.ndarray, index: int, threshold: float) -> float:
     return lo + frac
 
 
+@stall_sequence_result
 def detect_stalls(
     normalized: np.ndarray,
     sample_period_cycles: float,

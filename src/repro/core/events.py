@@ -7,6 +7,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..devtools.contracts import check_report
+
 
 @dataclass(frozen=True)
 class DetectedStall:
@@ -129,6 +131,16 @@ class ProfileReport:
             idx = min(int(s.begin_cycle // bin_cycles), nbins - 1)
             counts[idx] += 1
         return np.arange(nbins) * bin_cycles, counts
+
+    def validate(self) -> "ProfileReport":
+        """Assert the report's event invariants; returns the report.
+
+        Checks every stall is well-formed (``begin <= end`` in samples
+        and cycles, finite fields) and that stalls are in
+        non-decreasing time order.  Raises
+        :class:`repro.devtools.contracts.ContractViolation` otherwise.
+        """
+        return check_report(self, where="ProfileReport")
 
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""

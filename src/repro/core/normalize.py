@@ -21,6 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.ndimage import maximum_filter1d, minimum_filter1d, uniform_filter1d
 
+from ..devtools.contracts import unit_interval_result
+
 
 @dataclass(frozen=True)
 class NormalizerConfig:
@@ -69,6 +71,7 @@ def moving_extrema(signal: np.ndarray, window: int):
     return mmin, mmax
 
 
+@unit_interval_result
 def normalize(signal: np.ndarray, config: NormalizerConfig = None) -> np.ndarray:
     """Normalize magnitude to [0, 1] against moving extrema.
 
@@ -87,8 +90,12 @@ def normalize(signal: np.ndarray, config: NormalizerConfig = None) -> np.ndarray
         x = moving_average(x, cfg.smooth_samples)
     mmin, mmax = moving_extrema(x, cfg.window_samples)
     span = mmax - mmin
-    # Engage only where the window plausibly contains a stall.
-    engaged = span > cfg.min_range_ratio * np.maximum(mmax, 1e-30)
+    # Engage only where the window plausibly contains a stall.  The
+    # guard must be purely relative (no absolute floor) so that the
+    # result is invariant under a multiplicative gain change - probe
+    # repositioning scales the whole signal, and a floor would make
+    # engagement depend on absolute magnitude.
+    engaged = span > cfg.min_range_ratio * mmax
     out = np.ones_like(x)
     np.divide(x - mmin, span, out=out, where=engaged & (span > 0))
     return np.clip(out, 0.0, 1.0)

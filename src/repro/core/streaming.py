@@ -29,6 +29,11 @@ from typing import Deque, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from ..devtools.contracts import (
+    monotonic_stall_stream,
+    report_result,
+    unit_interval_result,
+)
 from .detect import DetectorConfig
 from .events import DetectedStall, ProfileReport
 from .normalize import NormalizerConfig
@@ -93,10 +98,11 @@ class OnlineNormalizer:
         x = self._buffer[i - self._buffer_start]
         self._next_out += 1
         span = mmax - mmin
-        if span <= self.config.min_range_ratio * max(mmax, 1e-30) or span <= 0:
+        if span <= self.config.min_range_ratio * mmax or span <= 0:
             return 1.0
         return float(np.clip((x - mmin) / span, 0.0, 1.0))
 
+    @unit_interval_result
     def push(self, chunk: np.ndarray) -> np.ndarray:
         """Feed samples; return the normalized values now determined."""
         out: List[float] = []
@@ -108,6 +114,7 @@ class OnlineNormalizer:
                 out.append(self._emit_one())
         return np.asarray(out)
 
+    @unit_interval_result
     def flush(self) -> np.ndarray:
         """Emit the tail (positions whose right context is the signal end)."""
         out: List[float] = []
@@ -165,7 +172,9 @@ class StreamingDetector:
         """Fractional crossing between samples boundary-1 (a) and boundary (b)."""
         if boundary <= 0:
             return float(boundary)
-        if a == b:
+        # Exact equality is the degenerate-slope guard (see the batch
+        # detector's _refine_edge): bit-identical samples only.
+        if a == b:  # emlint: disable=float-equality
             return float(boundary)
         frac = (self.config.threshold - a) / (b - a)
         if not 0.0 <= frac <= 1.0:
@@ -196,6 +205,7 @@ class StreamingDetector:
 
     # -- public --------------------------------------------------------------
 
+    @monotonic_stall_stream
     def push(self, normalized: np.ndarray) -> List[DetectedStall]:
         """Consume normalized samples; return newly finalized stalls."""
         cfg = self.config
@@ -262,6 +272,7 @@ class StreamingDetector:
             self._samples_seen += 1
         return out
 
+    @monotonic_stall_stream
     def finish(self) -> List[DetectedStall]:
         """Finalize any open dip at end of signal."""
         out: List[DetectedStall] = []
@@ -332,6 +343,7 @@ class StreamingEmprof:
         self._stalls.extend(new)
         return new
 
+    @report_result
     def finish(self) -> ProfileReport:
         """Flush all state and return the final report."""
         if not self._finished:

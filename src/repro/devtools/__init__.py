@@ -1,0 +1,27 @@
+"""Developer tooling for the EMPROF reproduction.
+
+Two halves, both specific to this codebase's failure modes:
+
+* :mod:`repro.devtools.lint` (``emlint``) - an AST-based static
+  analyzer whose rules encode the project's domain invariants: no
+  mixing of cycle/sample/second/hertz quantities without an explicit
+  conversion, no global (non-injected) RNGs, frozen ``*Config``
+  dataclasses, no float ``==``, no mutable default arguments.  Run it
+  with ``python -m repro.devtools.lint src/`` or ``make lint``; the
+  tier-1 test ``tests/test_lint_clean.py`` keeps the tree clean.
+
+* :mod:`repro.devtools.contracts` - runtime contracts (decorators and
+  check functions) asserting the event invariants the analysis
+  pipeline relies on: stall ``begin <= end``, monotonically
+  non-decreasing stall positions, normalized magnitude in [0, 1].
+  They are applied to the public ``core.detect`` / ``core.events`` /
+  ``core.streaming`` surfaces and can be disabled with the
+  ``EMPROF_CONTRACTS=0`` environment variable.
+
+See ``docs/static-analysis.md`` for the rule catalogue and the
+suppression syntax (``# emlint: disable=<rule>``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["contracts", "engine", "lint", "reporters", "rules"]

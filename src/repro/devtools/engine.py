@@ -1,0 +1,213 @@
+"""emlint core: findings, suppressions, and the file/tree driver.
+
+The engine is rule-agnostic: a :class:`Rule` walks one parsed module
+and yields :class:`Finding` objects; the engine parses files, collects
+findings from every rule, and drops those silenced by a
+``# emlint: disable=<rule>`` comment.  Rules themselves live in
+:mod:`repro.devtools.rules`.
+
+Suppression comments work at line granularity:
+
+* a trailing comment silences the rules named on that physical line;
+* a comment on a line of its own also silences the following line
+  (useful when the flagged expression is long);
+* ``disable=all`` silences every rule.
+
+Unparseable files are reported as ``parse-error`` findings rather than
+crashing the run, so a syntax error still fails the lint gate with a
+file:line diagnostic.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+_SUPPRESS_RE = re.compile(r"#\s*emlint:\s*disable=([A-Za-z0-9_,\- ]+)")
+
+#: Directory names never descended into when walking a tree.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: rule: message`` - the text-reporter form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may consult about the module being linted."""
+
+    path: str
+    source: str
+    tree: ast.Module
+
+
+class Rule:
+    """Base class for emlint rules.
+
+    Subclasses set :attr:`name` (the id used in suppression comments
+    and ``--rules``) and :attr:`description`, and implement
+    :meth:`check` as a generator over the module AST.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, context: FileContext, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.name,
+            message=message,
+        )
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of linting one or more files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed_count: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule names silenced on that line."""
+    out: Dict[int, Set[str]] = {}
+    carry: Optional[Set[str]] = None
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if carry:
+            out.setdefault(lineno, set()).update(carry)
+        carry = None
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        names = {
+            part.strip().lower()
+            for part in match.group(1).split(",")
+            if part.strip()
+        }
+        if not names:
+            continue
+        out.setdefault(lineno, set()).update(names)
+        if line.lstrip().startswith("#"):
+            # Standalone comment: extends to the statement below it.
+            carry = names
+    return out
+
+
+def _is_suppressed(finding: Finding, suppressions: Dict[int, Set[str]]) -> bool:
+    names = suppressions.get(finding.line)
+    if not names:
+        return False
+    return "all" in names or finding.rule.lower() in names
+
+
+def _default_rules() -> Sequence[Rule]:
+    from .rules import ALL_RULES  # deferred: rules.py imports this module
+
+    return [cls() for cls in ALL_RULES]
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint one module's source text."""
+    active = list(rules) if rules is not None else list(_default_rules())
+    result = LintResult(files_checked=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule="parse-error",
+                message=f"could not parse module: {exc.msg}",
+            )
+        )
+        return result
+
+    context = FileContext(path=path, source=source, tree=tree)
+    suppressions = _parse_suppressions(source)
+    raw: List[Finding] = []
+    for rule in active:
+        raw.extend(rule.check(context))
+    for finding in sorted(raw, key=lambda f: (f.line, f.col, f.rule)):
+        if _is_suppressed(finding, suppressions):
+            result.suppressed_count += 1
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` (files or directories)."""
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            parts = set(candidate.parts)
+            if parts & _SKIP_DIRS:
+                continue
+            if any(part.endswith(".egg-info") for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` and aggregate the result."""
+    active = list(rules) if rules is not None else list(_default_rules())
+    total = LintResult()
+    for file_path in iter_python_files(Path(p) for p in paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            total.findings.append(
+                Finding(
+                    path=str(file_path),
+                    line=1,
+                    col=1,
+                    rule="io-error",
+                    message=f"could not read file: {exc}",
+                )
+            )
+            total.files_checked += 1
+            continue
+        one = lint_source(source, path=str(file_path), rules=active)
+        total.findings.extend(one.findings)
+        total.suppressed_count += one.suppressed_count
+        total.files_checked += 1
+    return total

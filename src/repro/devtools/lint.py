@@ -1,0 +1,94 @@
+"""emlint command line: ``python -m repro.devtools.lint [paths...]``.
+
+Exit codes: 0 clean, 1 findings reported, 2 usage error.  Also
+installed as the ``repro-lint`` console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import LintResult, lint_paths
+from .reporters import render_json, render_text
+from .rules import ALL_RULES, rule_names, rules_by_name
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "emlint: domain-specific static analysis for the EMPROF "
+            "reproduction (unit safety, determinism, config "
+            "immutability, float equality, mutable defaults)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.name}: {cls.description}")
+        return 0
+
+    rules = None
+    if args.rules is not None:
+        names: List[str] = [n.strip() for n in args.rules.split(",") if n.strip()]
+        if not names:
+            print("repro-lint: --rules must name at least one rule", file=sys.stderr)
+            return 2
+        try:
+            rules = rules_by_name(names)
+        except KeyError as exc:
+            known = ", ".join(rule_names())
+            print(
+                f"repro-lint: unknown rule {exc.args[0]!r} (known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        for path in missing:
+            print(f"repro-lint: path does not exist: {path}", file=sys.stderr)
+        return 2
+
+    result: LintResult = lint_paths(args.paths, rules=rules)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

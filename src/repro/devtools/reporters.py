@@ -1,0 +1,35 @@
+"""emlint output formats: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+
+from .engine import LintResult
+
+#: bumped whenever the JSON shape changes incompatibly
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: rule: message`` line per finding + summary."""
+    lines = [finding.format() for finding in result.findings]
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    lines.append(
+        f"emlint: {len(result.findings)} {noun} in "
+        f"{result.files_checked} file(s) "
+        f"({result.suppressed_count} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document for tooling (CI annotations, dashboards)."""
+    payload = {
+        "version": JSON_FORMAT_VERSION,
+        "files_checked": result.files_checked,
+        "finding_count": len(result.findings),
+        "suppressed_count": result.suppressed_count,
+        "findings": [asdict(finding) for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

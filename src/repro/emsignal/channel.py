@@ -134,7 +134,7 @@ class Channel:
         # defined against it.
         ac = y - y.mean()
         ac_rms = rms(ac)
-        if ac_rms == 0.0:
+        if ac_rms <= 0.0:
             ac_rms = rms(y)
         noise_rms = ac_rms / np.sqrt(10.0 ** (cfg.snr_db / 10.0))
         y = y + rng.normal(0.0, noise_rms, size=len(y))

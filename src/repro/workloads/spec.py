@@ -568,7 +568,8 @@ def spec_workload(name: str, seed: int = 11, scale: float = 1.0) -> SpecWorkload
     if scale <= 0:
         raise ValueError("scale must be positive")
     phases = profile()
-    if scale != 1.0:
+    # scale=1.0 is an exact "unscaled" sentinel, not a measured value.
+    if scale != 1.0:  # emlint: disable=float-equality
         phases = [
             replace(
                 p,

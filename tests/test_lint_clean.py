@@ -1,0 +1,88 @@
+"""Tier-1 gate: the source tree must be emlint-clean.
+
+Runs the linter programmatically over ``src/`` and asserts zero
+findings, so any regression (a new unit mix-up, a global RNG, an
+unfrozen config, a float ``==``, a mutable default) fails pytest
+immediately.  Also checks the CLI contract: exit 0 on the clean tree,
+exit 1 with a file:line diagnostic on a seeded violation of each rule.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.engine import lint_paths
+from repro.devtools.lint import main
+from repro.devtools.rules import rule_names
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+# One minimal violating module per rule, used to prove the gate trips.
+VIOLATIONS = {
+    "unit-safety": "total = duration_cycles + gap_samples\n",
+    "determinism": "import numpy as np\nx = np.random.rand(4)\n",
+    "config-immutability": (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class DetectorConfig:\n"
+        "    threshold: float = 0.5\n"
+    ),
+    "float-equality": "def f(a: float, b: float):\n    return a == b\n",
+    "mutable-default-arg": "def f(items=[]):\n    return items\n",
+}
+
+
+def test_source_tree_is_lint_clean():
+    result = lint_paths([SRC])
+    assert result.files_checked > 50
+    details = "\n".join(f.format() for f in result.findings)
+    assert result.findings == [], f"emlint regressions in src/:\n{details}"
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    assert main([str(SRC)]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+@pytest.mark.parametrize("rule", sorted(VIOLATIONS))
+def test_cli_flags_seeded_violation(rule, tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(VIOLATIONS[rule])
+    assert main([str(bad)]) == 1
+    out = capsys.readouterr().out
+    # file:line diagnostics naming the violated rule
+    assert f"{bad}:" in out
+    assert rule in out
+
+
+def test_cli_rejects_unknown_rule(tmp_path, capsys):
+    assert main(["--rules", "no-such-rule", str(tmp_path)]) == 2
+    err = capsys.readouterr().err
+    assert "no-such-rule" in err
+
+
+def test_cli_rejects_empty_rules(tmp_path, capsys):
+    # `--rules ""` must not silently lint with zero rules.
+    assert main(["--rules", "", str(tmp_path)]) == 2
+    assert "at least one rule" in capsys.readouterr().err
+
+
+def test_cli_rejects_missing_path(capsys):
+    # A typo'd path must not pass as "0 findings in 0 files".
+    assert main(["/no/such/path"]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_cli_flags_syntax_error(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    assert main([str(bad)]) == 1
+    assert "parse-error" in capsys.readouterr().out
+
+
+def test_cli_lists_all_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in rule_names():
+        assert name in out

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench reproduce examples selftest clean
+.PHONY: install test lint bench bench-all trace reproduce examples selftest clean
 
 install:
 	pip install -e .
@@ -13,8 +13,21 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src/
 
+# Quick perf-tracking benches; writes BENCH_obs.json at the repo root.
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_baseline.py benchmarks/test_streaming_throughput.py --benchmark-only -s
+
+# The full figure/table regeneration suite (slow).
+bench-all:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Capture + profile one microbenchmark with observability on; drops
+# spans.json (chrome://tracing compatible via --trace-format chrome),
+# metrics.json into results/.
+trace:
+	mkdir -p results
+	PYTHONPATH=src EMPROF_OBS=1 $(PYTHON) -m repro capture --workload micro -o results/trace_capture.npz
+	PYTHONPATH=src EMPROF_OBS=1 $(PYTHON) -m repro profile results/trace_capture.npz --trace-out results/spans.json --metrics-out results/metrics.json
 
 reproduce:
 	$(PYTHON) -m repro reproduce -o results/

@@ -4,18 +4,65 @@ Every bench regenerates one of the paper's tables or figures, prints
 it in the paper's layout, and asserts its qualitative claims (who
 wins, by roughly what factor, where the crossovers are).  Each bench
 runs its experiment exactly once under pytest-benchmark timing.
+
+Each run also executes with observability enabled against a clean
+metrics registry, and the session writes ``BENCH_obs.json`` at the
+repo root: one entry per benchmark with its wall time, the metric
+snapshot it produced, and a per-span timing aggregate.  That file is
+the machine-readable companion to the printed tables - diffable
+across commits to spot throughput or workload-shape regressions.
 """
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
 import pytest
+
+from repro import obs
+
+_BENCH_RESULTS: List[Dict[str, Any]] = []
+_OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
 
 @pytest.fixture()
-def once(benchmark):
+def once(benchmark, request):
     """Run an experiment exactly once under benchmark timing."""
 
     def runner(func, *args, **kwargs):
-        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        previous = obs.set_obs_enabled(True)
+        obs.metrics.reset()
+        obs.trace.reset()
+        t0 = time.perf_counter()
+        try:
+            return benchmark.pedantic(
+                func, args=args, kwargs=kwargs, rounds=1, iterations=1
+            )
+        finally:
+            elapsed = time.perf_counter() - t0
+            _BENCH_RESULTS.append(
+                {
+                    "benchmark": request.node.nodeid,
+                    "wall_time_s": elapsed,
+                    "metrics": obs.metrics.snapshot(),
+                    "spans": obs.trace.aggregate(),
+                }
+            )
+            obs.set_obs_enabled(previous)
 
     return runner
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the per-benchmark observability report, if any ran."""
+    if not _BENCH_RESULTS:
+        return
+    payload = {
+        "format": "repro-obs-bench",
+        "version": 1,
+        "benchmarks": _BENCH_RESULTS,
+    }
+    _OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")

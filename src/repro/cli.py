@@ -9,7 +9,13 @@ Mirrors a real measurement campaign's workflow:
   report (.json);
 * ``selftest``   - engineered-microbenchmark accuracy check (the
   Table II experiment at one grid point);
-* ``table``      - regenerate one of the paper's tables.
+* ``table``      - regenerate one of the paper's tables;
+* ``obs``        - pretty-print an observability snapshot (or run a
+  live instrumented demo); see ``docs/observability.md``.
+
+Global ``--quiet`` / ``--verbose`` flags control the stdlib-logging
+bridge (:mod:`repro.obs.logbridge`); ``profile --trace-out/--metrics-out``
+export spans and metrics from an instrumented run.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import sys
 from typing import List, Optional
 
 from . import io as repro_io
+from . import obs
 from .analysis import boundedness, speedup_headroom
 from .core.detect import DetectorConfig
 from .core.markers import find_marker_window
@@ -86,6 +93,13 @@ def cmd_capture(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    log = obs.get_logger("cli")
+    wants_obs = bool(args.trace_out or args.metrics_out)
+    if wants_obs and not obs.obs_enabled():
+        # Exporting implies instrumenting: turn the obs layer on for
+        # this command rather than silently writing empty artifacts.
+        obs.set_obs_enabled(True)
+        log.info("observability enabled for this run (--trace-out/--metrics-out)")
     capture = repro_io.load_capture(args.capture)
     config = EmprofConfig(
         normalizer=NormalizerConfig(window_samples=args.window),
@@ -117,7 +131,27 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.output:
         repro_io.save_report(args.output, report)
         print(f"report -> {args.output}")
+    if args.trace_out:
+        obs.trace.write(args.trace_out, fmt=args.trace_format)
+        print(f"trace ({len(obs.trace.records())} spans) -> {args.trace_out}")
+    if args.metrics_out:
+        fmt = "prom" if args.metrics_out.endswith((".prom", ".txt")) else "json"
+        obs.metrics.write(args.metrics_out, fmt=fmt)
+        print(f"metrics -> {args.metrics_out}")
     return 0
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    # Delegate to the repro-obs entry point so file handling (and its
+    # exit codes) exist in exactly one place.
+    from .obs.cli import main as obs_main
+
+    argv = []
+    if args.metrics:
+        argv.append(args.metrics)
+    if args.trace:
+        argv.extend(["--trace", args.trace])
+    return obs_main(argv)
 
 
 def cmd_selftest(args: argparse.Namespace) -> int:
@@ -222,6 +256,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="EMPROF reproduction - EM-emanation memory profiling",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="only log errors (overrides --verbose)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("devices", help="list modelled devices").set_defaults(
@@ -259,6 +306,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot",
         action="store_true",
         help="render the signal and latency histogram as ASCII art",
+    )
+    prof.add_argument(
+        "--trace-out",
+        metavar="SPANS_JSON",
+        help="write the run's span trace (implies observability on)",
+    )
+    prof.add_argument(
+        "--trace-format",
+        choices=("json", "chrome"),
+        default="json",
+        help="trace file format: native JSON or chrome://tracing",
+    )
+    prof.add_argument(
+        "--metrics-out",
+        metavar="METRICS_FILE",
+        help="write the run's metric snapshot (.json, or .prom/.txt "
+        "for Prometheus text format; implies observability on)",
     )
     prof.set_defaults(func=cmd_profile)
 
@@ -302,6 +366,22 @@ def build_parser() -> argparse.ArgumentParser:
     tab.add_argument("--scale", type=float, default=1.0)
     tab.set_defaults(func=cmd_table)
 
+    ob = sub.add_parser(
+        "obs", help="pretty-print an observability snapshot (or run a demo)"
+    )
+    ob.add_argument(
+        "metrics",
+        nargs="?",
+        help="metrics snapshot .json (from `profile --metrics-out`); "
+        "omit to run a small instrumented demo",
+    )
+    ob.add_argument(
+        "--trace",
+        metavar="SPANS_JSON",
+        help="summarize a span trace (from `profile --trace-out`)",
+    )
+    ob.set_defaults(func=cmd_obs)
+
     return parser
 
 
@@ -309,6 +389,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    verbosity = -1 if args.quiet else args.verbose
+    obs.configure_logging(verbosity)
     return args.func(args)
 
 

@@ -17,13 +17,26 @@ Detection runs in three stages:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Tuple
 
 import numpy as np
 
 from ..devtools.contracts import stall_sequence_result
+from ..obs import metrics as _metrics, trace as _trace
+from ..obs.runtime import obs_enabled
 from .events import DetectedStall
+
+_STALLS_TOTAL = _metrics.counter(
+    "stalls_detected_total", "LLC-miss stalls detected (batch + streaming)"
+)
+_REFRESH_TOTAL = _metrics.counter(
+    "refresh_stalls_total", "detected stalls classified refresh-coincident"
+)
+_DETECT_LATENCY = _metrics.histogram(
+    "detect_latency_seconds", "wall time of one batch detect_stalls() call"
+)
 
 
 @dataclass(frozen=True)
@@ -161,6 +174,24 @@ def detect_stalls(
         refresh classification applied.
     """
     cfg = config if config is not None else DetectorConfig()
+    if not obs_enabled():
+        return _detect_stalls_impl(normalized, sample_period_cycles, cfg)
+    t0 = time.perf_counter()
+    with _trace.span("detect", samples=len(normalized)) as span:
+        stalls = _detect_stalls_impl(normalized, sample_period_cycles, cfg)
+        span.set_attr(stalls=len(stalls))
+    _DETECT_LATENCY.observe(time.perf_counter() - t0)
+    _STALLS_TOTAL.inc(len(stalls))
+    _REFRESH_TOTAL.inc(sum(1 for s in stalls if s.is_refresh))
+    return stalls
+
+
+def _detect_stalls_impl(
+    normalized: np.ndarray,
+    sample_period_cycles: float,
+    cfg: DetectorConfig,
+) -> List[DetectedStall]:
+    """The uninstrumented detection pipeline (see :func:`detect_stalls`)."""
     x = np.asarray(normalized, dtype=np.float64)
     if x.ndim != 1:
         raise ValueError("signal must be one-dimensional")

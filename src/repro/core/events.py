@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -49,14 +49,23 @@ class DetectedStall:
 
     def with_region(self, region: int) -> "DetectedStall":
         """Copy of this stall attributed to ``region``."""
-        return DetectedStall(
-            self.begin_sample,
-            self.end_sample,
-            self.begin_cycle,
-            self.end_cycle,
-            self.min_level,
-            self.is_refresh,
-            region,
+        return replace(self, region=region)
+
+    def shifted(self, sample_offset: float, cycle_offset: float) -> "DetectedStall":
+        """Copy translated by ``sample_offset`` samples / ``cycle_offset`` cycles.
+
+        Used to map stalls detected inside a signal window back to
+        whole-signal coordinates.  Field-addressed (via
+        :func:`dataclasses.replace`) so that adding a field to the
+        dataclass can never silently scramble the remaining arguments,
+        which a positional ``type(s)(...)`` rebuild would.
+        """
+        return replace(
+            self,
+            begin_sample=self.begin_sample + sample_offset,
+            end_sample=self.end_sample + sample_offset,
+            begin_cycle=self.begin_cycle + cycle_offset,
+            end_cycle=self.end_cycle + cycle_offset,
         )
 
 

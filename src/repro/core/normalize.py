@@ -22,6 +22,15 @@ import numpy as np
 from scipy.ndimage import maximum_filter1d, minimum_filter1d, uniform_filter1d
 
 from ..devtools.contracts import unit_interval_result
+from ..obs import metrics as _metrics, trace as _trace
+from ..obs.runtime import obs_enabled
+
+_NORMALIZE_SAMPLES = _metrics.counter(
+    "normalize_samples_total", "magnitude samples normalized by the batch path"
+)
+_NORMALIZE_CALLS = _metrics.counter(
+    "normalize_calls_total", "batch normalize() invocations"
+)
 
 
 @dataclass(frozen=True)
@@ -80,6 +89,18 @@ def normalize(signal: np.ndarray, config: NormalizerConfig = None) -> np.ndarray
     is too small to contain a stall are returned as 1 everywhere (see
     module docstring).
     """
+    if not obs_enabled():
+        return _normalize_impl(signal, config)
+    x = np.asarray(signal)
+    with _trace.span("normalize", samples=int(x.size)):
+        out = _normalize_impl(signal, config)
+    _NORMALIZE_CALLS.inc()
+    _NORMALIZE_SAMPLES.inc(int(x.size))
+    return out
+
+
+def _normalize_impl(signal: np.ndarray, config: NormalizerConfig = None) -> np.ndarray:
+    """The uninstrumented normalization pipeline (see :func:`normalize`)."""
     cfg = config if config is not None else NormalizerConfig()
     x = np.asarray(signal, dtype=np.float64)
     if x.ndim != 1:

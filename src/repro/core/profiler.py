@@ -15,9 +15,15 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..obs import metrics as _metrics, trace as _trace
+from ..obs.runtime import obs_enabled
 from .detect import DetectorConfig, detect_stalls
 from .events import ProfileReport
 from .normalize import NormalizerConfig, normalize
+
+_PROFILE_RUNS = _metrics.counter(
+    "profile_runs_total", "Emprof.profile()/profile_window() invocations"
+)
 
 
 @dataclass(frozen=True)
@@ -108,17 +114,27 @@ class Emprof:
 
     def profile(self) -> ProfileReport:
         """Run detection over the whole signal and build the report."""
+        if not obs_enabled():
+            return self._profile_impl()
+        with _trace.span("profile", samples=len(self.signal)):
+            report = self._profile_impl()
+        _PROFILE_RUNS.inc()
+        return report
+
+    def _profile_impl(self) -> ProfileReport:
+        """Whole-signal profiling (instrumentation-free entry)."""
         stalls = detect_stalls(
             self.normalized(), self.sample_period_cycles, self.config.detector
         )
         total_cycles = len(self.signal) * self.sample_period_cycles
-        return ProfileReport(
-            stalls=stalls,
-            total_cycles=total_cycles,
-            clock_hz=self.clock_hz,
-            sample_period_cycles=self.sample_period_cycles,
-            region_names=dict(self.region_names),
-        )
+        with _trace.span("report", stalls=len(stalls)):
+            return ProfileReport(
+                stalls=stalls,
+                total_cycles=total_cycles,
+                clock_hz=self.clock_hz,
+                sample_period_cycles=self.sample_period_cycles,
+                region_names=dict(self.region_names),
+            )
 
     def profile_window(self, begin_sample: int, end_sample: int) -> ProfileReport:
         """Profile only samples [begin_sample, end_sample).
@@ -130,26 +146,29 @@ class Emprof:
         """
         if not 0 <= begin_sample <= end_sample <= len(self.signal):
             raise ValueError("window out of signal bounds")
+        if not obs_enabled():
+            return self._profile_window_impl(begin_sample, end_sample)
+        with _trace.span(
+            "profile_window", begin=begin_sample, end=end_sample
+        ):
+            report = self._profile_window_impl(begin_sample, end_sample)
+        _PROFILE_RUNS.inc()
+        return report
+
+    def _profile_window_impl(
+        self, begin_sample: int, end_sample: int
+    ) -> ProfileReport:
+        """Windowed profiling (instrumentation-free entry)."""
         norm = self.normalized()[begin_sample:end_sample]
         stalls = detect_stalls(norm, self.sample_period_cycles, self.config.detector)
         offset_cycles = begin_sample * self.sample_period_cycles
-        shifted = [
-            type(s)(
-                s.begin_sample + begin_sample,
-                s.end_sample + begin_sample,
-                s.begin_cycle + offset_cycles,
-                s.end_cycle + offset_cycles,
-                s.min_level,
-                s.is_refresh,
-                s.region,
-            )
-            for s in stalls
-        ]
+        shifted = [s.shifted(begin_sample, offset_cycles) for s in stalls]
         window_cycles = (end_sample - begin_sample) * self.sample_period_cycles
-        return ProfileReport(
-            stalls=shifted,
-            total_cycles=window_cycles,
-            clock_hz=self.clock_hz,
-            sample_period_cycles=self.sample_period_cycles,
-            region_names=dict(self.region_names),
-        )
+        with _trace.span("report", stalls=len(shifted)):
+            return ProfileReport(
+                stalls=shifted,
+                total_cycles=window_cycles,
+                clock_hz=self.clock_hz,
+                sample_period_cycles=self.sample_period_cycles,
+                region_names=dict(self.region_names),
+            )

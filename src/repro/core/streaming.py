@@ -23,6 +23,7 @@ streamed result equals the batch result.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterable, List, Optional
@@ -34,9 +35,33 @@ from ..devtools.contracts import (
     report_result,
     unit_interval_result,
 )
+from ..obs import metrics as _metrics, trace as _trace
+from ..obs.runtime import obs_enabled
 from .detect import DetectorConfig
 from .events import DetectedStall, ProfileReport
 from .normalize import NormalizerConfig
+
+_STREAM_NORM_SAMPLES = _metrics.counter(
+    "streaming_normalize_samples_total",
+    "magnitude samples consumed by OnlineNormalizer.push()",
+)
+_STREAM_DETECT_SAMPLES = _metrics.counter(
+    "streaming_detect_samples_total",
+    "normalized samples consumed by StreamingDetector.push()",
+)
+_STREAM_STALLS = _metrics.counter(
+    "stalls_detected_total", "LLC-miss stalls detected (batch + streaming)"
+)
+_STREAM_REFRESH = _metrics.counter(
+    "refresh_stalls_total", "detected stalls classified refresh-coincident"
+)
+_STREAM_CHUNKS = _metrics.counter(
+    "streaming_chunks_total", "chunks fed through StreamingEmprof.process()"
+)
+_STREAM_CHUNK_LATENCY = _metrics.histogram(
+    "streaming_chunk_latency_seconds",
+    "wall time of one StreamingEmprof.process() chunk",
+)
 
 
 class OnlineNormalizer:
@@ -106,12 +131,15 @@ class OnlineNormalizer:
     def push(self, chunk: np.ndarray) -> np.ndarray:
         """Feed samples; return the normalized values now determined."""
         out: List[float] = []
-        for value in np.asarray(chunk, dtype=np.float64):
+        arr = np.asarray(chunk, dtype=np.float64)
+        for value in arr:
             self._admit(self._next_in, float(value))
             self._next_in += 1
             # Output i is ready once input i + half exists.
             while self._next_out + self._half < self._next_in:
                 out.append(self._emit_one())
+        if obs_enabled():
+            _STREAM_NORM_SAMPLES.inc(len(arr))
         return np.asarray(out)
 
     @unit_interval_result
@@ -210,7 +238,8 @@ class StreamingDetector:
         """Consume normalized samples; return newly finalized stalls."""
         cfg = self.config
         out: List[DetectedStall] = []
-        for value in np.asarray(normalized, dtype=np.float64):
+        arr = np.asarray(normalized, dtype=np.float64)
+        for value in arr:
             v = float(value)
             i = self._pos
             below = v < cfg.threshold
@@ -270,6 +299,10 @@ class StreamingDetector:
             self._prev = v
             self._pos += 1
             self._samples_seen += 1
+        if obs_enabled():
+            _STREAM_DETECT_SAMPLES.inc(len(arr))
+            _STREAM_STALLS.inc(len(out))
+            _STREAM_REFRESH.inc(sum(1 for s in out if s.is_refresh))
         return out
 
     @monotonic_stall_stream
@@ -291,6 +324,9 @@ class StreamingDetector:
             if stall is not None:
                 out.append(stall)
             self._open = None
+        if obs_enabled():
+            _STREAM_STALLS.inc(len(out))
+            _STREAM_REFRESH.inc(sum(1 for s in out if s.is_refresh))
         return out
 
     @property
@@ -337,6 +373,18 @@ class StreamingEmprof:
         chunk = np.asarray(chunk, dtype=np.float64)
         if chunk.ndim != 1:
             raise ValueError("chunks must be one-dimensional")
+        if not obs_enabled():
+            return self._process_impl(chunk)
+        t0 = time.perf_counter()
+        with _trace.span("streaming.chunk", samples=len(chunk)) as span:
+            new = self._process_impl(chunk)
+            span.set_attr(stalls=len(new))
+        _STREAM_CHUNK_LATENCY.observe(time.perf_counter() - t0)
+        _STREAM_CHUNKS.inc()
+        return new
+
+    def _process_impl(self, chunk: np.ndarray) -> List[DetectedStall]:
+        """The uninstrumented chunk path (see :meth:`process`)."""
         self._n_samples += len(chunk)
         normalized = self._normalizer.push(chunk)
         new = self._detector.push(normalized)
@@ -347,9 +395,10 @@ class StreamingEmprof:
     def finish(self) -> ProfileReport:
         """Flush all state and return the final report."""
         if not self._finished:
-            tail = self._normalizer.flush()
-            self._stalls.extend(self._detector.push(tail))
-            self._stalls.extend(self._detector.finish())
+            with _trace.span("streaming.finish"):
+                tail = self._normalizer.flush()
+                self._stalls.extend(self._detector.push(tail))
+                self._stalls.extend(self._detector.finish())
             self._finished = True
         return ProfileReport(
             stalls=list(self._stalls),

@@ -23,7 +23,13 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import metrics as _metrics, trace as _trace
+from ..obs.runtime import obs_enabled
 from .dsp import rms
+
+_CHANNEL_SAMPLES = _metrics.counter(
+    "channel_samples_total", "envelope samples distorted by Channel.apply()"
+)
 
 
 @dataclass(frozen=True)
@@ -106,6 +112,15 @@ class Channel:
         The output is clipped at zero: a magnitude cannot be negative,
         and deep noise excursions rectify in a real envelope detector.
         """
+        if not obs_enabled():
+            return self._apply_impl(envelope, rate_hz)
+        with _trace.span("channel.apply", samples=len(np.atleast_1d(envelope))):
+            out = self._apply_impl(envelope, rate_hz)
+        _CHANNEL_SAMPLES.inc(len(out))
+        return out
+
+    def _apply_impl(self, envelope: np.ndarray, rate_hz: float) -> np.ndarray:
+        """The uninstrumented channel model (see :meth:`apply`)."""
         if rate_hz <= 0:
             raise ValueError("sample rate must be positive")
         cfg = self.config

@@ -25,7 +25,16 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..obs import metrics as _metrics, trace as _trace
+from ..obs.runtime import obs_enabled
 from .dsp import lowpass, resample_to_rate
+
+_CAPTURES_TOTAL = _metrics.counter(
+    "receiver_captures_total", "captures recorded through Receiver.capture()"
+)
+_CAPTURE_SAMPLES = _metrics.counter(
+    "receiver_samples_total", "magnitude samples produced by the receiver"
+)
 
 MHZ = 1e6
 
@@ -85,13 +94,19 @@ class Receiver:
         """
         if rate_hz <= 0 or clock_hz <= 0:
             raise ValueError("rates must be positive")
-        x = np.asarray(envelope, dtype=np.float64)
-        target_rate = self.bandwidth_hz
-        if target_rate < rate_hz:
-            # Anti-aliasing at the capture bandwidth's Nyquist edge.
-            x = lowpass(x, cutoff_hz=target_rate / 2.0, rate_hz=rate_hz)
-        y = resample_to_rate(x, rate_hz, target_rate)
-        y = np.maximum(y, 0.0)
+        with _trace.span(
+            "receiver.capture", bandwidth_hz=self.bandwidth_hz
+        ):
+            x = np.asarray(envelope, dtype=np.float64)
+            target_rate = self.bandwidth_hz
+            if target_rate < rate_hz:
+                # Anti-aliasing at the capture bandwidth's Nyquist edge.
+                x = lowpass(x, cutoff_hz=target_rate / 2.0, rate_hz=rate_hz)
+            y = resample_to_rate(x, rate_hz, target_rate)
+            y = np.maximum(y, 0.0)
+        if obs_enabled():
+            _CAPTURES_TOTAL.inc()
+            _CAPTURE_SAMPLES.inc(len(y))
         return Capture(
             magnitude=y,
             sample_rate_hz=target_rate,

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 from ..core.markers import MarkerWindow, find_marker_window
 from ..core.profiler import Emprof, EmprofConfig
 from ..core.events import ProfileReport
+from ..obs import metrics as _metrics, trace as _trace
 from ..devices.models import default_channel
 from ..emsignal.apparatus import Apparatus
 from ..emsignal.channel import ChannelConfig
@@ -27,6 +28,10 @@ from ..emsignal.synth import EmissionModel
 from ..sim.config import MachineConfig
 from ..sim.machine import Machine, SimulationResult
 from ..workloads.base import Workload
+
+_EXPERIMENT_RUNS = _metrics.counter(
+    "experiment_runs_total", "run_simulator()/run_device() invocations"
+)
 
 
 @dataclass
@@ -66,12 +71,17 @@ def run_simulator(
     """Simulate and profile the raw power trace (Section V-C path)."""
     from ..devices.models import sesc
 
-    machine = Machine(config if config is not None else sesc(), seed=seed)
-    result = machine.run(workload)
-    emprof = Emprof.from_simulation(result, config=emprof_config)
-    return ExperimentRun(
-        result=result, capture=None, emprof=emprof, report=emprof.profile()
-    )
+    with _trace.span(
+        "run_simulator", workload=getattr(workload, "name", "?")
+    ):
+        machine = Machine(config if config is not None else sesc(), seed=seed)
+        result = machine.run(workload)
+        emprof = Emprof.from_simulation(result, config=emprof_config)
+        run = ExperimentRun(
+            result=result, capture=None, emprof=emprof, report=emprof.profile()
+        )
+    _EXPERIMENT_RUNS.inc()
+    return run
 
 
 def run_device(
@@ -88,20 +98,30 @@ def run_device(
     The channel defaults to the device's probe setup (see
     :func:`repro.devices.default_channel`).
     """
-    machine = Machine(device, seed=seed)
-    result = machine.run(workload)
-    apparatus = Apparatus(
-        emission=emission if emission is not None else EmissionModel(),
-        channel=(
-            channel if channel is not None else default_channel(device.name, seed=seed)
-        ),
+    with _trace.span(
+        "run_device",
+        workload=getattr(workload, "name", "?"),
+        device=device.name,
         bandwidth_hz=bandwidth_hz,
-    )
-    capture = apparatus.measure(result)
-    emprof = Emprof.from_capture(capture, config=emprof_config)
-    return ExperimentRun(
-        result=result, capture=capture, emprof=emprof, report=emprof.profile()
-    )
+    ):
+        machine = Machine(device, seed=seed)
+        result = machine.run(workload)
+        apparatus = Apparatus(
+            emission=emission if emission is not None else EmissionModel(),
+            channel=(
+                channel
+                if channel is not None
+                else default_channel(device.name, seed=seed)
+            ),
+            bandwidth_hz=bandwidth_hz,
+        )
+        capture = apparatus.measure(result)
+        emprof = Emprof.from_capture(capture, config=emprof_config)
+        run = ExperimentRun(
+            result=result, capture=capture, emprof=emprof, report=emprof.profile()
+        )
+    _EXPERIMENT_RUNS.inc()
+    return run
 
 
 def microbenchmark_window(

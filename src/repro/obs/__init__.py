@@ -1,0 +1,60 @@
+"""Observability for the EMPROF reproduction: traces, metrics, logs.
+
+EMPROF's pitch is profiling with zero observer effect; this package
+holds the reproduction to the same bar by making the profiler itself
+observable *without* perturbing it.  Three primitives, all stdlib-only:
+
+* :data:`trace` - a process-global span :class:`~repro.obs.trace.Tracer`
+  (``with trace.span("detect", samples=n): ...``), thread-safe and
+  nestable, exporting JSON and Chrome ``chrome://tracing`` format;
+* :data:`metrics` - a process-global
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  histograms with JSON and Prometheus-text exporters;
+* :func:`~repro.obs.logbridge.get_logger` - stdlib logging under the
+  ``repro`` namespace, wired to the CLI's ``--quiet``/``--verbose``.
+
+Everything is inert unless ``EMPROF_OBS=1`` is set in the environment
+(mirroring ``EMPROF_CONTRACTS``) or :func:`set_obs_enabled` is called:
+disabled instruments cost one attribute check per call, which is what
+lets the hot loops stay instrumented permanently.  The overhead guard
+in ``tests/test_obs_overhead.py`` enforces that bound.
+
+See ``docs/observability.md`` for the span/metric catalogue and the
+exporter formats.
+"""
+
+from __future__ import annotations
+
+from .logbridge import configure_logging, get_logger, level_for_verbosity
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .runtime import obs_enabled, set_obs_enabled
+from .trace import SpanRecord, Tracer
+
+#: Process-global tracer; import as ``from repro.obs import trace``.
+trace = Tracer()
+
+#: Process-global metrics registry.
+metrics = MetricsRegistry()
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "level_for_verbosity",
+    "metrics",
+    "obs_enabled",
+    "set_obs_enabled",
+    "trace",
+]

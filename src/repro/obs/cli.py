@@ -1,0 +1,205 @@
+"""``repro-obs``: inspect observability artifacts from the terminal.
+
+Three modes:
+
+* ``repro-obs metrics.json`` - pretty-print a metrics snapshot written
+  by ``repro profile --metrics-out`` (or any
+  :meth:`~repro.obs.metrics.MetricsRegistry.to_json` document);
+* ``repro-obs --trace spans.json`` - summarize a span trace written by
+  ``repro profile --trace-out`` (native JSON format);
+* ``repro-obs --live`` - run a small synthetic capture+profile with
+  observability enabled and print the resulting snapshot, as a
+  smoke-test of the whole instrumentation chain.
+
+Also reachable as ``repro obs`` from the main CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+_QUANTILES = (0.5, 0.9, 0.99)
+
+
+def format_metrics_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Human-readable rendering of a registry snapshot document."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]['value']:g}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {gauges[name]['value']:g}")
+    if histograms:
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            hist = histograms[name]
+            count = hist.get("count", 0)
+            lines.append(f"  {name}:")
+            lines.append(
+                f"    count {count}   sum {hist.get('sum', 0.0):g}   "
+                f"min {hist.get('min')}   max {hist.get('max')}"
+            )
+            if count:
+                quants = "   ".join(
+                    f"p{int(q * 100)} {_snapshot_quantile(hist, q):.3g}"
+                    for q in _QUANTILES
+                )
+                lines.append(f"    {quants}")
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def _snapshot_quantile(hist: Dict[str, Any], q: float) -> float:
+    """Quantile estimate from a snapshot's cumulative buckets."""
+    buckets = hist.get("buckets", [])
+    total = hist.get("count", 0)
+    if not total or not buckets:
+        return 0.0
+    target = q * total
+    low = hist.get("min")
+    previous_cumulative = 0
+    previous_bound = low if isinstance(low, (int, float)) else 0.0
+    for bucket in buckets:
+        cumulative = bucket["count"]
+        in_bucket = cumulative - previous_cumulative
+        bound = bucket["le"]
+        upper = (
+            float(bound)
+            if isinstance(bound, (int, float))
+            else hist.get("max") or previous_bound
+        )
+        if cumulative >= target and in_bucket > 0:
+            frac = min(max((target - previous_cumulative) / in_bucket, 0.0), 1.0)
+            return previous_bound + frac * (upper - previous_bound)
+        if in_bucket > 0:
+            previous_bound = upper
+        previous_cumulative = cumulative
+    maximum = hist.get("max")
+    return float(maximum) if isinstance(maximum, (int, float)) else previous_bound
+
+
+def format_trace_summary(payload: Dict[str, Any]) -> str:
+    """Per-span-name rollup of a native-format trace document."""
+    spans = payload.get("spans", [])
+    if not spans:
+        return "(no spans recorded)"
+    rollup: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        row = rollup.setdefault(span["name"], {"count": 0.0, "total_s": 0.0})
+        row["count"] += 1.0
+        row["total_s"] += span.get("duration_s", 0.0)
+    width = max(len(name) for name in rollup)
+    lines = [f"{len(spans)} spans ({payload.get('dropped', 0)} dropped)"]
+    lines.append(f"  {'span':<{width}}  {'count':>7}  {'total':>10}  {'mean':>10}")
+    for name in sorted(rollup, key=lambda n: -rollup[n]["total_s"]):
+        row = rollup[name]
+        mean_s = row["total_s"] / row["count"]
+        lines.append(
+            f"  {name:<{width}}  {int(row['count']):>7}  "
+            f"{row['total_s'] * 1e3:>8.3f}ms  {mean_s * 1e3:>8.3f}ms"
+        )
+    return "\n".join(lines)
+
+
+def run_live_demo() -> str:
+    """Capture+profile a tiny synthetic workload with obs enabled.
+
+    Returns the pretty-printed metric snapshot plus a trace summary.
+    Imports the heavy pipeline lazily so ``repro-obs`` on a file stays
+    instant.
+    """
+    from . import metrics, set_obs_enabled, trace
+    from ..core.profiler import Emprof
+    from ..devices import olimex
+    from ..experiments.runner import run_device
+    from ..workloads import Microbenchmark
+
+    previous = set_obs_enabled(True)
+    trace.reset()
+    metrics.reset()
+    try:
+        workload = Microbenchmark(total_misses=64, consecutive_misses=4)
+        run = run_device(workload, olimex(), bandwidth_hz=40e6, seed=0)
+        # A second, streaming-free profile over the same capture keeps
+        # the demo deterministic and exercises profile() spans too.
+        Emprof.from_capture(run.capture).profile()
+    finally:
+        set_obs_enabled(previous)
+    parts = [
+        "live demo: micro workload on olimex @ 40 MHz",
+        "",
+        format_metrics_snapshot(metrics.snapshot()),
+        "",
+        format_trace_summary(trace.to_payload()),
+    ]
+    return "\n".join(parts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="pretty-print EMPROF observability artifacts",
+    )
+    parser.add_argument(
+        "metrics",
+        nargs="?",
+        help="metrics snapshot .json (from `repro profile --metrics-out`)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="SPANS_JSON",
+        help="summarize a span trace (from `repro profile --trace-out`)",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="run a small synthetic workload with observability on",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if not args.metrics and not args.trace and not args.live:
+        print(run_live_demo())
+        return 0
+
+    if args.live:
+        print(run_live_demo())
+    if args.metrics:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro-obs: cannot read {args.metrics}: {exc}", file=sys.stderr)
+            return 2
+        print(format_metrics_snapshot(snapshot))
+    if args.trace:
+        try:
+            with open(args.trace, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro-obs: cannot read {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        print(format_trace_summary(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Bridge from the obs layer to stdlib :mod:`logging`.
+
+Library code must not print; it logs under the ``repro`` namespace and
+stays silent by default (a ``NullHandler`` is installed on import, per
+the stdlib's library convention).  Applications - including the
+``repro`` CLI via its global ``--quiet`` / ``--verbose`` flags - call
+:func:`configure_logging` once to attach a real handler at the chosen
+verbosity.
+
+Verbosity maps to levels as::
+
+    -1  (--quiet)    ERROR
+     0  (default)    WARNING
+     1  (-v)         INFO
+     2+ (-vv)        DEBUG
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger()`` returns the root ``repro`` logger;
+    ``get_logger("obs")`` returns ``repro.obs``; names already under
+    the namespace are passed through unchanged.
+    """
+    if name is None:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def level_for_verbosity(verbosity: int) -> int:
+    """The stdlib logging level for a ``--quiet``/``-v`` count."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0, stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Attach (or re-level) the CLI handler on the ``repro`` logger.
+
+    Idempotent: calling again adjusts the existing handler's level
+    instead of stacking a second one, so tests and long-lived sessions
+    can reconfigure freely.  Returns the root ``repro`` logger.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    level = level_for_verbosity(verbosity)
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, "_repro_obs_handler", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler._repro_obs_handler = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)  # type: ignore[attr-defined]
+    handler.setLevel(level)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,321 @@
+"""Span-based tracing for the EMPROF pipeline.
+
+A *span* is one timed, named region of execution (``normalize``,
+``detect``, ``sim.run`` ...) with optional attributes (sample counts,
+stall counts).  Spans nest: the tracer keeps a per-thread stack, so a
+``detect`` span entered while a ``profile`` span is open records
+``profile`` as its parent.  The result is a flat list of records that
+exports losslessly to JSON and to the Chrome ``chrome://tracing`` /
+Perfetto event format.
+
+The tracer is process-global (:data:`repro.obs.trace`), thread-safe,
+and - like everything in this package - inert unless ``EMPROF_OBS``
+is enabled: :meth:`Tracer.span` returns a shared do-nothing context
+manager, so instrumented code pays one flag check and nothing else.
+
+Usage::
+
+    from repro.obs import trace
+
+    with trace.span("detect", samples=len(x)):
+        ...
+
+    @trace.wrap("experiment")          # late-binding decorator form
+    def run_experiment(...): ...
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar
+
+from . import runtime
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Hard cap on retained spans; beyond it new spans are counted but
+#: dropped, so an unbounded streaming run cannot exhaust memory.
+DEFAULT_MAX_SPANS = 200_000
+
+_ATTR_TYPES = (str, int, float, bool)
+
+
+def _clean_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce attribute values to JSON-safe scalars."""
+    return {
+        key: value if isinstance(value, _ATTR_TYPES) else str(value)
+        for key, value in attrs.items()
+    }
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        span_id: unique id within the tracer's lifetime.
+        parent_id: id of the enclosing span on the same thread, or
+            None for a root span.
+        name: the region's name.
+        begin_s / end_s: seconds since the tracer's origin (a
+            monotonic clock; wall-clock anchoring is deliberately not
+            attempted).
+        depth: nesting depth on its thread (0 for roots).
+        thread_id: ``threading.get_ident()`` of the recording thread.
+        attrs: user-supplied attributes.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    begin_s: float
+    end_s: float
+    depth: int
+    thread_id: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in seconds."""
+        return self.end_s - self.begin_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-pure representation (the JSON exporter's row format)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "begin_s": self.begin_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+            "thread_id": self.thread_id,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Shared no-op span: the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+    def set_attr(self, **attrs: Any) -> None:
+        """Ignore attributes (tracing is disabled)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """An open span; created only when tracing is enabled."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_begin_s", "_span_id", "_parent_id", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def set_attr(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. result counts)."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._parent_id = stack[-1][0] if stack else None
+        self._depth = len(stack)
+        self._span_id = tracer._allocate_id()
+        stack.append((self._span_id, self._name))
+        self._begin_s = time.perf_counter() - tracer._origin
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        tracer = self._tracer
+        end = time.perf_counter() - tracer._origin
+        stack = tracer._stack()
+        if stack and stack[-1][0] == self._span_id:
+            stack.pop()
+        tracer._record(
+            SpanRecord(
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                name=self._name,
+                begin_s=self._begin_s,
+                end_s=end,
+                depth=self._depth,
+                thread_id=threading.get_ident(),
+                attrs=_clean_attrs(self._attrs),
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Thread-safe span collector with JSON and Chrome exporters.
+
+    One process-global instance lives at :data:`repro.obs.trace`;
+    constructing private tracers (for tests, or to trace one workload
+    in isolation) is supported and cheap.
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS):
+        if max_spans < 1:
+            raise ValueError("max_spans must be at least 1")
+        self.max_spans = int(max_spans)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._spans: List[SpanRecord] = []
+        self._dropped = 0
+        self._next_id = 0
+        self._origin = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    def _stack(self) -> List[Tuple[int, str]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self._dropped += 1
+            else:
+                self._spans.append(record)
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; use as ``with trace.span("detect", samples=n):``.
+
+        Returns the shared no-op span when observability is disabled,
+        so the call costs one flag check on the hot path.
+        """
+        if not runtime._enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name, dict(attrs))
+
+    def wrap(self, name: Optional[str] = None, **attrs: Any) -> Callable[[F], F]:
+        """Decorator form; the span is opened per call, *late-bound*.
+
+        Unlike decorating with :meth:`span` directly, the enabled flag
+        is consulted at each call, so instrumentation toggled on after
+        import still takes effect.
+        """
+
+        def decorate(func: F) -> F:
+            span_name = name if name is not None else func.__qualname__
+
+            @functools.wraps(func)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                if not runtime._enabled:
+                    return func(*args, **kwargs)
+                with self.span(span_name, **attrs):
+                    return func(*args, **kwargs)
+
+            return wrapper  # type: ignore[return-value]
+
+        return decorate
+
+    # -- inspection --------------------------------------------------------
+
+    def records(self) -> List[SpanRecord]:
+        """Completed spans, in completion order (a copy)."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded because ``max_spans`` was reached."""
+        with self._lock:
+            return self._dropped
+
+    def by_name(self, name: str) -> List[SpanRecord]:
+        """Completed spans named ``name``."""
+        return [r for r in self.records() if r.name == name]
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name rollup: count, total and mean duration (seconds)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for record in self.records():
+            row = out.setdefault(record.name, {"count": 0.0, "total_s": 0.0})
+            row["count"] += 1.0
+            row["total_s"] += record.duration_s
+        for row in out.values():
+            row["mean_s"] = row["total_s"] / row["count"]
+        return out
+
+    def reset(self) -> None:
+        """Discard all spans and restart ids and the time origin."""
+        with self._lock:
+            self._spans = []
+            self._dropped = 0
+            self._next_id = 0
+            self._origin = time.perf_counter()
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The JSON exporter's document (a JSON-pure dict)."""
+        with self._lock:
+            spans = list(self._spans)
+            dropped = self._dropped
+        return {
+            "format": "repro-obs-trace",
+            "version": 1,
+            "dropped": dropped,
+            "spans": [r.to_dict() for r in spans],
+        }
+
+    def export_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize all spans as the native JSON document."""
+        return json.dumps(self.to_payload(), indent=indent)
+
+    def export_chrome(self, indent: Optional[int] = None) -> str:
+        """Serialize as Chrome ``chrome://tracing`` JSON.
+
+        Load the file via chrome://tracing "Load" or https://ui.perfetto.dev;
+        spans appear as complete ("ph": "X") events, one track per thread.
+        """
+        events = []
+        for record in self.records():
+            events.append(
+                {
+                    "name": record.name,
+                    "ph": "X",
+                    "ts": record.begin_s * 1e6,
+                    "dur": record.duration_s * 1e6,
+                    "pid": 1,
+                    "tid": record.thread_id,
+                    "args": dict(record.attrs),
+                }
+            )
+        return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=indent)
+
+    def write(self, path: str, fmt: str = "json") -> None:
+        """Write the trace to ``path`` in ``fmt`` ('json' or 'chrome')."""
+        if fmt == "json":
+            payload = self.export_json()
+        elif fmt == "chrome":
+            payload = self.export_chrome()
+        else:
+            raise ValueError(f"unknown trace format {fmt!r}; use 'json' or 'chrome'")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(payload)

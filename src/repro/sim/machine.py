@@ -9,11 +9,14 @@ EMPROF validation methodology needs (Section V-C).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Union
 
 import numpy as np
 
+from ..obs import metrics as _metrics, trace as _trace
+from ..obs.runtime import obs_enabled
 from ..workloads.base import Workload
 from .cache import CacheHierarchy
 from .config import MachineConfig
@@ -24,6 +27,19 @@ from .power import PowerAccumulator
 from .prefetcher import StridePrefetcher
 from .tlb import Tlb
 from .trace import GroundTruth
+
+_SIM_CYCLES = _metrics.counter(
+    "sim_cycles_total", "processor cycles simulated across all runs"
+)
+_SIM_INSTRUCTIONS = _metrics.counter(
+    "sim_instructions_total", "instructions simulated across all runs"
+)
+_SIM_POWER_SAMPLES = _metrics.counter(
+    "sim_power_samples_total", "power-trace samples emitted across all runs"
+)
+_SIM_CPS = _metrics.gauge(
+    "sim_cycles_per_second", "simulated cycles per wall second, last run"
+)
 
 
 @dataclass
@@ -91,6 +107,25 @@ class Machine:
 
     def run(self, workload: Union[Workload, Iterable[Instr]]) -> SimulationResult:
         """Execute ``workload`` from cold caches and collect results."""
+        if not obs_enabled():
+            return self._run_impl(workload)
+        t0 = time.perf_counter()
+        with _trace.span(
+            "sim.run", workload=getattr(workload, "name", type(workload).__name__)
+        ) as span:
+            result = self._run_impl(workload)
+            span.set_attr(cycles=result.ground_truth.total_cycles)
+        elapsed = time.perf_counter() - t0
+        truth = result.ground_truth
+        _SIM_CYCLES.inc(truth.total_cycles)
+        _SIM_INSTRUCTIONS.inc(truth.total_instructions)
+        _SIM_POWER_SAMPLES.inc(len(result.power_trace))
+        if elapsed > 0:
+            _SIM_CPS.set(truth.total_cycles / elapsed)
+        return result
+
+    def _run_impl(self, workload: Union[Workload, Iterable[Instr]]) -> SimulationResult:
+        """The uninstrumented run loop (see :meth:`run`)."""
         region_names: Dict[int, str] = {}
         if isinstance(workload, Workload) or hasattr(workload, "instructions"):
             stream = workload.instructions(self.config)

@@ -39,6 +39,14 @@ def test_source_tree_is_lint_clean():
     assert result.findings == [], f"emlint regressions in src/:\n{details}"
 
 
+def test_obs_package_is_lint_clean():
+    """The observability layer holds to the same rules as the pipeline."""
+    result = lint_paths([SRC / "obs"])
+    assert result.files_checked >= 6
+    details = "\n".join(f.format() for f in result.findings)
+    assert result.findings == [], f"emlint regressions in src/repro/obs:\n{details}"
+
+
 def test_cli_exits_zero_on_clean_tree(capsys):
     assert main([str(SRC)]) == 0
     out = capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""The observability overhead guard.
+
+With ``EMPROF_OBS`` unset, every instrumented public function must be
+one flag check away from its uninstrumented ``_impl``.  This test
+times `Emprof.profile` (disabled-observability wrapper path) against
+the raw pipeline (`_normalize_impl` + `_detect_stalls_impl` called
+directly) on a ~1M-sample signal and holds the wrapper within 10 %.
+
+Runtime contracts are switched off for both paths so the comparison
+isolates the observability layer.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.detect import DetectorConfig, _detect_stalls_impl
+from repro.core.normalize import NormalizerConfig, _normalize_impl
+from repro.core.profiler import Emprof
+from repro.devtools.contracts import set_contracts_enabled
+from repro.obs import set_obs_enabled
+
+N_SAMPLES = 1_000_000
+SAMPLE_RATE_HZ = 40e6
+CLOCK_HZ = 1e9
+REPEATS = 5
+
+
+@pytest.fixture(scope="module")
+def big_signal():
+    """~1M samples of busy level with periodic stall dips."""
+    rng = np.random.default_rng(42)
+    signal = 1.0 + 0.02 * rng.standard_normal(N_SAMPLES)
+    for start in range(5_000, N_SAMPLES - 40, 10_000):
+        signal[start:start + 12] *= 0.1
+    return np.maximum(signal, 0.0)
+
+
+def _best_of(func, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        func()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_disabled_obs_overhead_within_ten_percent(big_signal):
+    normalizer_cfg = NormalizerConfig()
+    detector_cfg = DetectorConfig()
+
+    def baseline():
+        norm = _normalize_impl(big_signal, normalizer_cfg)
+        return _detect_stalls_impl(
+            norm, CLOCK_HZ / SAMPLE_RATE_HZ, detector_cfg
+        )
+
+    def instrumented():
+        emprof = Emprof(big_signal, SAMPLE_RATE_HZ, CLOCK_HZ)
+        return emprof.profile()
+
+    obs_previous = set_obs_enabled(False)
+    contracts_previous = set_contracts_enabled(False)
+    try:
+        # Sanity: both paths see the same stalls.
+        assert len(instrumented().stalls) == len(baseline()) > 50
+
+        # Interleave measurements so drift hits both paths equally.
+        baseline_best = float("inf")
+        instrumented_best = float("inf")
+        for _ in range(REPEATS):
+            baseline_best = min(baseline_best, _best_of(baseline, 1))
+            instrumented_best = min(instrumented_best, _best_of(instrumented, 1))
+    finally:
+        set_contracts_enabled(contracts_previous)
+        set_obs_enabled(obs_previous)
+
+    ratio = instrumented_best / baseline_best
+    assert ratio < 1.10, (
+        f"disabled-observability profile() is {ratio:.3f}x the raw "
+        f"pipeline ({instrumented_best * 1e3:.1f}ms vs "
+        f"{baseline_best * 1e3:.1f}ms)"
+    )

@@ -1,0 +1,226 @@
+"""Observability integrated with the pipeline and the CLI.
+
+Covers the acceptance path end to end: an instrumented capture ->
+profile run must produce a trace whose spans cover normalize, detect
+and report correctly nested under profile, and a metrics document
+with the stall counters and the detect-latency histogram.  Also holds
+the `profile_window` coordinate-shift regression test.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.events import DetectedStall
+from repro.core.profiler import Emprof
+from repro.devices import olimex
+from repro.experiments.runner import run_device
+from repro.workloads import Microbenchmark
+
+
+@pytest.fixture()
+def obs_clean():
+    """Observability on, global tracer/metrics cleared before and after."""
+    previous = obs.set_obs_enabled(True)
+    obs.trace.reset()
+    obs.metrics.reset()
+    yield
+    obs.trace.reset()
+    obs.metrics.reset()
+    obs.set_obs_enabled(previous)
+
+
+class TestPipelineInstrumentation:
+    def test_device_run_records_span_tree_and_metrics(self, obs_clean):
+        run_device(
+            Microbenchmark(total_misses=32, consecutive_misses=4, seed=3),
+            olimex(),
+            bandwidth_hz=40e6,
+        )
+        names = {r.name for r in obs.trace.records()}
+        assert {
+            "run_device", "sim.run", "channel.apply", "receiver.capture",
+            "profile", "normalize", "detect", "report",
+        } <= names
+
+        by_id = {r.span_id: r for r in obs.trace.records()}
+        profile = obs.trace.by_name("profile")[0]
+        for child in ("normalize", "detect", "report"):
+            record = obs.trace.by_name(child)[0]
+            assert by_id[record.parent_id].name == "profile"
+        assert by_id[profile.parent_id].name == "run_device"
+
+        snap = obs.metrics.snapshot()
+        assert snap["counters"]["stalls_detected_total"]["value"] > 0
+        assert snap["counters"]["sim_cycles_total"]["value"] > 0
+        assert snap["counters"]["receiver_captures_total"]["value"] == 1
+        assert snap["histograms"]["detect_latency_seconds"]["count"] == 1
+        assert snap["gauges"]["sim_cycles_per_second"]["value"] > 0
+
+    def test_disabled_run_records_nothing(self):
+        previous = obs.set_obs_enabled(False)
+        obs.trace.reset()
+        obs.metrics.reset()
+        try:
+            run_device(
+                Microbenchmark(total_misses=16, consecutive_misses=4, seed=3),
+                olimex(),
+            )
+            assert obs.trace.records() == []
+            snap = obs.metrics.snapshot()
+            assert snap["counters"]["stalls_detected_total"]["value"] == 0.0
+        finally:
+            obs.set_obs_enabled(previous)
+
+    def test_observability_does_not_change_results(self):
+        """The watcher must not perturb the watched."""
+        workload = Microbenchmark(total_misses=32, consecutive_misses=4, seed=5)
+        previous = obs.set_obs_enabled(False)
+        try:
+            off = run_device(workload, olimex(), seed=1).report
+            obs.set_obs_enabled(True)
+            on = run_device(workload, olimex(), seed=1).report
+        finally:
+            obs.set_obs_enabled(previous)
+        assert on.miss_count == off.miss_count
+        assert on.stall_cycles == pytest.approx(off.stall_cycles)
+
+
+class TestCliArtifacts:
+    def test_profile_writes_trace_and_metrics(self, obs_clean, tmp_path, capsys):
+        cap_path = tmp_path / "cap.npz"
+        spans_path = tmp_path / "spans.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["capture", "--workload", "micro", "--tm", "64", "--cm", "4",
+             "-o", str(cap_path)]
+        ) == 0
+        assert main(
+            ["profile", str(cap_path),
+             "--trace-out", str(spans_path),
+             "--metrics-out", str(metrics_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace (" in out and "metrics ->" in out
+
+        trace_doc = json.loads(spans_path.read_text())
+        assert trace_doc["format"] == "repro-obs-trace"
+        rows = {row["name"]: row for row in trace_doc["spans"]}
+        assert {"profile", "normalize", "detect", "report"} <= set(rows)
+        for child in ("normalize", "detect", "report"):
+            assert rows[child]["parent_id"] == rows["profile"]["span_id"]
+
+        metrics_doc = json.loads(metrics_path.read_text())
+        assert metrics_doc["counters"]["stalls_detected_total"]["value"] > 0
+        assert "refresh_stalls_total" in metrics_doc["counters"]
+        assert metrics_doc["histograms"]["detect_latency_seconds"]["count"] >= 1
+
+    def test_metrics_out_auto_enables_obs(self, tmp_path):
+        """--metrics-out works without EMPROF_OBS being set."""
+        cap_path = tmp_path / "cap.npz"
+        metrics_path = tmp_path / "metrics.prom"
+        previous = obs.set_obs_enabled(False)
+        obs.metrics.reset()
+        try:
+            main(["capture", "--workload", "micro", "--tm", "32", "--cm", "4",
+                  "-o", str(cap_path)])
+            assert main(
+                ["profile", str(cap_path), "--metrics-out", str(metrics_path)]
+            ) == 0
+            # .prom extension selects Prometheus text exposition.
+            text = metrics_path.read_text()
+            assert "# TYPE stalls_detected_total counter" in text
+        finally:
+            obs.metrics.reset()
+            obs.set_obs_enabled(previous)
+
+    def test_obs_subcommand_renders_artifacts(self, obs_clean, tmp_path, capsys):
+        cap_path = tmp_path / "cap.npz"
+        spans_path = tmp_path / "spans.json"
+        metrics_path = tmp_path / "metrics.json"
+        main(["capture", "--workload", "micro", "--tm", "32", "--cm", "4",
+              "-o", str(cap_path)])
+        main(["profile", str(cap_path), "--trace-out", str(spans_path),
+              "--metrics-out", str(metrics_path)])
+        capsys.readouterr()
+        assert main(["obs", str(metrics_path), "--trace", str(spans_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stalls_detected_total" in out
+        assert "spans" in out
+
+    def test_obs_subcommand_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["obs", str(bad)]) == 2
+        assert capsys.readouterr().err
+
+    def test_chrome_trace_format(self, obs_clean, tmp_path):
+        cap_path = tmp_path / "cap.npz"
+        chrome_path = tmp_path / "chrome.json"
+        main(["capture", "--workload", "micro", "--tm", "32", "--cm", "4",
+              "-o", str(cap_path)])
+        assert main(
+            ["profile", str(cap_path), "--trace-out", str(chrome_path),
+             "--trace-format", "chrome"]
+        ) == 0
+        doc = json.loads(chrome_path.read_text())
+        assert any(e["name"] == "detect" for e in doc["traceEvents"])
+
+    def test_quiet_and_verbose_flags_parse(self, capsys):
+        assert main(["-q", "devices"]) == 0
+        capsys.readouterr()
+        assert main(["-vv", "devices"]) == 0
+
+
+class TestProfileWindowShift:
+    def test_shifted_translates_only_positions(self):
+        stall = DetectedStall(
+            begin_sample=10.5, end_sample=12.25,
+            begin_cycle=262.5, end_cycle=306.25,
+            min_level=0.2, is_refresh=True, region=3,
+        )
+        moved = stall.shifted(100.0, 2500.0)
+        assert moved.begin_sample == pytest.approx(110.5)
+        assert moved.end_sample == pytest.approx(112.25)
+        assert moved.begin_cycle == pytest.approx(2762.5)
+        assert moved.end_cycle == pytest.approx(2806.25)
+        # Durations and classification survive the translation - the
+        # regression a positional rebuild would scramble.
+        assert moved.duration_samples == pytest.approx(stall.duration_samples)
+        assert moved.duration_cycles == pytest.approx(stall.duration_cycles)
+        assert moved.min_level == pytest.approx(stall.min_level)
+        assert moved.is_refresh is True
+        assert moved.region == 3
+
+    def test_windowed_stalls_align_with_whole_signal(self, olimex_run):
+        """profile_window must report whole-signal coordinates."""
+        emprof = Emprof.from_simulation(olimex_run)
+        whole = emprof.profile()
+        assert whole.miss_count > 10
+        begin = len(emprof.signal) // 4
+        end = 3 * len(emprof.signal) // 4
+        windowed = emprof.profile_window(begin, end)
+
+        period = emprof.sample_period_cycles
+        margin = 2.0  # samples of slack for window-edge effects
+        interior = [
+            s for s in whole.stalls
+            if begin + margin < s.begin_sample and s.end_sample < end - margin
+        ]
+        assert interior, "window must contain interior stalls"
+        windowed_begins = np.array([s.begin_sample for s in windowed.stalls])
+        for s in interior:
+            deltas = np.abs(windowed_begins - s.begin_sample)
+            match = windowed.stalls[int(np.argmin(deltas))]
+            assert match.begin_sample == pytest.approx(s.begin_sample, abs=1e-6)
+            assert match.end_sample == pytest.approx(s.end_sample, abs=1e-6)
+            assert match.begin_cycle == pytest.approx(
+                match.begin_sample * period, abs=1e-6
+            )
+            assert match.is_refresh == s.is_refresh
+            assert match.min_level == pytest.approx(s.min_level, abs=1e-9)

@@ -1,0 +1,187 @@
+"""Unit tests for the span tracer (`repro.obs.trace`)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import set_obs_enabled
+from repro.obs.trace import DEFAULT_MAX_SPANS, Tracer, _NULL_SPAN
+
+
+@pytest.fixture()
+def obs_on():
+    """Enable observability for one test, restoring the prior state."""
+    previous = set_obs_enabled(True)
+    yield
+    set_obs_enabled(previous)
+
+
+@pytest.fixture()
+def tracer():
+    """A private tracer so tests never touch the global one."""
+    return Tracer()
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_span(self, tracer):
+        previous = set_obs_enabled(False)
+        try:
+            span = tracer.span("x", samples=3)
+            assert span is _NULL_SPAN
+            with span as s:
+                s.set_attr(anything=1)
+            assert tracer.records() == []
+        finally:
+            set_obs_enabled(previous)
+
+    def test_wrap_is_late_bound(self, tracer):
+        """A decorator applied while disabled still traces once enabled."""
+        previous = set_obs_enabled(False)
+        try:
+
+            @tracer.wrap("stage")
+            def stage(x):
+                return x + 1
+
+            assert stage(1) == 2
+            assert tracer.records() == []
+            set_obs_enabled(True)
+            assert stage(2) == 3
+            assert [r.name for r in tracer.records()] == ["stage"]
+        finally:
+            set_obs_enabled(previous)
+
+
+class TestRecording:
+    def test_nesting_parent_and_depth(self, obs_on, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.by_name("inner")[0], tracer.by_name("outer")[0]
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1
+        assert outer.parent_id is None
+        assert outer.depth == 0
+        # Child completes first but is contained in the parent's window.
+        assert outer.begin_s <= inner.begin_s
+        assert inner.end_s <= outer.end_s
+        assert inner.duration_s >= 0.0
+
+    def test_sibling_spans_share_parent(self, obs_on, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        root = tracer.by_name("root")[0]
+        assert tracer.by_name("a")[0].parent_id == root.span_id
+        assert tracer.by_name("b")[0].parent_id == root.span_id
+        assert tracer.by_name("b")[0].depth == 1
+
+    def test_attrs_cleaned_and_updatable(self, obs_on, tracer):
+        class Weird:
+            def __str__(self):
+                return "weird"
+
+        with tracer.span("s", samples=4, tag=Weird()) as span:
+            span.set_attr(stalls=2)
+        record = tracer.records()[0]
+        assert record.attrs == {"samples": 4, "tag": "weird", "stalls": 2}
+
+    def test_threads_get_independent_stacks(self, obs_on, tracer):
+        ready = threading.Barrier(2)
+
+        def work(name):
+            ready.wait()
+            with tracer.span(name):
+                pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = tracer.records()
+        assert len(records) == 2
+        # Both are roots: neither thread sees the other's open span.
+        assert all(r.parent_id is None and r.depth == 0 for r in records)
+        assert len({r.thread_id for r in records}) == 2
+
+    def test_max_spans_drops_not_grows(self, obs_on):
+        small = Tracer(max_spans=3)
+        for i in range(5):
+            with small.span(f"s{i}"):
+                pass
+        assert len(small.records()) == 3
+        assert small.dropped == 2
+        assert small.to_payload()["dropped"] == 2
+
+    def test_reset_clears_everything(self, obs_on, tracer):
+        with tracer.span("s"):
+            pass
+        tracer.reset()
+        assert tracer.records() == []
+        assert tracer.dropped == 0
+        with tracer.span("again"):
+            pass
+        assert tracer.records()[0].span_id == 0
+
+    def test_rejects_bad_max_spans(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+        assert Tracer().max_spans == DEFAULT_MAX_SPANS
+
+
+class TestExporters:
+    def test_json_round_trip(self, obs_on, tracer):
+        with tracer.span("profile", samples=10):
+            with tracer.span("detect"):
+                pass
+        payload = json.loads(tracer.export_json())
+        assert payload["format"] == "repro-obs-trace"
+        assert payload["version"] == 1
+        assert payload == tracer.to_payload()
+        rows = {row["name"]: row for row in payload["spans"]}
+        assert rows["detect"]["parent_id"] == rows["profile"]["span_id"]
+        assert rows["profile"]["attrs"] == {"samples": 10}
+        assert rows["profile"]["duration_s"] == pytest.approx(
+            rows["profile"]["end_s"] - rows["profile"]["begin_s"]
+        )
+
+    def test_chrome_export_shape(self, obs_on, tracer):
+        with tracer.span("sim.run", cycles=100):
+            pass
+        doc = json.loads(tracer.export_chrome())
+        (event,) = doc["traceEvents"]
+        assert event["name"] == "sim.run"
+        assert event["ph"] == "X"
+        assert event["pid"] == 1
+        assert event["args"] == {"cycles": 100}
+        record = tracer.records()[0]
+        assert event["ts"] == pytest.approx(record.begin_s * 1e6)
+        assert event["dur"] == pytest.approx(record.duration_s * 1e6)
+
+    def test_write_both_formats(self, obs_on, tracer, tmp_path):
+        with tracer.span("s"):
+            pass
+        json_path = tmp_path / "spans.json"
+        chrome_path = tmp_path / "chrome.json"
+        tracer.write(str(json_path), fmt="json")
+        tracer.write(str(chrome_path), fmt="chrome")
+        assert json.loads(json_path.read_text())["spans"]
+        assert json.loads(chrome_path.read_text())["traceEvents"]
+        with pytest.raises(ValueError):
+            tracer.write(str(json_path), fmt="xml")
+
+    def test_aggregate_rollup(self, obs_on, tracer):
+        for _ in range(3):
+            with tracer.span("detect"):
+                pass
+        agg = tracer.aggregate()
+        assert agg["detect"]["count"] == 3
+        assert agg["detect"]["mean_s"] == pytest.approx(
+            agg["detect"]["total_s"] / 3
+        )

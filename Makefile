@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-all trace reproduce examples selftest clean
+.PHONY: install test lint chaos bench bench-all trace reproduce examples selftest clean
 
 install:
 	pip install -e .
@@ -12,6 +12,11 @@ test:
 
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src/
+
+# Fault-injection suite: impairment injection, quality gating, the
+# bounded-error chaos property test, retry and campaign resume.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults_inject.py tests/test_faults_pipeline.py tests/test_faults_chaos.py tests/test_faults_runner.py -q
 
 # Quick perf-tracking benches; writes BENCH_obs.json at the repo root.
 bench:

@@ -26,6 +26,7 @@ from typing import Optional, Protocol, Union, runtime_checkable
 
 from . import io as repro_io
 from .devices.models import default_channel
+from .errors import HardwareMissingError
 from .emsignal.apparatus import Apparatus
 from .emsignal.channel import ChannelConfig
 from .emsignal.receiver import Capture, MHZ
@@ -112,7 +113,12 @@ class SdrSource:
     A real adapter must tune to the target's clock frequency, capture
     ``bandwidth_hz`` of complex baseband, compute the magnitude, and
     return a :class:`Capture` with ``sample_rate_hz == bandwidth_hz``.
-    This repository is hardware-free, so construction always raises.
+    This repository is hardware-free, so construction always raises
+    :class:`repro.errors.HardwareMissingError` - a *permanent*
+    acquisition failure, so retry policies
+    (:func:`repro.experiments.runner.acquire_with_retry`) fail fast on
+    it instead of retrying, unlike
+    :class:`repro.errors.TransientAcquisitionError`.
     """
 
     ADAPTER_HINT = (
@@ -124,7 +130,7 @@ class SdrSource:
     )
 
     def __init__(self, *args, **kwargs):
-        raise NotImplementedError(SdrSource.ADAPTER_HINT)
+        raise HardwareMissingError(SdrSource.ADAPTER_HINT)
 
 
 def profile_source(source: SignalSource, config=None):

@@ -10,6 +10,8 @@ Mirrors a real measurement campaign's workflow:
 * ``selftest``   - engineered-microbenchmark accuracy check (the
   Table II experiment at one grid point);
 * ``table``      - regenerate one of the paper's tables;
+* ``faults``     - chaos demo: inject impairments into a capture and
+  compare the hardened streaming profile against the clean one;
 * ``obs``        - pretty-print an observability snapshot (or run a
   live instrumented demo); see ``docs/observability.md``.
 
@@ -227,6 +229,73 @@ def cmd_attribute(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from .core.streaming import profile_chunks
+    from .faults import (
+        ClippingFault,
+        DropoutFault,
+        FaultInjector,
+        GainStepFault,
+        QualityConfig,
+        applied_clip_level,
+        iter_chunks,
+    )
+
+    capture = repro_io.load_capture(args.capture)
+    faults = []
+    if args.dropout_rate > 0:
+        faults.append(DropoutFault(rate=args.dropout_rate))
+    if args.gain_steps > 0:
+        faults.append(GainStepFault(steps=args.gain_steps))
+    if args.clip_rate > 0:
+        faults.append(ClippingFault(rate=args.clip_rate))
+    if not faults:
+        raise SystemExit("no impairments selected; see --dropout-rate, "
+                         "--gain-steps, --clip-rate")
+    injector = FaultInjector(faults, seed=args.seed)
+    impaired = injector.apply(capture.magnitude)
+
+    clean = profile_chunks(
+        [capture.magnitude],
+        sample_rate_hz=capture.sample_rate_hz,
+        clock_hz=capture.clock_hz,
+    )
+    quality = QualityConfig(clip_level=applied_clip_level(impaired.log))
+    chunks = list(iter_chunks(impaired, chunk_samples=args.chunk))
+    report = profile_chunks(
+        chunks,
+        sample_rate_hz=capture.sample_rate_hz,
+        clock_hz=capture.clock_hz,
+        quality=quality,
+    )
+
+    print("injected impairments:")
+    for line in impaired.log.summary().splitlines():
+        print(f"  {line}")
+    print(f"clean profile   : {clean.miss_count} misses")
+    print(f"impaired profile: {report.miss_count} misses "
+          f"({report.low_confidence_count} low-confidence)")
+    if report.quality is not None:
+        q = report.quality
+        print(f"quality monitor : {q.gap_count} gaps "
+              f"({q.dropped_samples} samples lost), "
+              f"{q.clipped_samples} clipped, {q.gain_steps} gain steps, "
+              f"{q.impaired_samples} samples in {q.impaired_sample_spans} "
+              f"impaired spans")
+    if clean.miss_count:
+        drift = abs(report.miss_count - clean.miss_count) / clean.miss_count
+        print(f"miss-count drift: {100 * drift:.2f}%")
+    if args.output:
+        repro_io.save_capture(
+            args.output,
+            dataclasses.replace(capture, magnitude=impaired.signal),
+        )
+        print(f"impaired capture -> {args.output}")
+    return 0
+
+
 def cmd_table(args: argparse.Namespace) -> int:
     from .experiments import tables
 
@@ -360,6 +429,30 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("before")
     cmp_.add_argument("after")
     cmp_.set_defaults(func=cmd_compare)
+
+    flt = sub.add_parser(
+        "faults",
+        help="inject impairments into a capture and profile it hardened",
+    )
+    flt.add_argument("capture", help="capture .npz path")
+    flt.add_argument("--seed", type=int, default=0, help="injection seed")
+    flt.add_argument(
+        "--dropout-rate", type=float, default=0.02,
+        help="fraction of samples lost to dropouts (0 disables)",
+    )
+    flt.add_argument(
+        "--gain-steps", type=int, default=2,
+        help="number of AGC gain steps (0 disables)",
+    )
+    flt.add_argument(
+        "--clip-rate", type=float, default=0.01,
+        help="fraction of samples saturated (0 disables)",
+    )
+    flt.add_argument(
+        "--chunk", type=int, default=4096, help="streaming chunk size"
+    )
+    flt.add_argument("-o", "--output", help="save the impaired capture (.npz)")
+    flt.set_defaults(func=cmd_faults)
 
     tab = sub.add_parser("table", help="regenerate one of the paper's tables")
     tab.add_argument("which", type=int, choices=(2, 3, 4, 5))

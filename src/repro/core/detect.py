@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -155,11 +155,39 @@ def _refine_edge(normalized: np.ndarray, index: int, threshold: float) -> float:
     return lo + frac
 
 
+def flag_low_confidence(
+    stalls: Sequence[DetectedStall],
+    impaired_intervals: Sequence[Tuple[float, float]],
+) -> List[DetectedStall]:
+    """Flag every stall overlapping an impaired [begin, end) interval.
+
+    The batch-path counterpart of the streaming pipeline's quality
+    gating: given impaired sample intervals (from a
+    :class:`repro.faults.quality.QualityMonitor` or a ground-truth
+    :class:`repro.faults.inject.ImpairmentLog`), returns the stalls
+    with ``low_confidence=True`` where they overlap.  Detection
+    results are never altered, only annotated.
+    """
+    spans = sorted(impaired_intervals)
+    out: List[DetectedStall] = []
+    for stall in stalls:
+        flagged = False
+        for begin, end in spans:
+            if begin > stall.end_sample:
+                break
+            if stall.begin_sample <= end and stall.end_sample >= begin:
+                flagged = True
+                break
+        out.append(stall.flagged(True) if flagged else stall)
+    return out
+
+
 @stall_sequence_result
 def detect_stalls(
     normalized: np.ndarray,
     sample_period_cycles: float,
     config: DetectorConfig = None,
+    quality_intervals: Optional[Sequence[Tuple[float, float]]] = None,
 ) -> List[DetectedStall]:
     """Find LLC-miss-induced stalls in a normalized signal.
 
@@ -168,6 +196,9 @@ def detect_stalls(
         sample_period_cycles: processor cycles per signal sample
             (e.g. 20 for the paper's 50 MHz trace of a 1 GHz core).
         config: detection parameters.
+        quality_intervals: optional impaired sample intervals; stalls
+            overlapping one are returned with ``low_confidence=True``
+            (see :func:`flag_low_confidence`).
 
     Returns:
         Detected stalls in time order, with fractional boundaries and
@@ -175,11 +206,16 @@ def detect_stalls(
     """
     cfg = config if config is not None else DetectorConfig()
     if not obs_enabled():
-        return _detect_stalls_impl(normalized, sample_period_cycles, cfg)
+        stalls = _detect_stalls_impl(normalized, sample_period_cycles, cfg)
+        if quality_intervals:
+            stalls = flag_low_confidence(stalls, quality_intervals)
+        return stalls
     t0 = time.perf_counter()
     with _trace.span("detect", samples=len(normalized)) as span:
         stalls = _detect_stalls_impl(normalized, sample_period_cycles, cfg)
         span.set_attr(stalls=len(stalls))
+    if quality_intervals:
+        stalls = flag_low_confidence(stalls, quality_intervals)
     _DETECT_LATENCY.observe(time.perf_counter() - t0)
     _STALLS_TOTAL.inc(len(stalls))
     _REFRESH_TOTAL.inc(sum(1 for s in stalls if s.is_refresh))

@@ -27,6 +27,12 @@ class DetectedStall:
             (Fig. 5): the stall is long enough to include a DRAM
             refresh window.
         region: code-region id once attribution has run, else None.
+        low_confidence: True when the stall overlaps a region of the
+            capture flagged as impaired (sample gap, ADC saturation,
+            AGC gain step, interference burst).  Such stalls may be
+            fabricated by the impairment rather than by a real LLC
+            miss and should be excluded from precision-sensitive
+            accounting; see ``docs/robustness.md``.
     """
 
     begin_sample: float
@@ -36,6 +42,7 @@ class DetectedStall:
     min_level: float
     is_refresh: bool = False
     region: Optional[int] = None
+    low_confidence: bool = False
 
     @property
     def duration_cycles(self) -> float:
@@ -50,6 +57,12 @@ class DetectedStall:
     def with_region(self, region: int) -> "DetectedStall":
         """Copy of this stall attributed to ``region``."""
         return replace(self, region=region)
+
+    def flagged(self, low_confidence: bool = True) -> "DetectedStall":
+        """Copy of this stall with its confidence flag set."""
+        if low_confidence == self.low_confidence:
+            return self
+        return replace(self, low_confidence=low_confidence)
 
     def shifted(self, sample_offset: float, cycle_offset: float) -> "DetectedStall":
         """Copy translated by ``sample_offset`` samples / ``cycle_offset`` cycles.
@@ -69,6 +82,40 @@ class DetectedStall:
         )
 
 
+@dataclass(frozen=True)
+class QualitySummary:
+    """Signal-quality accounting attached to a :class:`ProfileReport`.
+
+    Populated by the hardened streaming pipeline
+    (:class:`repro.core.streaming.StreamingEmprof`); ``None`` on a
+    report means no quality monitoring ran, not that the capture was
+    pristine.
+
+    Attributes:
+        gap_count: discontinuities seen (driver-reported drops plus
+            non-finite sample runs).
+        dropped_samples: total samples lost across all gaps.
+        clipped_samples: samples at/above the saturation level.
+        burst_samples: samples attributed to interference bursts.
+        gain_steps: abrupt sustained level changes (AGC steps).
+        impaired_sample_spans: number of distinct impaired intervals.
+        impaired_samples: total samples inside impaired intervals.
+    """
+
+    gap_count: int = 0
+    dropped_samples: int = 0
+    clipped_samples: int = 0
+    burst_samples: int = 0
+    gain_steps: int = 0
+    impaired_sample_spans: int = 0
+    impaired_samples: int = 0
+
+    @property
+    def any_impairment(self) -> bool:
+        """Whether any quality issue was observed at all."""
+        return self.impaired_sample_spans > 0 or self.gap_count > 0
+
+
 @dataclass
 class ProfileReport:
     """EMPROF's output for one profiled execution.
@@ -83,11 +130,26 @@ class ProfileReport:
     clock_hz: float
     sample_period_cycles: float
     region_names: Dict[int, str] = field(default_factory=dict)
+    quality: Optional[QualitySummary] = None
 
     @property
     def miss_count(self) -> int:
         """Number of detected LLC-miss-induced stalls."""
         return len(self.stalls)
+
+    @property
+    def low_confidence_count(self) -> int:
+        """Detected stalls overlapping impaired signal regions."""
+        return sum(1 for s in self.stalls if s.low_confidence)
+
+    @property
+    def confident_miss_count(self) -> int:
+        """Detected stalls *not* flagged low-confidence."""
+        return len(self.stalls) - self.low_confidence_count
+
+    def confident_stalls(self) -> List[DetectedStall]:
+        """The stalls that do not overlap any impaired region."""
+        return [s for s in self.stalls if not s.low_confidence]
 
     @property
     def refresh_count(self) -> int:
@@ -162,4 +224,19 @@ class ProfileReport:
             f"  mean stall: {self.mean_latency_cycles:.1f} cycles",
             f"  refresh-coincident stalls: {self.refresh_count}",
         ]
+        if self.low_confidence_count or (
+            self.quality is not None and self.quality.any_impairment
+        ):
+            lines.append(
+                f"  low-confidence stalls: {self.low_confidence_count} "
+                f"(overlap impaired signal; see report.quality)"
+            )
+        if self.quality is not None and self.quality.any_impairment:
+            q = self.quality
+            lines.append(
+                f"  signal quality: {q.gap_count} gaps "
+                f"({q.dropped_samples} samples dropped), "
+                f"{q.clipped_samples} clipped, {q.burst_samples} burst, "
+                f"{q.gain_steps} gain steps"
+            )
         return "\n".join(lines)

@@ -35,6 +35,7 @@ from ..devtools.contracts import (
     report_result,
     unit_interval_result,
 )
+from ..faults.quality import QualityConfig, QualityMonitor
 from ..obs import metrics as _metrics, trace as _trace
 from ..obs.runtime import obs_enabled
 from .detect import DetectorConfig
@@ -61,6 +62,17 @@ _STREAM_CHUNKS = _metrics.counter(
 _STREAM_CHUNK_LATENCY = _metrics.histogram(
     "streaming_chunk_latency_seconds",
     "wall time of one StreamingEmprof.process() chunk",
+)
+_STREAM_GAPS = _metrics.counter(
+    "signal_gaps_total",
+    "stream discontinuities handled (overruns + non-finite runs)",
+)
+_STREAM_DROPPED = _metrics.counter(
+    "dropped_samples_total", "samples lost across all stream gaps"
+)
+_STREAM_LOW_CONFIDENCE = _metrics.counter(
+    "low_confidence_stalls_total",
+    "detected stalls flagged as overlapping impaired signal",
 )
 
 
@@ -329,6 +341,33 @@ class StreamingDetector:
             _STREAM_REFRESH.inc(sum(1 for s in out if s.is_refresh))
         return out
 
+    @monotonic_stall_stream
+    def resync(self) -> List[DetectedStall]:
+        """Close any open dip at a stream discontinuity and continue.
+
+        A gap means the samples between the last and the next chunk
+        are unknown, so the dip state machine cannot bridge it: the
+        open dip (if any) is finalized exactly as :meth:`finish` would
+        finalize it, but the detector stays usable - positions keep
+        advancing and the next sample is treated like a stream start
+        (neutral previous value for edge refinement).
+        """
+        out: List[DetectedStall] = []
+        dip = self._open
+        if dip is not None:
+            exit_value = (
+                dip.end_prev_value if dip.gap_start is None else dip.exit_value
+            )
+            stall = self._finalize(dip, exit_value)
+            if stall is not None:
+                out.append(stall)
+            self._open = None
+        self._prev = 1.0
+        if obs_enabled():
+            _STREAM_STALLS.inc(len(out))
+            _STREAM_REFRESH.inc(sum(1 for s in out if s.is_refresh))
+        return out
+
     @property
     def samples_seen(self) -> int:
         """Total normalized samples consumed."""
@@ -338,12 +377,31 @@ class StreamingDetector:
 class StreamingEmprof:
     """Chunked EMPROF: bounded-memory profiling of endless captures.
 
+    Hardened against real acquisition impairments (see
+    ``docs/robustness.md``):
+
+    * driver-reported sample drops (``gap_before``) and non-finite
+      sample runs trigger a *resynchronization* - the open dip is
+      closed and the normalizer is re-primed so stale min/max state is
+      never smeared across a discontinuity;
+    * a :class:`~repro.faults.quality.QualityMonitor` watches the raw
+      stream for saturation plateaus, interference bursts, and AGC
+      gain steps;
+    * stalls overlapping any impaired interval are reported with
+      ``low_confidence=True``, and the final report carries a
+      :class:`~repro.core.events.QualitySummary`.
+
+    On a clean, gapless stream the output is sample-for-sample
+    identical to the batch pipeline (the quality layer only *flags*,
+    it never changes detection).
+
     Args:
         sample_rate_hz: capture sampling rate.
         clock_hz: target processor clock.
         normalizer: normalization parameters (``smooth_samples`` must
             be 1 for the online path).
         detector: detection parameters.
+        quality: quality-monitor parameters (defaults on).
     """
 
     def __init__(
@@ -353,78 +411,191 @@ class StreamingEmprof:
         normalizer: Optional[NormalizerConfig] = None,
         detector: Optional[DetectorConfig] = None,
         region_names: Optional[Dict[int, str]] = None,
+        quality: Optional[QualityConfig] = None,
     ):
         if sample_rate_hz <= 0 or clock_hz <= 0:
             raise ValueError("rates must be positive")
         self.sample_rate_hz = float(sample_rate_hz)
         self.clock_hz = float(clock_hz)
         self.period = clock_hz / sample_rate_hz
-        self._normalizer = OnlineNormalizer(normalizer)
+        self._normalizer_config = (
+            normalizer if normalizer is not None else NormalizerConfig()
+        )
+        self._normalizer = OnlineNormalizer(self._normalizer_config)
         self._detector = StreamingDetector(self.period, detector)
+        self.quality_monitor = QualityMonitor(
+            quality, gain_guard_samples=self._normalizer_config.window_samples
+        )
         self._stalls: List[DetectedStall] = []
         self._n_samples = 0
+        self._n_dropped = 0
         self._finished = False
         self.region_names = dict(region_names or {})
 
-    def process(self, chunk: np.ndarray) -> List[DetectedStall]:
-        """Feed a magnitude chunk; return stalls finalized by it."""
+    def process(
+        self, chunk: np.ndarray, gap_before: int = 0
+    ) -> List[DetectedStall]:
+        """Feed a magnitude chunk; return stalls finalized by it.
+
+        Args:
+            chunk: one-dimensional magnitude samples.  Zero-length
+                chunks are no-ops; non-finite samples (NaN/Inf - a
+                driver handing over garbage) are treated as dropped
+                and handled like a gap.
+            gap_before: samples the driver reports lost *before* this
+                chunk (digitizer overrun).  Triggers resynchronization
+                and marks the surrounding samples impaired.
+        """
         if self._finished:
             raise RuntimeError("finish() was already called")
         chunk = np.asarray(chunk, dtype=np.float64)
         if chunk.ndim != 1:
             raise ValueError("chunks must be one-dimensional")
+        if gap_before < 0:
+            raise ValueError("gap_before cannot be negative")
         if not obs_enabled():
-            return self._process_impl(chunk)
+            return self._process_impl(chunk, gap_before)
         t0 = time.perf_counter()
         with _trace.span("streaming.chunk", samples=len(chunk)) as span:
-            new = self._process_impl(chunk)
+            new = self._process_impl(chunk, gap_before)
             span.set_attr(stalls=len(new))
         _STREAM_CHUNK_LATENCY.observe(time.perf_counter() - t0)
         _STREAM_CHUNKS.inc()
         return new
 
-    def _process_impl(self, chunk: np.ndarray) -> List[DetectedStall]:
+    def _process_impl(
+        self, chunk: np.ndarray, gap_before: int
+    ) -> List[DetectedStall]:
         """The uninstrumented chunk path (see :meth:`process`)."""
+        new: List[DetectedStall] = []
+        if gap_before > 0:
+            new.extend(self._handle_gap(gap_before))
+        if len(chunk) == 0:
+            return [self.quality_monitor.flag(s) for s in new]
+        finite = np.isfinite(chunk)
+        if finite.all():
+            new.extend(self._consume(chunk))
+        else:
+            # Non-finite runs are dropped samples: feed the finite
+            # segments, resynchronizing across each bad run.
+            for segment, bad_run in _finite_segments(chunk, finite):
+                if bad_run:
+                    new.extend(self._handle_gap(bad_run))
+                if len(segment):
+                    new.extend(self._consume(segment))
+        return [self.quality_monitor.flag(s) for s in new]
+
+    def _consume(self, chunk: np.ndarray) -> List[DetectedStall]:
+        """Feed one contiguous, finite chunk through the pipeline."""
+        self.quality_monitor.observe(chunk, self._n_samples)
         self._n_samples += len(chunk)
         normalized = self._normalizer.push(chunk)
         new = self._detector.push(normalized)
         self._stalls.extend(new)
         return new
 
+    def _handle_gap(self, dropped: int) -> List[DetectedStall]:
+        """Resynchronize at a discontinuity of ``dropped`` lost samples."""
+        # Drain the normalizer so every sample seen so far reaches the
+        # detector, close the open dip (it cannot bridge the gap), and
+        # re-prime the min/max state: stale extrema from before the
+        # discontinuity must not normalize what follows it.
+        tail = self._normalizer.flush()
+        new = list(self._detector.push(tail))
+        new.extend(self._detector.resync())
+        self._stalls.extend(new)
+        self._normalizer = OnlineNormalizer(self._normalizer_config)
+        self.quality_monitor.mark_gap(self._n_samples, dropped)
+        self._n_dropped += dropped
+        if obs_enabled():
+            _STREAM_GAPS.inc()
+            _STREAM_DROPPED.inc(dropped)
+        return new
+
     @report_result
     def finish(self) -> ProfileReport:
-        """Flush all state and return the final report."""
+        """Flush all state and return the final, quality-gated report."""
         if not self._finished:
             with _trace.span("streaming.finish"):
                 tail = self._normalizer.flush()
                 self._stalls.extend(self._detector.push(tail))
                 self._stalls.extend(self._detector.finish())
             self._finished = True
+        # Gating runs over the complete stall list at the end: an
+        # impairment found late (e.g. a gap guard reaching backwards)
+        # must still flag a stall that was finalized before it.
+        stalls = [self.quality_monitor.flag(s) for s in self._stalls]
+        if obs_enabled():
+            _STREAM_LOW_CONFIDENCE.inc(
+                sum(1 for s in stalls if s.low_confidence)
+            )
+        quality = self.quality_monitor.summary()
         return ProfileReport(
-            stalls=list(self._stalls),
-            total_cycles=self._n_samples * self.period,
+            stalls=stalls,
+            total_cycles=(self._n_samples + self._n_dropped) * self.period,
             clock_hz=self.clock_hz,
             sample_period_cycles=self.period,
             region_names=dict(self.region_names),
+            quality=quality if quality.any_impairment else None,
         )
 
     @property
     def stalls_so_far(self) -> List[DetectedStall]:
-        """Stalls finalized up to now (monitoring hook)."""
-        return list(self._stalls)
+        """Stalls finalized up to now (monitoring hook).
+
+        Confidence flags reflect impairments seen *so far*; the final
+        report's flags are definitive.
+        """
+        return [self.quality_monitor.flag(s) for s in self._stalls]
+
+    @property
+    def dropped_samples(self) -> int:
+        """Samples lost to gaps so far."""
+        return self._n_dropped
+
+
+def _finite_segments(chunk: np.ndarray, finite: np.ndarray):
+    """Split ``chunk`` into (finite_segment, preceding_bad_run) pairs."""
+    out = []
+    i = 0
+    n = len(chunk)
+    while i < n:
+        bad = 0
+        while i < n and not finite[i]:
+            bad += 1
+            i += 1
+        start = i
+        while i < n and finite[i]:
+            i += 1
+        out.append((chunk[start:i], bad))
+    return out
 
 
 def profile_chunks(
-    chunks: Iterable[np.ndarray],
+    chunks: Iterable,
     sample_rate_hz: float,
     clock_hz: float,
     normalizer: Optional[NormalizerConfig] = None,
     detector: Optional[DetectorConfig] = None,
+    quality: Optional[QualityConfig] = None,
 ) -> ProfileReport:
-    """One-shot convenience: profile an iterable of magnitude chunks."""
+    """One-shot convenience: profile an iterable of magnitude chunks.
+
+    Each item may be a bare array or a ``(chunk, gap_before)`` pair
+    (the shape :func:`repro.faults.inject.iter_chunks` yields for
+    impaired streams).
+    """
     streamer = StreamingEmprof(
-        sample_rate_hz, clock_hz, normalizer=normalizer, detector=detector
+        sample_rate_hz,
+        clock_hz,
+        normalizer=normalizer,
+        detector=detector,
+        quality=quality,
     )
-    for chunk in chunks:
-        streamer.process(chunk)
+    for item in chunks:
+        if isinstance(item, tuple):
+            chunk, gap_before = item
+            streamer.process(chunk, gap_before=gap_before)
+        else:
+            streamer.process(item)
     return streamer.finish()

@@ -1,6 +1,6 @@
 """emlint rules: the project's domain invariants as AST checks.
 
-Five rules ship with the tool (see ``docs/static-analysis.md`` for the
+Six rules ship with the tool (see ``docs/static-analysis.md`` for the
 full catalogue with examples):
 
 ``unit-safety``
@@ -31,6 +31,13 @@ full catalogue with examples):
 ``mutable-default-arg``
     The classic Python footgun: a list/dict/set default is shared
     across calls.
+
+``silent-except``
+    Robustness depends on failures being *typed and visible*
+    (:mod:`repro.errors`): a bare ``except:`` is always flagged, and a
+    broad ``except Exception:`` / ``except BaseException:`` whose body
+    does nothing (``pass`` / ``...``) is flagged as swallowing errors.
+    Handlers that log, transform, or re-raise are fine.
 """
 
 from __future__ import annotations
@@ -479,6 +486,64 @@ class MutableDefaultArgRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# silent-except
+# ---------------------------------------------------------------------------
+
+
+def _is_noop_body(body: Sequence[ast.stmt]) -> bool:
+    """True when ``body`` does nothing: pass / ... / a bare docstring."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # `...` or a string literal
+        return False
+    return True
+
+
+def _broad_handler_type(handler: ast.ExceptHandler) -> Optional[str]:
+    """The broad exception name a handler catches, or None."""
+    node = handler.type
+    if isinstance(node, ast.Name) and node.id in ("Exception", "BaseException"):
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in (
+        "Exception",
+        "BaseException",
+    ):
+        return node.attr
+    return None
+
+
+class SilentExceptRule(Rule):
+    name = "silent-except"
+    description = (
+        "bare 'except:' or a broad handler that swallows the error; "
+        "catch specific exceptions or re-raise/record the failure"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    context,
+                    node,
+                    "bare 'except:' catches everything (including "
+                    "KeyboardInterrupt/SystemExit); name the exceptions",
+                )
+                continue
+            broad = _broad_handler_type(node)
+            if broad is not None and _is_noop_body(node.body):
+                yield self.finding(
+                    context,
+                    node,
+                    f"'except {broad}: pass' silently swallows every error; "
+                    f"catch the specific failure or record it",
+                )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -488,6 +553,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     ConfigImmutabilityRule,
     FloatEqualityRule,
     MutableDefaultArgRule,
+    SilentExceptRule,
 )
 
 

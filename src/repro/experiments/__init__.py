@@ -1,14 +1,20 @@
 """Experiment drivers regenerating every table and figure.
 
 * :mod:`repro.experiments.runner` - shared simulate/measure/profile
-  drivers (the Section V-B and V-C measurement paths).
+  drivers (the Section V-B and V-C measurement paths) plus
+  retry-with-backoff acquisition.
+* :mod:`repro.experiments.campaign` - checkpointed multi-run
+  campaigns with resume.
 * :mod:`repro.experiments.tables` - Tables I-V row generators plus the
   perf anecdote.
 * :mod:`repro.experiments.figures` - Figs. 1-14 series generators.
 """
 
+from .campaign import Campaign, CampaignResult, RunOutcome, RunSpec
 from .runner import (
     ExperimentRun,
+    RetryPolicy,
+    acquire_with_retry,
     microbenchmark_window,
     run_device,
     run_simulator,
@@ -35,6 +41,12 @@ from .tables import (
 
 __all__ = [
     "ExperimentRun",
+    "RetryPolicy",
+    "acquire_with_retry",
+    "Campaign",
+    "CampaignResult",
+    "RunOutcome",
+    "RunSpec",
     "run_simulator",
     "run_device",
     "microbenchmark_window",

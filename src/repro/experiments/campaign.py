@@ -1,0 +1,220 @@
+"""Resilient measurement campaigns: checkpointed multi-run execution.
+
+A campaign is a named list of runs (acquire a capture, profile it,
+persist the report).  Physical campaigns are long - hours of bench
+time - and die for reasons unrelated to the science: a wedged SDR
+driver, a full disk, someone tripping over the probe.  This module
+makes a killed campaign cheap to restart:
+
+* every run is **isolated** - one run failing (typed
+  :class:`repro.errors.AcquisitionError` /
+  :class:`repro.errors.CorruptCaptureError`) is recorded and the
+  campaign moves on instead of unwinding;
+* transient failures are retried per
+  :class:`repro.experiments.runner.RetryPolicy` before the run is
+  declared failed;
+* progress is **checkpointed** - each completed run's profile report
+  is written to the campaign directory and the manifest is updated
+  with an atomic replace, so ``kill -9`` between any two syscalls
+  leaves a manifest that is either the old or the new state, never a
+  torn one.  :meth:`Campaign.execute` on the same directory skips
+  runs already marked ``done`` and re-attempts the rest.
+
+The manifest (``manifest.json``) is deliberately human-readable: a
+campaign's state can be audited, or a run forced to re-execute by
+deleting its entry, with a text editor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from .. import io as repro_io
+from ..core.events import ProfileReport
+from ..core.profiler import Emprof, EmprofConfig
+from ..errors import AcquisitionError, CampaignError
+from ..obs import metrics as _metrics, trace as _trace
+from .runner import RetryPolicy, acquire_with_retry
+
+_MANIFEST_NAME = "manifest.json"
+_MANIFEST_FORMAT = "emprof-campaign-v1"
+
+_RUNS_COMPLETED = _metrics.counter(
+    "campaign_runs_completed_total", "campaign runs that produced a report"
+)
+_RUNS_FAILED = _metrics.counter(
+    "campaign_runs_failed_total", "campaign runs abandoned after retries"
+)
+_RUNS_SKIPPED = _metrics.counter(
+    "campaign_runs_skipped_total", "campaign runs skipped on resume (already done)"
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One planned measurement: a name plus a capture source factory.
+
+    Attributes:
+        name: unique within the campaign; doubles as the report's
+            filename stem, so keep it filesystem-safe.
+        source_factory: zero-argument callable returning a fresh
+            ``SignalSource``; called once per *attempt* so a flaky
+            source is rebuilt rather than reused mid-failure.
+        config: profiler configuration for this run.
+    """
+
+    name: str
+    source_factory: Callable[[], object]
+    config: Optional[EmprofConfig] = None
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one run during :meth:`Campaign.execute`."""
+
+    name: str
+    status: str  # "done" | "failed" | "skipped"
+    report: Optional[ProfileReport] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of one :meth:`Campaign.execute` pass."""
+
+    outcomes: List[RunOutcome] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {"done": 0, "failed": 0, "skipped": 0}
+        for outcome in self.outcomes:
+            out[outcome.status] = out.get(outcome.status, 0) + 1
+        return out
+
+    @property
+    def completed(self) -> bool:
+        """True when every run has a persisted report (done or skipped)."""
+        return all(o.status in ("done", "skipped") for o in self.outcomes)
+
+
+class Campaign:
+    """Checkpointed executor for a list of :class:`RunSpec`.
+
+    Args:
+        directory: campaign state directory; created if missing.  The
+            manifest and one ``<run>.report.json`` per completed run
+            live here.
+        retry: retry policy for transient acquisition failures.
+        sleep: injectable backoff sleep (see
+            :func:`repro.experiments.runner.acquire_with_retry`).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        retry: Optional[RetryPolicy] = None,
+        sleep=None,
+    ):
+        self.directory = Path(directory)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- manifest ------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST_NAME
+
+    def load_manifest(self) -> Dict[str, dict]:
+        """Per-run state map; empty when the campaign is fresh."""
+        if not self.manifest_path.exists():
+            return {}
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CampaignError(
+                f"unreadable campaign manifest {self.manifest_path}: {exc}"
+            ) from exc
+        if payload.get("format") != _MANIFEST_FORMAT:
+            raise CampaignError(
+                f"not an EMPROF campaign manifest: {self.manifest_path}"
+            )
+        return payload.get("runs", {})
+
+    def _save_manifest(self, runs: Dict[str, dict]) -> None:
+        """Atomically replace the manifest (tmp + ``os.replace``)."""
+        payload = {"format": _MANIFEST_FORMAT, "runs": runs}
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, self.manifest_path)
+
+    def report_path(self, name: str) -> Path:
+        return self.directory / f"{name}.report.json"
+
+    def load_report(self, name: str) -> ProfileReport:
+        """Load the persisted report of a completed run."""
+        return repro_io.load_report(self.report_path(name))
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, specs: List[RunSpec]) -> CampaignResult:
+        """Run every spec, resuming from the manifest.
+
+        Runs already marked ``done`` with their report file present
+        are skipped; everything else (fresh, previously failed, or
+        interrupted mid-run) is attempted.  A failing run never stops
+        the campaign - its error is recorded in the manifest and the
+        outcome list.
+        """
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise CampaignError("run names must be unique within a campaign")
+        runs = self.load_manifest()
+        result = CampaignResult()
+        for spec in specs:
+            state = runs.get(spec.name, {})
+            if state.get("status") == "done" and self.report_path(spec.name).exists():
+                _RUNS_SKIPPED.inc()
+                result.outcomes.append(
+                    RunOutcome(name=spec.name, status="skipped")
+                )
+                continue
+            outcome = self._execute_one(spec)
+            runs[spec.name] = {"status": outcome.status}
+            if outcome.error is not None:
+                runs[spec.name]["error"] = outcome.error
+            self._save_manifest(runs)
+            result.outcomes.append(outcome)
+        return result
+
+    def _execute_one(self, spec: RunSpec) -> RunOutcome:
+        """Acquire, profile, and persist one run, absorbing failures."""
+        with _trace.span("campaign_run", run=spec.name):
+            try:
+                capture = self._acquire(spec)
+                report = Emprof.from_capture(
+                    capture, config=spec.config
+                ).profile()
+            except AcquisitionError as exc:
+                _RUNS_FAILED.inc()
+                return RunOutcome(
+                    name=spec.name,
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            # Persist the report before the manifest marks the run
+            # done: a crash between the two writes re-runs the run,
+            # never trusts a missing report.
+            repro_io.save_report(self.report_path(spec.name), report)
+        _RUNS_COMPLETED.inc()
+        return RunOutcome(name=spec.name, status="done", report=report)
+
+    def _acquire(self, spec: RunSpec):
+        kwargs = {} if self._sleep is None else {"sleep": self._sleep}
+        return acquire_with_retry(
+            spec.source_factory(), policy=self.retry, **kwargs
+        )

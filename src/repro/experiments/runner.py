@@ -9,16 +9,27 @@ Two measurement paths, matching the paper's methodology:
   pushed through the EM apparatus (emission model, probe channel,
   bandwidth-limited receiver) and EMPROF analyzes the received
   capture, exactly as it would a physical recording.
+
+A physical bench fails in ways a simulator never does - the SDR
+driver drops a buffer, USB hiccups, the probe gets bumped - so
+acquisition is wrapped in :func:`acquire_with_retry`: transient
+failures (:class:`repro.errors.AcquisitionError` with
+``transient=True``) are retried with bounded exponential backoff,
+permanent ones (missing hardware, corrupt files) fail fast.  Campaign
+orchestration with checkpoint/resume lives in
+:mod:`repro.experiments.campaign`.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..core.markers import MarkerWindow, find_marker_window
 from ..core.profiler import Emprof, EmprofConfig
 from ..core.events import ProfileReport
+from ..errors import AcquisitionError
 from ..obs import metrics as _metrics, trace as _trace
 from ..devices.models import default_channel
 from ..emsignal.apparatus import Apparatus
@@ -32,6 +43,67 @@ from ..workloads.base import Workload
 _EXPERIMENT_RUNS = _metrics.counter(
     "experiment_runs_total", "run_simulator()/run_device() invocations"
 )
+_ACQUIRE_RETRIES = _metrics.counter(
+    "acquisition_retries_total", "transient acquisition failures retried"
+)
+_ACQUIRE_FAILURES = _metrics.counter(
+    "acquisition_failures_total", "acquisitions abandoned after all retries"
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient acquisition failures.
+
+    Attributes:
+        max_attempts: total tries, including the first (1 = no retry).
+        backoff_base_s: sleep before the first retry.
+        backoff_factor: multiplier applied to the sleep per retry.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+def acquire_with_retry(
+    source,
+    policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Capture:
+    """Acquire from ``source``, retrying transient failures.
+
+    Only :class:`repro.errors.AcquisitionError` subclasses with
+    ``transient=True`` (driver overruns, USB resets) are retried;
+    permanent failures - :class:`repro.errors.HardwareMissingError`,
+    :class:`repro.errors.CorruptCaptureError` - and non-acquisition
+    exceptions propagate immediately.  ``sleep`` is injectable so
+    tests (and event-loop integrations) can skip real waiting.
+    """
+    pol = policy if policy is not None else RetryPolicy()
+    attempt = 1
+    while True:
+        try:
+            return source.capture()
+        except AcquisitionError as exc:
+            if not exc.transient or attempt >= pol.max_attempts:
+                _ACQUIRE_FAILURES.inc()
+                raise
+            _ACQUIRE_RETRIES.inc()
+            sleep(pol.delay(attempt))
+            attempt += 1
 
 
 @dataclass

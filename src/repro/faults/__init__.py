@@ -1,0 +1,59 @@
+"""Acquisition fault injection and signal-quality monitoring.
+
+Real captures (near-field probe -> ThinkRF WSA5000 -> PX14400,
+Sections V-B/VI of the paper) are not pristine: digitizers drop
+samples, ADCs clip, AGC steps the gain mid-capture, and nearby
+transmitters burst into the measurement band.  This package provides
+both halves of the robustness story:
+
+* :mod:`repro.faults.inject` - a deterministic, seeded fault-injection
+  layer that applies composable impairments to a signal or chunk
+  stream and records every injected event in an
+  :class:`~repro.faults.inject.ImpairmentLog`, so tests know ground
+  truth;
+* :mod:`repro.faults.quality` - the runtime monitors the hardened
+  streaming pipeline uses to *detect* impairments in an unknown
+  capture and quality-gate the stalls it reports
+  (``DetectedStall.low_confidence``).
+
+See ``docs/robustness.md`` for the fault model and gating semantics.
+"""
+
+from .inject import (
+    BurstFault,
+    ChunkResequencer,
+    ClippingFault,
+    DcDriftFault,
+    DropoutFault,
+    FaultInjector,
+    FaultySource,
+    FlakySource,
+    GainStepFault,
+    ImpairedSignal,
+    ImpairmentEvent,
+    ImpairmentLog,
+    NumberedChunk,
+    applied_clip_level,
+    iter_chunks,
+)
+from .quality import QualityConfig, QualityMonitor
+
+__all__ = [
+    "BurstFault",
+    "applied_clip_level",
+    "ChunkResequencer",
+    "ClippingFault",
+    "DcDriftFault",
+    "DropoutFault",
+    "FaultInjector",
+    "FaultySource",
+    "FlakySource",
+    "GainStepFault",
+    "ImpairedSignal",
+    "ImpairmentEvent",
+    "ImpairmentLog",
+    "NumberedChunk",
+    "QualityConfig",
+    "QualityMonitor",
+    "iter_chunks",
+]

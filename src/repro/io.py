@@ -8,37 +8,77 @@ times; these helpers give the repository a stable on-disk format:
 * ground-truth traces -> ``.npz`` (columnar miss/stall records).
 
 All formats are versioned with a ``format`` field so future layouts
-can be detected rather than mis-parsed.
+can be detected rather than mis-parsed.  The current (v2) ``.npz``
+layouts additionally carry array-length fields and a CRC-32 content
+checksum, so a capture truncated by a dying disk or an interrupted
+copy is *detected* (:class:`repro.errors.CorruptCaptureError`, naming
+the file) instead of silently profiling garbage; v1 files (no
+checksum) are still read.  Every malformed-file failure mode -
+not-a-zip, missing keys, undecodable region JSON - raises the same
+typed error rather than leaking ``KeyError``/``JSONDecodeError`` from
+the internals.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
-from .core.events import DetectedStall, ProfileReport
+from .core.events import DetectedStall, ProfileReport, QualitySummary
 from .emsignal.receiver import Capture
+from .errors import CorruptCaptureError
 from .sim.trace import GroundTruth, MissRecord, StallRecord
 
-_CAPTURE_FORMAT = "emprof-capture-v1"
+_CAPTURE_FORMAT = "emprof-capture-v2"
+_CAPTURE_FORMAT_V1 = "emprof-capture-v1"
 _REPORT_FORMAT = "emprof-report-v1"
-_TRUTH_FORMAT = "emprof-truth-v1"
+_TRUTH_FORMAT = "emprof-truth-v2"
+_TRUTH_FORMAT_V1 = "emprof-truth-v1"
 
 PathLike = Union[str, Path]
+
+#: Errors np.load / zipfile / field coercion can raise on a damaged
+#: file.  FileNotFoundError is deliberately NOT wrapped: a missing
+#: file is a caller mistake, not a corrupt capture.
+_READ_ERRORS = (zipfile.BadZipFile, EOFError, OSError, ValueError, KeyError)
+
+
+def _checksum(*arrays: np.ndarray) -> int:
+    """CRC-32 over the raw bytes of ``arrays``, in order."""
+    crc = 0
+    for arr in arrays:
+        crc = zlib.crc32(np.ascontiguousarray(arr).tobytes(), crc)
+    return crc
+
+
+def _decode_region_names(raw: str, path: PathLike) -> dict:
+    """Parse a ``{"id": "name"}`` JSON mapping, typed-error wrapped."""
+    try:
+        decoded = json.loads(raw)
+        return {int(k): str(v) for k, v in decoded.items()}
+    except (json.JSONDecodeError, ValueError, TypeError, AttributeError) as exc:
+        raise CorruptCaptureError(
+            f"malformed region_names mapping: {exc}", path=path
+        ) from exc
 
 
 # -- captures -----------------------------------------------------------------
 
 
 def save_capture(path: PathLike, capture: Capture) -> None:
-    """Write a capture to ``path`` (.npz)."""
+    """Write a capture to ``path`` (.npz, format v2 with checksum)."""
+    magnitude = np.asarray(capture.magnitude, dtype=np.float64)
     np.savez_compressed(
         path,
         format=_CAPTURE_FORMAT,
-        magnitude=np.asarray(capture.magnitude, dtype=np.float64),
+        magnitude=magnitude,
+        n_samples=len(magnitude),
+        checksum=_checksum(magnitude),
         sample_rate_hz=capture.sample_rate_hz,
         clock_hz=capture.clock_hz,
         bandwidth_hz=capture.bandwidth_hz,
@@ -49,20 +89,80 @@ def save_capture(path: PathLike, capture: Capture) -> None:
 
 
 def load_capture(path: PathLike) -> Capture:
-    """Read a capture written by :func:`save_capture`."""
-    with np.load(path, allow_pickle=False) as data:
-        fmt = str(data["format"])
-        if fmt != _CAPTURE_FORMAT:
-            raise ValueError(f"not an EMPROF capture file (format={fmt!r})")
-        regions = {
-            int(k): v for k, v in json.loads(str(data["region_names"])).items()
-        }
-        return Capture(
-            magnitude=np.asarray(data["magnitude"], dtype=np.float64),
-            sample_rate_hz=float(data["sample_rate_hz"]),
-            clock_hz=float(data["clock_hz"]),
-            bandwidth_hz=float(data["bandwidth_hz"]),
-            region_names=regions,
+    """Read a capture written by :func:`save_capture` (v1 or v2).
+
+    Raises:
+        CorruptCaptureError: wrong format, missing fields, malformed
+            region JSON, truncated array, or checksum mismatch.
+        FileNotFoundError: the path does not exist.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "format" not in data:
+                raise CorruptCaptureError(
+                    "no 'format' field; not an EMPROF capture file", path=path
+                )
+            fmt = str(data["format"])
+            if fmt not in (_CAPTURE_FORMAT, _CAPTURE_FORMAT_V1):
+                raise CorruptCaptureError(
+                    f"not an EMPROF capture file (format={fmt!r})", path=path
+                )
+            try:
+                magnitude = np.asarray(data["magnitude"], dtype=np.float64)
+                sample_rate_hz = float(data["sample_rate_hz"])
+                clock_hz = float(data["clock_hz"])
+                bandwidth_hz = float(data["bandwidth_hz"])
+                regions_raw = str(data["region_names"])
+            except KeyError as exc:
+                raise CorruptCaptureError(
+                    f"capture file is missing field {exc}", path=path
+                ) from exc
+            regions = _decode_region_names(regions_raw, path)
+            if fmt == _CAPTURE_FORMAT:
+                _verify_lengths_and_checksum(
+                    path,
+                    expected_n=int(data["n_samples"]),
+                    actual_n=len(magnitude),
+                    expected_crc=int(data["checksum"]),
+                    arrays=(magnitude,),
+                    what="capture",
+                )
+            return Capture(
+                magnitude=magnitude,
+                sample_rate_hz=sample_rate_hz,
+                clock_hz=clock_hz,
+                bandwidth_hz=bandwidth_hz,
+                region_names=regions,
+            )
+    except (CorruptCaptureError, FileNotFoundError):
+        raise
+    except _READ_ERRORS as exc:
+        raise CorruptCaptureError(
+            f"unreadable capture file: {exc}", path=path
+        ) from exc
+
+
+def _verify_lengths_and_checksum(
+    path: PathLike,
+    expected_n: int,
+    actual_n: int,
+    expected_crc: int,
+    arrays,
+    what: str,
+) -> None:
+    """Raise :class:`CorruptCaptureError` on truncation or bit rot."""
+    if expected_n != actual_n:
+        raise CorruptCaptureError(
+            f"truncated {what}: header promises {expected_n} records, "
+            f"file holds {actual_n}",
+            path=path,
+        )
+    actual_crc = _checksum(*arrays)
+    if actual_crc != expected_crc:
+        raise CorruptCaptureError(
+            f"{what} checksum mismatch: stored {expected_crc:#010x}, "
+            f"computed {actual_crc:#010x} (bit rot or partial write)",
+            path=path,
         )
 
 
@@ -71,7 +171,7 @@ def load_capture(path: PathLike) -> Capture:
 
 def report_to_dict(report: ProfileReport) -> dict:
     """JSON-ready representation of a profile report."""
-    return {
+    payload = {
         "format": _REPORT_FORMAT,
         "clock_hz": report.clock_hz,
         "sample_period_cycles": report.sample_period_cycles,
@@ -86,10 +186,23 @@ def report_to_dict(report: ProfileReport) -> dict:
                 "min_level": s.min_level,
                 "is_refresh": s.is_refresh,
                 "region": s.region,
+                "low_confidence": s.low_confidence,
             }
             for s in report.stalls
         ],
     }
+    if report.quality is not None:
+        q = report.quality
+        payload["quality"] = {
+            "gap_count": q.gap_count,
+            "dropped_samples": q.dropped_samples,
+            "clipped_samples": q.clipped_samples,
+            "burst_samples": q.burst_samples,
+            "gain_steps": q.gain_steps,
+            "impaired_sample_spans": q.impaired_sample_spans,
+            "impaired_samples": q.impaired_samples,
+        }
+    return payload
 
 
 def report_from_dict(payload: dict) -> ProfileReport:
@@ -106,15 +219,20 @@ def report_from_dict(payload: dict) -> ProfileReport:
             min_level=s["min_level"],
             is_refresh=s["is_refresh"],
             region=s.get("region"),
+            low_confidence=s.get("low_confidence", False),
         )
         for s in payload["stalls"]
     ]
+    quality = None
+    if payload.get("quality"):
+        quality = QualitySummary(**payload["quality"])
     return ProfileReport(
         stalls=stalls,
         total_cycles=payload["total_cycles"],
         clock_hz=payload["clock_hz"],
         sample_period_cycles=payload["sample_period_cycles"],
         region_names={int(k): v for k, v in payload.get("region_names", {}).items()},
+        quality=quality,
     )
 
 
@@ -132,27 +250,34 @@ def load_report(path: PathLike) -> ProfileReport:
 
 
 def save_ground_truth(path: PathLike, truth: GroundTruth) -> None:
-    """Write a ground-truth trace to ``path`` (.npz, columnar)."""
+    """Write a ground-truth trace to ``path`` (.npz, columnar, v2)."""
     misses = truth.misses
     stalls = truth.stalls
+    miss_addr = np.array([m.addr for m in misses], dtype=np.int64)
+    miss_detect = np.array([m.detect_cycle for m in misses], dtype=np.int64)
+    stall_begin = np.array([s.begin_cycle for s in stalls], dtype=np.int64)
+    stall_end = np.array([s.end_cycle for s in stalls], dtype=np.int64)
     np.savez_compressed(
         path,
         format=_TRUTH_FORMAT,
         total_cycles=truth.total_cycles,
         total_instructions=truth.total_instructions,
+        n_misses=len(misses),
+        n_stalls=len(stalls),
+        checksum=_checksum(miss_addr, miss_detect, stall_begin, stall_end),
         region_names=json.dumps({str(k): v for k, v in truth.region_names.items()}),
         region_cycles=json.dumps({str(k): v for k, v in truth.region_cycles.items()}),
         miss_kind=np.array([m.kind for m in misses], dtype="U8"),
-        miss_addr=np.array([m.addr for m in misses], dtype=np.int64),
-        miss_detect=np.array([m.detect_cycle for m in misses], dtype=np.int64),
+        miss_addr=miss_addr,
+        miss_detect=miss_detect,
         miss_ready=np.array([m.ready_cycle for m in misses], dtype=np.int64),
         miss_stall=np.array(
             [-1 if m.stall_id is None else m.stall_id for m in misses], dtype=np.int64
         ),
         miss_refresh=np.array([m.refresh_blocked for m in misses], dtype=bool),
         miss_region=np.array([m.region for m in misses], dtype=np.int64),
-        stall_begin=np.array([s.begin_cycle for s in stalls], dtype=np.int64),
-        stall_end=np.array([s.end_cycle for s in stalls], dtype=np.int64),
+        stall_begin=stall_begin,
+        stall_end=stall_end,
         stall_cause=np.array([s.cause for s in stalls], dtype="U16"),
         stall_refresh=np.array([s.refresh for s in stalls], dtype=bool),
         stall_region=np.array([s.region for s in stalls], dtype=np.int64),
@@ -161,52 +286,116 @@ def save_ground_truth(path: PathLike, truth: GroundTruth) -> None:
 
 
 def load_ground_truth(path: PathLike) -> GroundTruth:
-    """Read a trace written by :func:`save_ground_truth`."""
-    with np.load(path, allow_pickle=False) as data:
-        fmt = str(data["format"])
-        if fmt != _TRUTH_FORMAT:
-            raise ValueError(f"not an EMPROF ground-truth file (format={fmt!r})")
-        n_miss = len(data["miss_addr"])
-        misses = [
-            MissRecord(
-                miss_id=i,
-                kind=str(data["miss_kind"][i]),
-                addr=int(data["miss_addr"][i]),
-                detect_cycle=int(data["miss_detect"][i]),
-                ready_cycle=int(data["miss_ready"][i]),
-                stall_id=(
-                    None
-                    if int(data["miss_stall"][i]) < 0
-                    else int(data["miss_stall"][i])
-                ),
-                refresh_blocked=bool(data["miss_refresh"][i]),
-                region=int(data["miss_region"][i]),
-            )
-            for i in range(n_miss)
-        ]
-        miss_lists = json.loads(str(data["stall_misses"]))
-        stalls = [
-            StallRecord(
-                stall_id=i,
-                begin_cycle=int(data["stall_begin"][i]),
-                end_cycle=int(data["stall_end"][i]),
-                cause=str(data["stall_cause"][i]),
-                miss_ids=list(miss_lists[i]),
-                refresh=bool(data["stall_refresh"][i]),
-                region=int(data["stall_region"][i]),
-            )
-            for i in range(len(data["stall_begin"]))
-        ]
-        return GroundTruth(
-            misses=misses,
-            stalls=stalls,
-            total_cycles=int(data["total_cycles"]),
-            total_instructions=int(data["total_instructions"]),
-            region_names={
-                int(k): v for k, v in json.loads(str(data["region_names"])).items()
-            },
-            region_cycles={
-                int(k): int(v)
-                for k, v in json.loads(str(data["region_cycles"])).items()
-            },
+    """Read a trace written by :func:`save_ground_truth` (v1 or v2).
+
+    Raises:
+        CorruptCaptureError: wrong format, missing/truncated columns,
+            malformed JSON fields, or checksum mismatch.
+        FileNotFoundError: the path does not exist.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "format" not in data:
+                raise CorruptCaptureError(
+                    "no 'format' field; not an EMPROF ground-truth file",
+                    path=path,
+                )
+            fmt = str(data["format"])
+            if fmt not in (_TRUTH_FORMAT, _TRUTH_FORMAT_V1):
+                raise CorruptCaptureError(
+                    f"not an EMPROF ground-truth file (format={fmt!r})",
+                    path=path,
+                )
+            try:
+                return _decode_ground_truth(data, fmt, path)
+            except KeyError as exc:
+                raise CorruptCaptureError(
+                    f"ground-truth file is missing field {exc}", path=path
+                ) from exc
+    except (CorruptCaptureError, FileNotFoundError):
+        raise
+    except _READ_ERRORS as exc:
+        raise CorruptCaptureError(
+            f"unreadable ground-truth file: {exc}", path=path
+        ) from exc
+
+
+def _decode_ground_truth(data, fmt: str, path: PathLike) -> GroundTruth:
+    """Decode the columnar arrays of one ground-truth npz."""
+    n_miss = len(data["miss_addr"])
+    n_stall = len(data["stall_begin"])
+    if fmt == _TRUTH_FORMAT:
+        _verify_lengths_and_checksum(
+            path,
+            expected_n=int(data["n_misses"]),
+            actual_n=n_miss,
+            expected_crc=int(data["checksum"]),
+            arrays=(
+                np.asarray(data["miss_addr"], dtype=np.int64),
+                np.asarray(data["miss_detect"], dtype=np.int64),
+                np.asarray(data["stall_begin"], dtype=np.int64),
+                np.asarray(data["stall_end"], dtype=np.int64),
+            ),
+            what="ground truth",
         )
+        if int(data["n_stalls"]) != n_stall:
+            raise CorruptCaptureError(
+                f"truncated ground truth: header promises "
+                f"{int(data['n_stalls'])} stalls, file holds {n_stall}",
+                path=path,
+            )
+    misses = [
+        MissRecord(
+            miss_id=i,
+            kind=str(data["miss_kind"][i]),
+            addr=int(data["miss_addr"][i]),
+            detect_cycle=int(data["miss_detect"][i]),
+            ready_cycle=int(data["miss_ready"][i]),
+            stall_id=(
+                None
+                if int(data["miss_stall"][i]) < 0
+                else int(data["miss_stall"][i])
+            ),
+            refresh_blocked=bool(data["miss_refresh"][i]),
+            region=int(data["miss_region"][i]),
+        )
+        for i in range(n_miss)
+    ]
+    try:
+        miss_lists = json.loads(str(data["stall_misses"]))
+    except json.JSONDecodeError as exc:
+        raise CorruptCaptureError(
+            f"malformed stall_misses JSON: {exc}", path=path
+        ) from exc
+    stalls = [
+        StallRecord(
+            stall_id=i,
+            begin_cycle=int(data["stall_begin"][i]),
+            end_cycle=int(data["stall_end"][i]),
+            cause=str(data["stall_cause"][i]),
+            miss_ids=list(miss_lists[i]),
+            refresh=bool(data["stall_refresh"][i]),
+            region=int(data["stall_region"][i]),
+        )
+        for i in range(n_stall)
+    ]
+    try:
+        region_names = {
+            int(k): v for k, v in json.loads(str(data["region_names"])).items()
+        }
+        region_cycles = {
+            int(k): int(v)
+            for k, v in json.loads(str(data["region_cycles"])).items()
+        }
+    except (json.JSONDecodeError, ValueError, AttributeError) as exc:
+        raise CorruptCaptureError(
+            f"malformed region mapping JSON: {exc}", path=path
+        ) from exc
+    return GroundTruth(
+        misses=misses,
+        stalls=stalls,
+        total_cycles=int(data["total_cycles"]),
+        total_instructions=int(data["total_instructions"]),
+        region_names=region_names,
+        region_cycles=region_cycles,
+    )

@@ -83,6 +83,47 @@ class TestCaptureAndProfile:
             main(["capture", "--workload", "doom", "-o", str(tmp_path / "x.npz")])
 
 
+class TestFaultsCommand:
+    def capture_path(self, tmp_path):
+        path = tmp_path / "cap.npz"
+        main(
+            [
+                "capture", "--workload", "micro", "--tm", "64", "--cm", "4",
+                "-o", str(path),
+            ]
+        )
+        return path
+
+    def test_faults_demo_compares_clean_and_impaired(self, tmp_path, capsys):
+        path = self.capture_path(tmp_path)
+        capsys.readouterr()
+        assert main(["faults", str(path), "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "injected impairments" in out
+        assert "clean profile" in out
+        assert "impaired profile" in out
+        assert "low-confidence" in out
+        assert "miss-count drift" in out
+
+    def test_faults_saves_impaired_capture(self, tmp_path, capsys):
+        path = self.capture_path(tmp_path)
+        out_path = tmp_path / "impaired.npz"
+        assert main(["faults", str(path), "-o", str(out_path)]) == 0
+        impaired = repro_io.load_capture(out_path)
+        clean = repro_io.load_capture(path)
+        assert len(impaired.magnitude) < len(clean.magnitude)  # dropouts
+
+    def test_faults_requires_an_impairment(self, tmp_path):
+        path = self.capture_path(tmp_path)
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "faults", str(path), "--dropout-rate", "0",
+                    "--gain-steps", "0", "--clip-rate", "0",
+                ]
+            )
+
+
 class TestSelftest:
     def test_selftest_passes_on_olimex(self, capsys):
         assert main(["selftest", "--tm", "128", "--cm", "4"]) == 0

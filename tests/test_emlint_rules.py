@@ -13,6 +13,7 @@ from repro.devtools.rules import (
     DeterminismRule,
     FloatEqualityRule,
     MutableDefaultArgRule,
+    SilentExceptRule,
     UnitSafetyRule,
     rules_by_name,
 )
@@ -225,6 +226,75 @@ class TestMutableDefaultArg:
             "def f(a=None, b=0, c=(), d='x'):\n    pass\n",
             MutableDefaultArgRule,
         )
+
+
+# -- silent-except -----------------------------------------------------------
+
+
+class TestSilentExcept:
+    def test_flags_bare_except_even_with_real_body(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except:\n"
+            "    handle()\n"
+        )
+        assert names(src, SilentExceptRule) == ["silent-except"]
+
+    def test_flags_broad_pass(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:\n"
+            "    pass\n"
+        )
+        assert names(src, SilentExceptRule) == ["silent-except"]
+
+    def test_flags_base_exception_ellipsis(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except BaseException:\n"
+            "    ...\n"
+        )
+        assert names(src, SilentExceptRule) == ["silent-except"]
+
+    def test_flags_qualified_broad_pass(self):
+        src = (
+            "import builtins\n"
+            "try:\n"
+            "    work()\n"
+            "except builtins.Exception:\n"
+            "    pass\n"
+        )
+        assert names(src, SilentExceptRule) == ["silent-except"]
+
+    def test_allows_broad_handler_that_acts(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except Exception as exc:\n"
+            "    raise RuntimeError('wrapped') from exc\n"
+        )
+        assert not names(src, SilentExceptRule)
+
+    def test_allows_specific_pass(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except FileNotFoundError:\n"
+            "    pass\n"
+        )
+        assert not names(src, SilentExceptRule)
+
+    def test_suppression_comment(self):
+        src = (
+            "try:\n"
+            "    work()\n"
+            "except Exception:  # emlint: disable=silent-except\n"
+            "    pass\n"
+        )
+        assert not names(src, SilentExceptRule)
 
 
 # -- suppression -------------------------------------------------------------

@@ -1,0 +1,122 @@
+"""Chaos gate: bounded detection error under injected impairments.
+
+The acceptance property from docs/robustness.md: with <= 2% of samples
+dropped, a few AGC gain steps, and <= 1% of samples clipped, the
+hardened streaming pipeline's reported miss count stays within 10% of
+the clean run, and every stall overlapping an injected impairment is
+flagged ``low_confidence`` - while clean-signal behaviour is
+bit-identical to batch (covered property-style by the equivalence
+tests in test_streaming.py; re-asserted here under the same configs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.detect import DetectorConfig, detect_stalls
+from repro.core.normalize import NormalizerConfig, normalize
+from repro.core.streaming import profile_chunks
+from repro.faults import (
+    ClippingFault,
+    DropoutFault,
+    FaultInjector,
+    GainStepFault,
+    QualityConfig,
+    applied_clip_level,
+    iter_chunks,
+)
+
+NORM = NormalizerConfig(window_samples=301)
+DET = DetectorConfig()
+RATE, CLOCK = 50e6, 1e9
+
+
+def dip_signal(n=20000, seed=0, dip_every=170, dip_len=13):
+    rng = np.random.default_rng(seed)
+    x = np.full(n, 0.9) + rng.normal(0, 0.02, n)
+    for s in range(200, n - 200, dip_every):
+        x[s : s + dip_len] = 0.1 + rng.normal(0, 0.01, dip_len)
+    return np.clip(x, 0.0, None)
+
+
+def profile(chunks, quality=None):
+    return profile_chunks(
+        chunks,
+        sample_rate_hz=RATE,
+        clock_hz=CLOCK,
+        normalizer=NORM,
+        detector=DET,
+        quality=quality,
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_bounded_miss_error_under_impairment(seed):
+    x = dip_signal(seed=seed)
+    clean = profile([x])
+    assert clean.miss_count > 50
+
+    injector = FaultInjector(
+        [DropoutFault(rate=0.02), GainStepFault(steps=3), ClippingFault(rate=0.01)],
+        seed=seed,
+    )
+    impaired = injector.apply(x)
+    # the digitizer's full scale is known to a real monitor; read the
+    # level the injection actually used from the ground truth
+    report = profile(
+        iter_chunks(impaired, chunk_samples=1024),
+        quality=QualityConfig(clip_level=applied_clip_level(impaired.log)),
+    )
+
+    # (1) bounded error: the miss count survives the impairment mix
+    error = abs(report.miss_count - clean.miss_count) / clean.miss_count
+    assert error <= 0.10, (
+        f"seed {seed}: miss count drifted {100 * error:.1f}% "
+        f"({clean.miss_count} -> {report.miss_count})"
+    )
+
+    # (2) ground-truth gating: every stall overlapping an injected
+    # severe impairment is flagged low-confidence
+    unflagged = [
+        s
+        for s in report.stalls
+        if impaired.log.overlaps(s.begin_sample, s.end_sample)
+        and not s.low_confidence
+    ]
+    assert unflagged == [], (
+        f"seed {seed}: {len(unflagged)} impairment-overlapping stalls "
+        f"not flagged"
+    )
+
+    # (3) the report accounts for what happened
+    assert report.quality is not None
+    assert report.quality.gap_count == len(impaired.gaps)
+    assert report.quality.dropped_samples == sum(d for _, d in impaired.gaps)
+    assert report.low_confidence_count > 0
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_clean_streamed_equals_batch_same_configs(seed):
+    """Equivalence is untouched by the hardening (chaos configs)."""
+    x = dip_signal(n=8000, seed=seed)
+    batch = detect_stalls(normalize(x, NORM), CLOCK / RATE, DET)
+    report = profile(
+        [x[begin : begin + 1024] for begin in range(0, len(x), 1024)]
+    )
+    assert len(report.stalls) == len(batch)
+    for got, want in zip(report.stalls, batch):
+        assert got.begin_sample == pytest.approx(want.begin_sample)
+        assert got.end_sample == pytest.approx(want.end_sample)
+        assert not got.low_confidence
+    assert report.quality is None
+
+
+def test_dropouts_alone_lose_few_misses():
+    """2% dropout can only erase the stalls it actually hit."""
+    x = dip_signal(seed=11)
+    clean = profile([x])
+    impaired = FaultInjector([DropoutFault(rate=0.02)], seed=11).apply(x)
+    report = profile(iter_chunks(impaired, chunk_samples=2048))
+    assert report.miss_count <= clean.miss_count
+    lost = clean.miss_count - report.miss_count
+    # each dropout run can destroy at most ~2 stalls (one per edge)
+    assert lost <= 2 * len(impaired.gaps) + 2

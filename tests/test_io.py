@@ -1,11 +1,14 @@
 """Tests for capture/report/ground-truth serialization."""
 
+import json
+
 import numpy as np
 import pytest
 
 from repro import io as repro_io
 from repro.core.events import DetectedStall, ProfileReport
 from repro.emsignal.receiver import Capture
+from repro.errors import CorruptCaptureError
 from repro.sim.trace import (
     CAUSE_DATA_MEM,
     DLOAD,
@@ -137,6 +140,117 @@ class TestGroundTruthRoundtrip:
         np.savez(path, format="emprof-capture-v1")
         with pytest.raises(ValueError):
             repro_io.load_ground_truth(path)
+
+
+class TestCorruptionDetection:
+    """v2 checksum/length verification and typed corruption errors."""
+
+    def save(self, capture, tmp_path, **overrides):
+        path = tmp_path / "cap.npz"
+        repro_io.save_capture(path, capture)
+        if overrides:
+            with np.load(path, allow_pickle=False) as data:
+                fields = {k: data[k] for k in data.files}
+            fields.update(overrides)
+            np.savez_compressed(path, **fields)
+        return path
+
+    def test_error_names_the_file(self, capture, tmp_path):
+        path = self.save(capture, tmp_path, checksum=np.int64(1))
+        with pytest.raises(CorruptCaptureError) as excinfo:
+            repro_io.load_capture(path)
+        assert str(path) in str(excinfo.value)
+        assert str(excinfo.value.path) == str(path)
+        assert isinstance(excinfo.value, ValueError)  # back-compat
+
+    def test_detects_bit_rot(self, capture, tmp_path):
+        flipped = capture.magnitude.copy()
+        flipped[100] += 1e-9
+        path = self.save(capture, tmp_path, magnitude=flipped)
+        with pytest.raises(CorruptCaptureError, match="checksum"):
+            repro_io.load_capture(path)
+
+    def test_detects_truncated_array(self, capture, tmp_path):
+        path = self.save(capture, tmp_path, magnitude=capture.magnitude[:100])
+        with pytest.raises(CorruptCaptureError, match="truncated"):
+            repro_io.load_capture(path)
+
+    def test_detects_truncated_file(self, capture, tmp_path):
+        path = self.save(capture, tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CorruptCaptureError):
+            repro_io.load_capture(path)
+
+    def test_rejects_non_npz_garbage(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(CorruptCaptureError):
+            repro_io.load_capture(path)
+
+    def test_missing_field(self, capture, tmp_path):
+        path = tmp_path / "cap.npz"
+        np.savez(path, format="emprof-capture-v1",
+                 magnitude=capture.magnitude)
+        with pytest.raises(CorruptCaptureError, match="missing field"):
+            repro_io.load_capture(path)
+
+    def test_malformed_region_json(self, capture, tmp_path):
+        path = self.save(
+            capture, tmp_path, region_names="{not json"
+        )
+        with pytest.raises(CorruptCaptureError, match="region_names"):
+            repro_io.load_capture(path)
+
+    def test_non_dict_region_json(self, capture, tmp_path):
+        path = self.save(capture, tmp_path, region_names="[1, 2]")
+        with pytest.raises(CorruptCaptureError, match="region_names"):
+            repro_io.load_capture(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            repro_io.load_capture(tmp_path / "nope.npz")
+
+    def test_v1_capture_without_checksum_loads(self, capture, tmp_path):
+        path = tmp_path / "v1.npz"
+        np.savez_compressed(
+            path,
+            format="emprof-capture-v1",
+            magnitude=capture.magnitude,
+            sample_rate_hz=capture.sample_rate_hz,
+            clock_hz=capture.clock_hz,
+            bandwidth_hz=capture.bandwidth_hz,
+            region_names=json.dumps(
+                {str(k): v for k, v in capture.region_names.items()}
+            ),
+        )
+        loaded = repro_io.load_capture(path)
+        np.testing.assert_array_equal(loaded.magnitude, capture.magnitude)
+        assert loaded.region_names == capture.region_names
+
+    def test_truth_checksum_mismatch(self, truth, tmp_path):
+        path = tmp_path / "truth.npz"
+        repro_io.save_ground_truth(path, truth)
+        with np.load(path, allow_pickle=False) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["miss_addr"] = np.asarray(fields["miss_addr"]) + 1
+        np.savez_compressed(path, **fields)
+        with pytest.raises(CorruptCaptureError, match="checksum"):
+            repro_io.load_ground_truth(path)
+
+    def test_truth_truncated_stalls(self, truth, tmp_path):
+        path = tmp_path / "truth.npz"
+        repro_io.save_ground_truth(path, truth)
+        with np.load(path, allow_pickle=False) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["n_stalls"] = np.int64(int(fields["n_stalls"]) + 2)
+        np.savez_compressed(path, **fields)
+        with pytest.raises(CorruptCaptureError, match="truncated"):
+            repro_io.load_ground_truth(path)
+
+    def test_truth_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            repro_io.load_ground_truth(tmp_path / "nope.npz")
 
 
 class TestEndToEndPersistence:

@@ -29,6 +29,13 @@ VIOLATIONS = {
     ),
     "float-equality": "def f(a: float, b: float):\n    return a == b\n",
     "mutable-default-arg": "def f(items=[]):\n    return items\n",
+    "silent-except": (
+        "def f():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    except Exception:\n"
+        "        pass\n"
+    ),
 }
 
 

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint chaos bench bench-all trace reproduce examples selftest clean
+.PHONY: install test lint regress check dashboard chaos bench bench-all trace reproduce examples selftest clean
 
 install:
 	pip install -e .
@@ -13,12 +13,26 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.devtools.lint src/
 
+# Judge the run ledger against its own recent history; exits 3 on a
+# statistically significant slowdown, 0 when stable or when the ledger
+# does not exist yet (fresh checkout).
+regress:
+	PYTHONPATH=src $(PYTHON) -m repro obs regress LEDGER_obs.jsonl --allow-missing
+
+# The default verification flow: static analysis + perf history.
+check: lint regress
+
+# Render the run observatory over the ledger history.
+dashboard:
+	PYTHONPATH=src $(PYTHON) -m repro obs dashboard LEDGER_obs.jsonl -o dashboard_obs.html
+
 # Fault-injection suite: impairment injection, quality gating, the
 # bounded-error chaos property test, retry and campaign resume.
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults_inject.py tests/test_faults_pipeline.py tests/test_faults_chaos.py tests/test_faults_runner.py -q
 
-# Quick perf-tracking benches; writes BENCH_obs.json at the repo root.
+# Quick perf-tracking benches; writes BENCH_obs.json (latest session,
+# atomic) and appends per-bench history to LEDGER_obs.jsonl.
 bench:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_perf_baseline.py benchmarks/test_streaming_throughput.py --benchmark-only -s
 
@@ -43,6 +57,9 @@ examples:
 selftest:
 	$(PYTHON) -m repro selftest
 
+# Removes derived artefacts only: the run ledger (LEDGER_obs.jsonl)
+# is history, not output, and survives a clean.
 clean:
 	rm -rf results/ .pytest_cache .benchmarks
+	rm -f dashboard_obs.html
 	find . -name __pycache__ -type d -exec rm -rf {} +

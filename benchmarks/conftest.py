@@ -6,16 +6,21 @@ wins, by roughly what factor, where the crossovers are).  Each bench
 runs its experiment exactly once under pytest-benchmark timing.
 
 Each run also executes with observability enabled against a clean
-metrics registry, and the session writes ``BENCH_obs.json`` at the
-repo root: one entry per benchmark with its wall time, the metric
-snapshot it produced, and a per-span timing aggregate.  That file is
-the machine-readable companion to the printed tables - diffable
-across commits to spot throughput or workload-shape regressions.
+metrics registry, and the session persists two artefacts:
+
+* ``BENCH_obs.json`` at the repo root - the latest session's
+  snapshot (one entry per benchmark: wall time, metric snapshot,
+  per-span timing aggregate), stamped with a schema version and the
+  git revision, and written atomically (temp file + rename) so a
+  crashed session never leaves a torn file;
+* ``LEDGER_obs.jsonl`` at the repo root - one appended
+  :class:`repro.obs.ledger.RunRecord` (kind ``bench``) per benchmark,
+  accumulating history across sessions.  ``repro obs regress`` judges
+  that history and ``repro obs dashboard`` renders it.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 from typing import Any, Dict, List
@@ -23,9 +28,12 @@ from typing import Any, Dict, List
 import pytest
 
 from repro import obs
+from repro.obs import ledger as obs_ledger
 
 _BENCH_RESULTS: List[Dict[str, Any]] = []
-_OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUT_PATH = _REPO_ROOT / "BENCH_obs.json"
+_LEDGER_PATH = _REPO_ROOT / obs_ledger.DEFAULT_LEDGER_NAME
 
 
 @pytest.fixture()
@@ -57,12 +65,25 @@ def once(benchmark, request):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Write the per-benchmark observability report, if any ran."""
+    """Persist the per-benchmark observability artefacts, if any ran."""
     if not _BENCH_RESULTS:
         return
     payload = {
         "format": "repro-obs-bench",
+        "schema_version": 1,
         "version": 1,
+        "git_rev": obs_ledger.git_rev(),
         "benchmarks": _BENCH_RESULTS,
     }
-    _OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    obs_ledger.atomic_write_json(_OUT_PATH, payload)
+    records = [
+        obs_ledger.record(
+            kind="bench",
+            label=entry["benchmark"],
+            wall_time_s=entry["wall_time_s"],
+            metrics=entry["metrics"],
+            spans=entry["spans"],
+        )
+        for entry in _BENCH_RESULTS
+    ]
+    obs_ledger.RunLedger(_LEDGER_PATH).append_many(records)

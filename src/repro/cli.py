@@ -95,13 +95,19 @@ def cmd_capture(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    import time as _time
+
     log = obs.get_logger("cli")
-    wants_obs = bool(args.trace_out or args.metrics_out)
+    wants_obs = bool(args.trace_out or args.metrics_out or args.ledger)
     if wants_obs and not obs.obs_enabled():
         # Exporting implies instrumenting: turn the obs layer on for
         # this command rather than silently writing empty artifacts.
         obs.set_obs_enabled(True)
-        log.info("observability enabled for this run (--trace-out/--metrics-out)")
+        log.info(
+            "observability enabled for this run "
+            "(--trace-out/--metrics-out/--ledger)"
+        )
+    run_begin = _time.perf_counter()
     capture = repro_io.load_capture(args.capture)
     config = EmprofConfig(
         normalizer=NormalizerConfig(window_samples=args.window),
@@ -140,20 +146,44 @@ def cmd_profile(args: argparse.Namespace) -> int:
         fmt = "prom" if args.metrics_out.endswith((".prom", ".txt")) else "json"
         obs.metrics.write(args.metrics_out, fmt=fmt)
         print(f"metrics -> {args.metrics_out}")
+    if args.ledger:
+        import dataclasses
+        from pathlib import Path
+
+        from .obs import ledger as obs_ledger
+
+        entry = obs_ledger.record(
+            kind="profile",
+            label=Path(args.capture).stem,
+            wall_time_s=_time.perf_counter() - run_begin,
+            config=config,
+            metrics=obs.metrics.snapshot(),
+            spans=obs.trace.aggregate(),
+            quality=(
+                dataclasses.asdict(report.quality)
+                if report.quality is not None
+                else None
+            ),
+            extra={
+                "capture": str(args.capture),
+                "miss_count": report.miss_count,
+                "low_confidence_count": report.low_confidence_count,
+                "stall_fraction": report.stall_fraction,
+            },
+        )
+        obs_ledger.RunLedger(args.ledger).append(entry)
+        print(f"ledger +1 ({entry.group}) -> {args.ledger}")
     return 0
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
-    # Delegate to the repro-obs entry point so file handling (and its
-    # exit codes) exist in exactly one place.
+    # Delegate to the repro-obs entry point so argument handling (and
+    # the 0/2/3 exit-code contract) exist in exactly one place.  The
+    # top-level parser forwards everything after `obs` verbatim:
+    # positionals it captured plus any flags it did not recognize.
     from .obs.cli import main as obs_main
 
-    argv = []
-    if args.metrics:
-        argv.append(args.metrics)
-    if args.trace:
-        argv.extend(["--trace", args.trace])
-    return obs_main(argv)
+    return obs_main(list(args.args) + list(getattr(args, "extra_args", [])))
 
 
 def cmd_selftest(args: argparse.Namespace) -> int:
@@ -393,6 +423,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's metric snapshot (.json, or .prom/.txt "
         "for Prometheus text format; implies observability on)",
     )
+    prof.add_argument(
+        "--ledger",
+        metavar="LEDGER_JSONL",
+        help="append this run to an append-only run ledger (.jsonl; "
+        "implies observability on); see `repro obs regress`",
+    )
     prof.set_defaults(func=cmd_profile)
 
     st = sub.add_parser("selftest", help="engineered-miss accuracy check")
@@ -460,18 +496,22 @@ def build_parser() -> argparse.ArgumentParser:
     tab.set_defaults(func=cmd_table)
 
     ob = sub.add_parser(
-        "obs", help="pretty-print an observability snapshot (or run a demo)"
+        "obs",
+        help="observability tools: snapshot pretty-printer, run ledger, "
+        "regression gate, HTML dashboard",
+        description=(
+            "Forwards to the repro-obs entry point.  Forms: "
+            "`repro obs [metrics.json] [--trace spans.json] [--live]`, "
+            "`repro obs ledger LEDGER.jsonl`, "
+            "`repro obs regress LEDGER.jsonl`, "
+            "`repro obs dashboard LEDGER.jsonl -o out.html`."
+        ),
     )
     ob.add_argument(
-        "metrics",
-        nargs="?",
-        help="metrics snapshot .json (from `profile --metrics-out`); "
-        "omit to run a small instrumented demo",
-    )
-    ob.add_argument(
-        "--trace",
-        metavar="SPANS_JSON",
-        help="summarize a span trace (from `profile --trace-out`)",
+        "args",
+        nargs="*",
+        help="subcommand (ledger/regress/dashboard) and its arguments, "
+        "or a metrics snapshot .json; omit everything to run a demo",
     )
     ob.set_defaults(func=cmd_obs)
 
@@ -481,7 +521,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    # `obs` forwards its whole tail (including flags like --trace or
+    # --window that only repro-obs knows) to the obs entry point, so
+    # unknown arguments are tolerated for that command alone.
+    args, extra = parser.parse_known_args(argv)
+    if extra and args.func is not cmd_obs:
+        parser.error(f"unrecognized arguments: {' '.join(extra)}")
+    args.extra_args = extra
     verbosity = -1 if args.quiet else args.verbose
     obs.configure_logging(verbosity)
     return args.func(args)

@@ -18,7 +18,16 @@ makes a killed campaign cheap to restart:
   with an atomic replace, so ``kill -9`` between any two syscalls
   leaves a manifest that is either the old or the new state, never a
   torn one.  :meth:`Campaign.execute` on the same directory skips
-  runs already marked ``done`` and re-attempts the rest.
+  runs already marked ``done`` and re-attempts the rest;
+* execution is **observable** - every manifest update carries a
+  ``progress`` heartbeat (counts, total planned, last run, wall-clock
+  timestamp), each run's entry records its wall time and finish time,
+  and a campaign constructed with ``ledger=...`` appends one
+  :class:`repro.obs.ledger.RunRecord` per item (kind
+  ``campaign-run``) plus a summary record (kind ``campaign``) per
+  :meth:`Campaign.execute` pass - so a long bench session can be
+  watched from the outside (``repro obs ledger``/``dashboard``)
+  without touching the process.
 
 The manifest (``manifest.json``) is deliberately human-readable: a
 campaign's state can be audited, or a run forced to re-execute by
@@ -27,8 +36,10 @@ deleting its entry, with a text editor.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -38,6 +49,7 @@ from ..core.events import ProfileReport
 from ..core.profiler import Emprof, EmprofConfig
 from ..errors import AcquisitionError, CampaignError
 from ..obs import metrics as _metrics, trace as _trace
+from ..obs import ledger as obs_ledger
 from .runner import RetryPolicy, acquire_with_retry
 
 _MANIFEST_NAME = "manifest.json"
@@ -80,6 +92,7 @@ class RunOutcome:
     status: str  # "done" | "failed" | "skipped"
     report: Optional[ProfileReport] = None
     error: Optional[str] = None
+    wall_time_s: float = 0.0
 
 
 @dataclass
@@ -110,6 +123,10 @@ class Campaign:
         retry: retry policy for transient acquisition failures.
         sleep: injectable backoff sleep (see
             :func:`repro.experiments.runner.acquire_with_retry`).
+        ledger: optional run ledger (path or
+            :class:`repro.obs.ledger.RunLedger`); when given, every
+            executed run appends a ``campaign-run`` record and each
+            :meth:`execute` pass appends a ``campaign`` summary.
     """
 
     def __init__(
@@ -117,10 +134,15 @@ class Campaign:
         directory: Union[str, Path],
         retry: Optional[RetryPolicy] = None,
         sleep=None,
+        ledger: Optional[Union[str, Path, obs_ledger.RunLedger]] = None,
     ):
         self.directory = Path(directory)
         self.retry = retry if retry is not None else RetryPolicy()
         self._sleep = sleep
+        if ledger is None or isinstance(ledger, obs_ledger.RunLedger):
+            self.ledger = ledger
+        else:
+            self.ledger = obs_ledger.RunLedger(ledger)
         self.directory.mkdir(parents=True, exist_ok=True)
 
     # -- manifest ------------------------------------------------------------
@@ -145,9 +167,33 @@ class Campaign:
             )
         return payload.get("runs", {})
 
-    def _save_manifest(self, runs: Dict[str, dict]) -> None:
+    def load_progress(self) -> Dict[str, object]:
+        """The manifest's heartbeat record; empty for fresh campaigns.
+
+        Keys (when present): ``updated_unix_s``, ``counts`` (done /
+        failed / skipped so far this pass), ``total_planned``, and
+        ``last_run``.  An external watcher can poll this to tell a
+        live campaign from a wedged one without signalling the
+        process.
+        """
+        if not self.manifest_path.exists():
+            return {}
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CampaignError(
+                f"unreadable campaign manifest {self.manifest_path}: {exc}"
+            ) from exc
+        progress = payload.get("progress", {})
+        return progress if isinstance(progress, dict) else {}
+
+    def _save_manifest(
+        self, runs: Dict[str, dict], progress: Optional[Dict[str, object]] = None
+    ) -> None:
         """Atomically replace the manifest (tmp + ``os.replace``)."""
-        payload = {"format": _MANIFEST_FORMAT, "runs": runs}
+        payload: Dict[str, object] = {"format": _MANIFEST_FORMAT, "runs": runs}
+        if progress is not None:
+            payload["progress"] = progress
         tmp = self.manifest_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
         os.replace(tmp, self.manifest_path)
@@ -175,6 +221,7 @@ class Campaign:
             raise CampaignError("run names must be unique within a campaign")
         runs = self.load_manifest()
         result = CampaignResult()
+        pass_begin = time.perf_counter()
         for spec in specs:
             state = runs.get(spec.name, {})
             if state.get("status") == "done" and self.report_path(spec.name).exists():
@@ -184,15 +231,79 @@ class Campaign:
                 )
                 continue
             outcome = self._execute_one(spec)
-            runs[spec.name] = {"status": outcome.status}
+            runs[spec.name] = {
+                "status": outcome.status,
+                "wall_time_s": outcome.wall_time_s,
+                "finished_unix_s": time.time(),
+            }
             if outcome.error is not None:
                 runs[spec.name]["error"] = outcome.error
-            self._save_manifest(runs)
             result.outcomes.append(outcome)
+            self._save_manifest(
+                runs, progress=self._progress(result, len(specs), spec.name)
+            )
+            self._ledger_run(spec, outcome)
+        self._ledger_summary(result, time.perf_counter() - pass_begin)
         return result
+
+    def _progress(
+        self, result: CampaignResult, total_planned: int, last_run: str
+    ) -> Dict[str, object]:
+        """The heartbeat written alongside every manifest update."""
+        return {
+            "updated_unix_s": time.time(),
+            "counts": result.counts(),
+            "total_planned": total_planned,
+            "last_run": last_run,
+        }
+
+    def _ledger_run(self, spec: RunSpec, outcome: RunOutcome) -> None:
+        """Append one ``campaign-run`` record, when a ledger is wired."""
+        if self.ledger is None:
+            return
+        report = outcome.report
+        quality = (
+            dataclasses.asdict(report.quality)
+            if report is not None and report.quality is not None
+            else None
+        )
+        extra: Dict[str, object] = {"status": outcome.status}
+        if outcome.error is not None:
+            extra["error"] = outcome.error
+        if report is not None:
+            extra["miss_count"] = report.miss_count
+            extra["low_confidence_count"] = report.low_confidence_count
+            extra["stall_fraction"] = report.stall_fraction
+        self.ledger.append(
+            obs_ledger.record(
+                kind="campaign-run",
+                label=f"{self.directory.name}/{spec.name}",
+                wall_time_s=outcome.wall_time_s,
+                config=spec.config,
+                quality=quality,
+                extra=extra,
+            )
+        )
+
+    def _ledger_summary(self, result: CampaignResult, wall_time_s: float) -> None:
+        """Append one ``campaign`` summary record per execute() pass."""
+        if self.ledger is None:
+            return
+        self.ledger.append(
+            obs_ledger.record(
+                kind="campaign",
+                label=self.directory.name,
+                wall_time_s=wall_time_s,
+                extra={
+                    "counts": result.counts(),
+                    "completed": result.completed,
+                },
+            )
+        )
 
     def _execute_one(self, spec: RunSpec) -> RunOutcome:
         """Acquire, profile, and persist one run, absorbing failures."""
+        begin = time.perf_counter()
         with _trace.span("campaign_run", run=spec.name):
             try:
                 capture = self._acquire(spec)
@@ -205,13 +316,19 @@ class Campaign:
                     name=spec.name,
                     status="failed",
                     error=f"{type(exc).__name__}: {exc}",
+                    wall_time_s=time.perf_counter() - begin,
                 )
             # Persist the report before the manifest marks the run
             # done: a crash between the two writes re-runs the run,
             # never trusts a missing report.
             repro_io.save_report(self.report_path(spec.name), report)
         _RUNS_COMPLETED.inc()
-        return RunOutcome(name=spec.name, status="done", report=report)
+        return RunOutcome(
+            name=spec.name,
+            status="done",
+            report=report,
+            wall_time_s=time.perf_counter() - begin,
+        )
 
     def _acquire(self, spec: RunSpec):
         kwargs = {} if self._sleep is None else {"sleep": self._sleep}

@@ -49,6 +49,9 @@ _ACQUIRE_RETRIES = _metrics.counter(
 _ACQUIRE_FAILURES = _metrics.counter(
     "acquisition_failures_total", "acquisitions abandoned after all retries"
 )
+_RUN_WALL_TIME = _metrics.gauge(
+    "experiment_wall_time_seconds", "last experiment driver's wall time"
+)
 
 
 @dataclass(frozen=True)
@@ -116,12 +119,15 @@ class ExperimentRun:
         emprof: the configured profiler over whichever signal EMPROF
             analyzed.
         report: the whole-signal profile.
+        wall_time_s: end-to-end driver wall time (simulate + measure +
+            profile), fed into campaign telemetry and the run ledger.
     """
 
     result: SimulationResult
     capture: Optional[Capture]
     emprof: Emprof
     report: ProfileReport
+    wall_time_s: float = 0.0
 
     @property
     def signal(self):
@@ -143,6 +149,7 @@ def run_simulator(
     """Simulate and profile the raw power trace (Section V-C path)."""
     from ..devices.models import sesc
 
+    begin = time.perf_counter()
     with _trace.span(
         "run_simulator", workload=getattr(workload, "name", "?")
     ):
@@ -152,7 +159,9 @@ def run_simulator(
         run = ExperimentRun(
             result=result, capture=None, emprof=emprof, report=emprof.profile()
         )
+    run.wall_time_s = time.perf_counter() - begin
     _EXPERIMENT_RUNS.inc()
+    _RUN_WALL_TIME.set(run.wall_time_s)
     return run
 
 
@@ -170,6 +179,7 @@ def run_device(
     The channel defaults to the device's probe setup (see
     :func:`repro.devices.default_channel`).
     """
+    begin = time.perf_counter()
     with _trace.span(
         "run_device",
         workload=getattr(workload, "name", "?"),
@@ -192,7 +202,9 @@ def run_device(
         run = ExperimentRun(
             result=result, capture=capture, emprof=emprof, report=emprof.profile()
         )
+    run.wall_time_s = time.perf_counter() - begin
     _EXPERIMENT_RUNS.inc()
+    _RUN_WALL_TIME.set(run.wall_time_s)
     return run
 
 

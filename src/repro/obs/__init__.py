@@ -13,6 +13,17 @@ observable *without* perturbing it.  Three primitives, all stdlib-only:
 * :func:`~repro.obs.logbridge.get_logger` - stdlib logging under the
   ``repro`` namespace, wired to the CLI's ``--quiet``/``--verbose``.
 
+On top of those primitives sits the **run observatory**:
+
+* :mod:`repro.obs.ledger` - an append-only JSONL run ledger
+  (:class:`~repro.obs.ledger.RunLedger` /
+  :class:`~repro.obs.ledger.RunRecord`), written by ``repro profile
+  --ledger``, the bench harness, and measurement campaigns;
+* :mod:`repro.obs.regress` - statistical baseline comparison over
+  ledger history (``repro obs regress``);
+* :mod:`repro.obs.dashboard` - a self-contained HTML report over the
+  same history (``repro obs dashboard``).
+
 Everything is inert unless ``EMPROF_OBS=1`` is set in the environment
 (mirroring ``EMPROF_CONTRACTS``) or :func:`set_obs_enabled` is called:
 disabled instruments cost one attribute check per call, which is what
@@ -25,6 +36,7 @@ exporter formats.
 
 from __future__ import annotations
 
+from .ledger import RunLedger, RunRecord
 from .logbridge import configure_logging, get_logger, level_for_verbosity
 from .metrics import (
     Counter,
@@ -48,6 +60,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RunLedger",
+    "RunRecord",
     "SpanRecord",
     "Tracer",
     "configure_logging",

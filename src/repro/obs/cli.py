@@ -1,17 +1,31 @@
 """``repro-obs``: inspect observability artifacts from the terminal.
 
-Three modes:
+Two layers of interface, one exit-code contract:
+
+**Snapshot forms** (the original surface):
 
 * ``repro-obs metrics.json`` - pretty-print a metrics snapshot written
-  by ``repro profile --metrics-out`` (or any
-  :meth:`~repro.obs.metrics.MetricsRegistry.to_json` document);
-* ``repro-obs --trace spans.json`` - summarize a span trace written by
-  ``repro profile --trace-out`` (native JSON format);
-* ``repro-obs --live`` - run a small synthetic capture+profile with
-  observability enabled and print the resulting snapshot, as a
-  smoke-test of the whole instrumentation chain.
+  by ``repro profile --metrics-out``;
+* ``repro-obs --trace spans.json`` - summarize a span trace;
+* ``repro-obs --live`` (or no arguments) - run a small synthetic
+  capture+profile with observability enabled and print the result.
 
-Also reachable as ``repro obs`` from the main CLI.
+**Observatory subcommands** (over the run ledger):
+
+* ``repro-obs ledger LEDGER.jsonl`` - list ledger entries;
+* ``repro-obs regress LEDGER.jsonl`` - judge the latest run of every
+  group against its history (:mod:`repro.obs.regress`);
+* ``repro-obs dashboard LEDGER.jsonl -o out.html`` - write the
+  self-contained HTML dashboard (:mod:`repro.obs.dashboard`).
+
+Exit codes (CI contract, pinned by tests):
+
+* ``0`` - success; for ``regress``, no regression detected
+  (insufficient history is success);
+* ``2`` - invalid input: a named file is missing or unreadable;
+* ``3`` - ``regress`` found at least one regression.
+
+Also reachable as ``repro obs ...`` from the main CLI.
 """
 
 from __future__ import annotations
@@ -20,6 +34,14 @@ import argparse
 import json
 import sys
 from typing import Any, Dict, List, Optional, Sequence
+
+from .ledger import RunLedger
+
+EXIT_OK = 0
+EXIT_BAD_INPUT = 2
+EXIT_REGRESSION = 3
+
+_SUBCOMMANDS = ("ledger", "regress", "dashboard")
 
 _QUANTILES = (0.5, 0.9, 0.99)
 
@@ -148,10 +170,168 @@ def run_live_demo() -> str:
     return "\n".join(parts)
 
 
+# -- ledger-backed subcommands ----------------------------------------------
+
+
+def _load_ledger(path: str, allow_missing: bool = False):
+    """Open and read a ledger, or return an exit code on bad input.
+
+    Returns ``(records, bad_lines)`` on success and an ``int`` exit
+    code on failure, so callers can ``return`` it directly.
+    """
+    ledger = RunLedger(path)
+    if not ledger.exists():
+        if allow_missing:
+            print(f"repro-obs: no ledger at {path} yet; nothing to check")
+            return EXIT_OK
+        print(f"repro-obs: cannot read {path}: no such file", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    try:
+        return ledger.read_with_errors()
+    except OSError as exc:
+        print(f"repro-obs: cannot read {path}: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+
+
+def cmd_ledger(args: argparse.Namespace) -> int:
+    """List ledger entries (newest last, like the file itself)."""
+    loaded = _load_ledger(args.ledger)
+    if isinstance(loaded, int):
+        return loaded
+    records, bad_lines = loaded
+    if args.kind:
+        records = [r for r in records if r.kind == args.kind]
+    if args.tail > 0:
+        records = records[-args.tail:]
+    if not records:
+        print("(empty ledger)")
+        return EXIT_OK
+    group_width = max(len(r.group) for r in records)
+    print(
+        f"{'run':<{group_width}}  {'wall':>10}  {'rev':>9}  "
+        f"{'fingerprint':>24}  schema"
+    )
+    for entry in records:
+        print(
+            f"{entry.group:<{group_width}}  "
+            f"{entry.wall_time_s * 1e3:>8.2f}ms  {entry.git_rev:>9}  "
+            f"{entry.config_fingerprint or '-':>24}  v{entry.schema_version}"
+        )
+    summary = f"{len(records)} entries"
+    if bad_lines:
+        summary += f" ({bad_lines} unparseable lines skipped)"
+    print(summary)
+    return EXIT_OK
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    """Judge the latest run of every group against its history."""
+    from .regress import RegressConfig, check_records
+
+    loaded = _load_ledger(args.ledger, allow_missing=args.allow_missing)
+    if isinstance(loaded, int):
+        return loaded
+    records, bad_lines = loaded
+    if args.kind:
+        records = [r for r in records if r.kind == args.kind]
+    try:
+        config = RegressConfig(
+            baseline_window=args.window,
+            min_history=args.min_history,
+            mad_sigmas=args.sigmas,
+            rel_slack=args.rel_slack,
+            include_spans=not args.no_spans,
+        )
+    except ValueError as exc:
+        print(f"repro-obs: invalid regression config: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    report = check_records(records, config)
+    print(report.format())
+    if bad_lines:
+        print(f"({bad_lines} unparseable ledger lines skipped)")
+    return EXIT_OK if report.ok else EXIT_REGRESSION
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Write the self-contained HTML dashboard from ledger history."""
+    from .dashboard import write_dashboard
+
+    loaded = _load_ledger(args.ledger)
+    if isinstance(loaded, int):
+        return loaded
+    records, bad_lines = loaded
+    destination = write_dashboard(args.output, records, title=args.title)
+    note = f" ({bad_lines} unparseable lines skipped)" if bad_lines else ""
+    print(f"dashboard ({len(records)} entries) -> {destination}{note}")
+    return EXIT_OK
+
+
+def _build_sub_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="EMPROF run-ledger observatory",
+    )
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    led = sub.add_parser("ledger", help="list run-ledger entries")
+    led.add_argument("ledger", help="ledger .jsonl path")
+    led.add_argument("--kind", help="only entries of this run kind")
+    led.add_argument(
+        "--tail", type=int, default=0, help="only the last N entries"
+    )
+    led.set_defaults(func=cmd_ledger)
+
+    reg = sub.add_parser(
+        "regress", help="compare the latest runs against ledger history"
+    )
+    reg.add_argument("ledger", help="ledger .jsonl path")
+    reg.add_argument("--kind", help="only judge entries of this run kind")
+    reg.add_argument(
+        "--window", type=int, default=5, help="baseline window size"
+    )
+    reg.add_argument(
+        "--min-history", type=int, default=3,
+        help="prior entries required before a group is judged",
+    )
+    reg.add_argument(
+        "--sigmas", type=float, default=4.0, help="MAD-sigma slack multiplier"
+    )
+    reg.add_argument(
+        "--rel-slack", type=float, default=0.25, help="relative slack floor"
+    )
+    reg.add_argument(
+        "--no-spans", action="store_true",
+        help="judge wall time only, not per-span totals",
+    )
+    reg.add_argument(
+        "--allow-missing", action="store_true",
+        help="exit 0 when the ledger does not exist yet (fresh checkout)",
+    )
+    reg.set_defaults(func=cmd_regress)
+
+    dash = sub.add_parser(
+        "dashboard", help="write the self-contained HTML dashboard"
+    )
+    dash.add_argument("ledger", help="ledger .jsonl path")
+    dash.add_argument(
+        "-o", "--output", default="dashboard_obs.html",
+        help="output HTML path (default: dashboard_obs.html)",
+    )
+    dash.add_argument(
+        "--title", default="EMPROF run observatory", help="report title"
+    )
+    dash.set_defaults(func=cmd_dashboard)
+
+    return parser
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
-        description="pretty-print EMPROF observability artifacts",
+        description=(
+            "pretty-print EMPROF observability artifacts; see also the "
+            "'ledger', 'regress' and 'dashboard' subcommands"
+        ),
     )
     parser.add_argument(
         "metrics",
@@ -173,12 +353,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _SUBCOMMANDS:
+        args = _build_sub_parser().parse_args(argv)
+        return args.func(args)
+
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if not args.metrics and not args.trace and not args.live:
         print(run_live_demo())
-        return 0
+        return EXIT_OK
 
     if args.live:
         print(run_live_demo())
@@ -188,7 +373,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 snapshot = json.load(handle)
         except (OSError, json.JSONDecodeError) as exc:
             print(f"repro-obs: cannot read {args.metrics}: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_BAD_INPUT
         print(format_metrics_snapshot(snapshot))
     if args.trace:
         try:
@@ -196,9 +381,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 payload = json.load(handle)
         except (OSError, json.JSONDecodeError) as exc:
             print(f"repro-obs: cannot read {args.trace}: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_BAD_INPUT
         print(format_trace_summary(payload))
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -1,0 +1,321 @@
+"""The run ledger: an append-only JSONL history of pipeline runs.
+
+EMPROF's pitch is durable, zero-observer-effect visibility into a
+running system; the reproduction's own runs deserve the same.  Every
+``repro profile`` invocation (with ``--ledger``), every ``make bench``
+session, and every :class:`repro.experiments.campaign.Campaign` item
+can append one schema-versioned :class:`RunRecord` to a shared JSONL
+file - by default ``LEDGER_obs.jsonl`` at the repository root - and
+nothing ever rewrites or truncates that file.  The accumulated
+history is what :mod:`repro.obs.regress` judges new runs against and
+what :mod:`repro.obs.dashboard` renders.
+
+Design rules:
+
+* **Append-only.**  One JSON object per line, written with a single
+  ``write`` + ``flush`` + ``fsync``, so an interrupted run can at
+  worst leave one torn final line - which readers skip and count
+  rather than crash on.
+* **Self-describing.**  Every record carries ``schema`` /
+  ``schema_version``, the run kind, a config fingerprint, and the git
+  revision, so ledgers survive tool upgrades and mixed histories.
+* **Stdlib only.**  Importing this module must never pull numpy,
+  matplotlib, or any other heavy dependency (a test pins this), and
+  nothing here runs unless explicitly invoked - the ``EMPROF_OBS``
+  zero-cost-when-off guarantee is untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+SCHEMA = "repro-obs-ledger"
+SCHEMA_VERSION = 1
+
+#: Default ledger filename, conventionally at the repository root.
+DEFAULT_LEDGER_NAME = "LEDGER_obs.jsonl"
+
+#: The run kinds the observatory understands.  ``profile`` is one CLI
+#: profiling run, ``bench`` one benchmark node, ``campaign-run`` one
+#: item of a measurement campaign, ``campaign`` the campaign summary.
+RUN_KINDS = ("profile", "bench", "campaign-run", "campaign")
+
+PathLike = Union[str, Path]
+
+_GIT_REV_CACHE: Dict[str, str] = {}
+
+
+def git_rev(cwd: Optional[PathLike] = None) -> str:
+    """Short git revision of ``cwd`` (default: process cwd).
+
+    Never raises: outside a repository, without git installed, or on
+    any subprocess failure it returns ``"unknown"``.  Results are
+    cached per directory - the revision cannot change mid-process in
+    a way this module needs to observe.
+    """
+    key = str(cwd) if cwd is not None else ""
+    cached = _GIT_REV_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rev = "unknown"
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if proc.returncode == 0 and proc.stdout.strip():
+            rev = proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        rev = "unknown"
+    _GIT_REV_CACHE[key] = rev
+    return rev
+
+
+def config_fingerprint(payload: Any) -> str:
+    """Stable short fingerprint of a configuration object.
+
+    Dataclasses are converted via :func:`dataclasses.asdict`; anything
+    JSON can't express is stringified.  Two runs share a fingerprint
+    exactly when their canonical JSON forms match, so ledger history
+    can be partitioned by configuration without storing the config.
+    """
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        payload = dataclasses.asdict(payload)
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return f"sha256:{digest[:16]}"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One ledger entry: what ran, under what, and what it measured.
+
+    Attributes:
+        kind: one of :data:`RUN_KINDS`.
+        label: stable identity of the run within its kind (capture
+            stem, benchmark nodeid, ``campaign/run`` name); regression
+            baselines group on ``(kind, label)``.
+        wall_time_s: run wall time in seconds.
+        created_unix_s: wall-clock creation time (``time.time()``).
+        git_rev: short git revision the run executed at.
+        config_fingerprint: :func:`config_fingerprint` of the run's
+            configuration, or ``""`` when not applicable.
+        metrics: a :meth:`MetricsRegistry.snapshot` document, or None.
+        spans: a :meth:`Tracer.aggregate` rollup, or None.
+        quality: a signal-quality summary dict, or None.
+        accuracy: accuracy statistics (detected vs. ground truth), or
+            None when no ground truth existed.
+        extra: free-form small JSON-safe context (status, paths,
+            counts).
+    """
+
+    kind: str
+    label: str
+    wall_time_s: float
+    created_unix_s: float
+    git_rev: str = "unknown"
+    config_fingerprint: str = ""
+    schema_version: int = SCHEMA_VERSION
+    metrics: Optional[Dict[str, Any]] = None
+    spans: Optional[Dict[str, Any]] = None
+    quality: Optional[Dict[str, Any]] = None
+    accuracy: Optional[Dict[str, Any]] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def group(self) -> str:
+        """The regression-baseline grouping key, ``kind:label``."""
+        return f"{self.kind}:{self.label}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-pure representation (one ledger line, unserialized)."""
+        return {
+            "schema": SCHEMA,
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "label": self.label,
+            "wall_time_s": self.wall_time_s,
+            "created_unix_s": self.created_unix_s,
+            "git_rev": self.git_rev,
+            "config_fingerprint": self.config_fingerprint,
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "quality": self.quality,
+            "accuracy": self.accuracy,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunRecord":
+        """Parse one ledger line's JSON object.
+
+        Raises:
+            ValueError: the object is not a ledger record (wrong or
+                missing schema, missing identity fields).
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("ledger line is not a JSON object")
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a {SCHEMA} record (schema={payload.get('schema')!r})"
+            )
+        try:
+            kind = str(payload["kind"])
+            label = str(payload["label"])
+            wall_time_s = float(payload["wall_time_s"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed ledger record: {exc}") from exc
+        return cls(
+            kind=kind,
+            label=label,
+            wall_time_s=wall_time_s,
+            created_unix_s=float(payload.get("created_unix_s", 0.0)),
+            git_rev=str(payload.get("git_rev", "unknown")),
+            config_fingerprint=str(payload.get("config_fingerprint", "")),
+            schema_version=int(payload.get("schema_version", 1)),
+            metrics=payload.get("metrics"),
+            spans=payload.get("spans"),
+            quality=payload.get("quality"),
+            accuracy=payload.get("accuracy"),
+            extra=dict(payload.get("extra") or {}),
+        )
+
+
+def record(
+    kind: str,
+    label: str,
+    wall_time_s: float,
+    config: Any = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    spans: Optional[Dict[str, Any]] = None,
+    quality: Optional[Dict[str, Any]] = None,
+    accuracy: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+    cwd: Optional[PathLike] = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord`, stamping time and git revision.
+
+    Raises:
+        ValueError: ``kind`` is not one of :data:`RUN_KINDS`.
+    """
+    if kind not in RUN_KINDS:
+        raise ValueError(
+            f"unknown run kind {kind!r}; expected one of {', '.join(RUN_KINDS)}"
+        )
+    return RunRecord(
+        kind=kind,
+        label=label,
+        wall_time_s=float(wall_time_s),
+        created_unix_s=time.time(),
+        git_rev=git_rev(cwd),
+        config_fingerprint=(
+            config_fingerprint(config) if config is not None else ""
+        ),
+        metrics=metrics,
+        spans=spans,
+        quality=quality,
+        accuracy=accuracy,
+        extra=dict(extra or {}),
+    )
+
+
+class RunLedger:
+    """Append-only JSONL store of :class:`RunRecord` entries.
+
+    The ledger file never shrinks: :meth:`append` only ever adds one
+    line, and readers tolerate (and count) torn or foreign lines so a
+    crash mid-write cannot poison the history.
+    """
+
+    def __init__(self, path: PathLike):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """Whether the ledger file is present on disk."""
+        return self.path.is_file()
+
+    def append(self, entry: RunRecord) -> RunRecord:
+        """Append one record (single write + flush + fsync)."""
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry.to_dict(), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return entry
+
+    def append_many(self, entries: List[RunRecord]) -> int:
+        """Append several records; returns how many were written."""
+        for entry in entries:
+            self.append(entry)
+        return len(entries)
+
+    def read_with_errors(self) -> Tuple[List[RunRecord], int]:
+        """All parseable records, in file order, plus a bad-line count.
+
+        A missing file reads as an empty history (no error) - the
+        first run of a fresh checkout has nothing to compare against,
+        which is a normal state, not a failure.
+        """
+        if not self.path.is_file():
+            return [], 0
+        records: List[RunRecord] = []
+        bad_lines = 0
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(RunRecord.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, ValueError):
+                    bad_lines += 1
+        return records, bad_lines
+
+    def read(
+        self, kind: Optional[str] = None, label: Optional[str] = None
+    ) -> List[RunRecord]:
+        """Parseable records, optionally filtered by kind and label."""
+        records, _ = self.read_with_errors()
+        if kind is not None:
+            records = [r for r in records if r.kind == kind]
+        if label is not None:
+            records = [r for r in records if r.label == label]
+        return records
+
+    def groups(self) -> Dict[str, List[RunRecord]]:
+        """Records bucketed by :attr:`RunRecord.group`, file order kept."""
+        out: Dict[str, List[RunRecord]] = {}
+        for entry in self.read():
+            out.setdefault(entry.group, []).append(entry)
+        return out
+
+    def __len__(self) -> int:
+        records, _ = self.read_with_errors()
+        return len(records)
+
+
+def atomic_write_json(path: PathLike, payload: Any, indent: int = 2) -> Path:
+    """Write ``payload`` as JSON via temp-file + ``os.replace``.
+
+    An interrupted writer leaves either the previous file or the new
+    one, never a torn hybrid - the same discipline the campaign
+    manifest uses.  Returns the destination path.
+    """
+    destination = Path(path)
+    tmp = destination.with_name(destination.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=indent) + "\n", encoding="utf-8")
+    os.replace(tmp, destination)
+    return destination

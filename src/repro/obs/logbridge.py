@@ -75,7 +75,14 @@ def configure_logging(
         handler._repro_obs_handler = True  # type: ignore[attr-defined]
         logger.addHandler(handler)
     elif stream is not None:
-        handler.setStream(stream)  # type: ignore[attr-defined]
+        # Not setStream(): that flushes the outgoing stream, which may
+        # already be closed (a captured stderr from a previous
+        # configuration).  Emit flushes per record, so nothing is lost.
+        handler.acquire()
+        try:
+            handler.stream = stream  # type: ignore[attr-defined]
+        finally:
+            handler.release()
     handler.setLevel(level)
     logger.setLevel(level)
     return logger

@@ -1,0 +1,279 @@
+"""The perf-regression observatory: judge a run against its history.
+
+Given ledger history (:mod:`repro.obs.ledger`), each ``(kind, label)``
+group's **latest** entry is compared against a baseline built from the
+entries before it:
+
+* baseline = median of the last ``baseline_window`` prior entries
+  (median, not mean: one historical outlier must not poison the bar);
+* spread = MAD (median absolute deviation) of that same window,
+  scaled by 1.4826 so it estimates a standard deviation under
+  approximately-normal noise;
+* a run **regresses** a metric when::
+
+      latest > baseline + max(mad_sigmas * 1.4826 * MAD,
+                              rel_slack * baseline,
+                              abs_slack_s)
+
+The three slack terms cover the three failure modes of naive
+thresholds: the MAD term adapts to each benchmark's natural jitter,
+the relative floor keeps near-zero-variance histories from flagging
+microsecond noise, and the absolute floor keeps sub-millisecond
+timings from ever gating.  Only slowdowns gate - getting faster is
+never a regression.
+
+Groups with fewer than ``min_history`` prior entries yield an
+``insufficient-history`` verdict, which does **not** fail the check:
+a fresh checkout's first runs simply start accumulating history.
+
+Judged metrics: ``wall_time_s`` always; per-span ``total_s`` rollups
+(``span:<name>``) when both the latest entry and enough of the
+baseline window carry span aggregates.
+
+Everything is stdlib-only and pure computation over parsed records -
+this module never touches the filesystem; the CLI layer does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .ledger import RunRecord
+
+#: Scale factor turning a MAD into a normal-noise sigma estimate.
+MAD_TO_SIGMA = 1.4826
+
+STATUS_OK = "ok"
+STATUS_REGRESSION = "regression"
+STATUS_INSUFFICIENT = "insufficient-history"
+
+
+@dataclass(frozen=True)
+class RegressConfig:
+    """Tunables for the baseline comparison.
+
+    Attributes:
+        baseline_window: how many prior entries (at most) form the
+            baseline pool.
+        min_history: minimum prior entries required before a group is
+            judged at all.
+        mad_sigmas: how many MAD-derived sigmas of slack the noise
+            term grants.
+        rel_slack: relative slack floor (fraction of the baseline).
+        abs_slack_s: absolute slack floor, in seconds.
+        include_spans: also judge per-span ``total_s`` rollups.
+    """
+
+    baseline_window: int = 5
+    min_history: int = 3
+    mad_sigmas: float = 4.0
+    rel_slack: float = 0.25
+    abs_slack_s: float = 0.005
+    include_spans: bool = True
+
+    def __post_init__(self) -> None:
+        if self.baseline_window < 1:
+            raise ValueError("baseline_window must be at least 1")
+        if self.min_history < 1:
+            raise ValueError("min_history must be at least 1")
+        if self.min_history > self.baseline_window:
+            raise ValueError("min_history cannot exceed baseline_window")
+        if self.mad_sigmas <= 0:
+            raise ValueError("mad_sigmas must be positive")
+        if self.rel_slack < 0 or self.abs_slack_s < 0:
+            raise ValueError("slack floors cannot be negative")
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One metric's judgment for one ledger group."""
+
+    group: str
+    metric: str
+    status: str  # STATUS_OK | STATUS_REGRESSION | STATUS_INSUFFICIENT
+    latest: float
+    baseline: float
+    limit: float
+    n_baseline: int
+
+    @property
+    def ratio(self) -> float:
+        """latest / baseline; 0.0 when the baseline is degenerate."""
+        if self.baseline <= 0:
+            return 0.0
+        return self.latest / self.baseline
+
+
+@dataclass
+class RegressionReport:
+    """Every verdict from one observatory pass."""
+
+    verdicts: List[Verdict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[Verdict]:
+        """The verdicts that gate (status == regression)."""
+        return [v for v in self.verdicts if v.status == STATUS_REGRESSION]
+
+    @property
+    def judged(self) -> List[Verdict]:
+        """Verdicts with enough history to have been evaluated."""
+        return [v for v in self.verdicts if v.status != STATUS_INSUFFICIENT]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed (insufficient history is ok)."""
+        return not self.regressions
+
+    def format(self) -> str:
+        """Fixed-width text table, worst offenders first."""
+        if not self.verdicts:
+            return "(no ledger history to judge)"
+        order = {STATUS_REGRESSION: 0, STATUS_OK: 1, STATUS_INSUFFICIENT: 2}
+        rows = sorted(
+            self.verdicts,
+            key=lambda v: (order.get(v.status, 3), -v.ratio),
+        )
+        group_width = max(len(v.group) for v in rows)
+        metric_width = max(len(v.metric) for v in rows)
+        lines = [
+            f"{'group':<{group_width}}  {'metric':<{metric_width}}  "
+            f"{'baseline':>10}  {'latest':>10}  {'limit':>10}  {'n':>2}  verdict"
+        ]
+        for v in rows:
+            if v.status == STATUS_INSUFFICIENT:
+                lines.append(
+                    f"{v.group:<{group_width}}  {v.metric:<{metric_width}}  "
+                    f"{'-':>10}  {v.latest * 1e3:>8.2f}ms  {'-':>10}  "
+                    f"{v.n_baseline:>2}  insufficient history"
+                )
+                continue
+            verdict = "REGRESSION" if v.status == STATUS_REGRESSION else "ok"
+            lines.append(
+                f"{v.group:<{group_width}}  {v.metric:<{metric_width}}  "
+                f"{v.baseline * 1e3:>8.2f}ms  {v.latest * 1e3:>8.2f}ms  "
+                f"{v.limit * 1e3:>8.2f}ms  {v.n_baseline:>2}  {verdict}"
+                + (f" ({v.ratio:.2f}x)" if v.status == STATUS_REGRESSION else "")
+            )
+        judged = self.judged
+        lines.append(
+            f"{len(judged)} metric(s) judged, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.verdicts) - len(judged)} awaiting history"
+        )
+        return "\n".join(lines)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    middle = n // 2
+    if n % 2 == 1:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+def _mad(values: Sequence[float], center: float) -> float:
+    return _median([abs(v - center) for v in values])
+
+
+def _judge(
+    group: str,
+    metric: str,
+    latest: float,
+    pool: Sequence[float],
+    config: RegressConfig,
+) -> Verdict:
+    baseline = _median(pool)
+    spread = _mad(pool, baseline)
+    slack = max(
+        config.mad_sigmas * MAD_TO_SIGMA * spread,
+        config.rel_slack * baseline,
+        config.abs_slack_s,
+    )
+    limit = baseline + slack
+    status = STATUS_REGRESSION if latest > limit else STATUS_OK
+    return Verdict(
+        group=group,
+        metric=metric,
+        status=status,
+        latest=latest,
+        baseline=baseline,
+        limit=limit,
+        n_baseline=len(pool),
+    )
+
+
+def _span_total(entry: RunRecord, name: str) -> Optional[float]:
+    if not entry.spans:
+        return None
+    row = entry.spans.get(name)
+    if not isinstance(row, dict):
+        return None
+    try:
+        return float(row["total_s"])
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def check_records(
+    records: Sequence[RunRecord],
+    config: Optional[RegressConfig] = None,
+) -> RegressionReport:
+    """Judge the latest entry of every ``(kind, label)`` group.
+
+    ``records`` must be in ledger (chronological) order, as
+    :meth:`RunLedger.read` returns them.
+    """
+    cfg = config if config is not None else RegressConfig()
+    groups: Dict[str, List[RunRecord]] = {}
+    for entry in records:
+        groups.setdefault(entry.group, []).append(entry)
+
+    report = RegressionReport()
+    for group, entries in groups.items():
+        latest = entries[-1]
+        history = entries[:-1]
+        if len(history) < cfg.min_history:
+            report.verdicts.append(
+                Verdict(
+                    group=group,
+                    metric="wall_time_s",
+                    status=STATUS_INSUFFICIENT,
+                    latest=latest.wall_time_s,
+                    baseline=0.0,
+                    limit=0.0,
+                    n_baseline=len(history),
+                )
+            )
+            continue
+        window = history[-cfg.baseline_window:]
+        report.verdicts.append(
+            _judge(
+                group,
+                "wall_time_s",
+                latest.wall_time_s,
+                [e.wall_time_s for e in window],
+                cfg,
+            )
+        )
+        if not cfg.include_spans or not latest.spans:
+            continue
+        for name in sorted(latest.spans):
+            latest_total = _span_total(latest, name)
+            if latest_total is None:
+                continue
+            pool = [
+                total
+                for total in (_span_total(e, name) for e in window)
+                if total is not None
+            ]
+            if len(pool) < cfg.min_history:
+                continue
+            report.verdicts.append(
+                _judge(group, f"span:{name}", latest_total, pool, cfg)
+            )
+    return report

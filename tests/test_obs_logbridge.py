@@ -1,0 +1,129 @@
+"""The stdlib-logging bridge: namespacing, verbosity mapping, silence."""
+
+import io
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs.logbridge import (
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    level_for_verbosity,
+)
+
+
+@pytest.fixture()
+def clean_repro_logger():
+    """Strip CLI handlers after each test; keep the NullHandler."""
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    yield logger
+    logger.handlers = [
+        h for h in logger.handlers
+        if not getattr(h, "_repro_obs_handler", False)
+    ]
+    logger.setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_default_is_the_repro_root(self):
+        assert get_logger().name == "repro"
+
+    def test_names_are_namespaced(self):
+        assert get_logger("obs").name == "repro.obs"
+
+    def test_already_namespaced_passes_through(self):
+        assert get_logger("repro.core").name == "repro.core"
+        assert get_logger("repro").name == "repro"
+
+
+class TestLevelForVerbosity:
+    @pytest.mark.parametrize(
+        "verbosity,level",
+        [
+            (-5, logging.ERROR),
+            (-1, logging.ERROR),  # --quiet
+            (0, logging.WARNING),  # default
+            (1, logging.INFO),  # -v
+            (2, logging.DEBUG),  # -vv
+            (7, logging.DEBUG),
+        ],
+    )
+    def test_mapping(self, verbosity, level):
+        assert level_for_verbosity(verbosity) == level
+
+    def test_quiet_beats_verbose_like_the_cli(self):
+        # The CLI computes `-1 if quiet else verbose`; --quiet must
+        # land on ERROR no matter how many -v were also given.
+        quiet_verbosity = -1
+        assert level_for_verbosity(quiet_verbosity) == logging.ERROR
+        assert level_for_verbosity(quiet_verbosity) > level_for_verbosity(2)
+
+
+class TestConfigureLogging:
+    def test_attaches_one_handler(self, clean_repro_logger):
+        stream = io.StringIO()
+        logger = configure_logging(1, stream=stream)
+        handlers = [
+            h for h in logger.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(handlers) == 1
+        assert logger.level == logging.INFO
+
+    def test_idempotent_relevels_instead_of_stacking(self, clean_repro_logger):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        logger = configure_logging(2, stream=stream)
+        handlers = [
+            h for h in logger.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(handlers) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_verbose_emits_info(self, clean_repro_logger):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        get_logger("test").info("pipeline started")
+        assert "pipeline started" in stream.getvalue()
+
+    def test_default_suppresses_info(self, clean_repro_logger):
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        get_logger("test").info("chatter")
+        get_logger("test").warning("actual problem")
+        output = stream.getvalue()
+        assert "chatter" not in output
+        assert "actual problem" in output
+
+    def test_quiet_suppresses_warnings(self, clean_repro_logger):
+        stream = io.StringIO()
+        configure_logging(-1, stream=stream)
+        get_logger("test").warning("warn")
+        get_logger("test").error("boom")
+        output = stream.getvalue()
+        assert "warn" not in output
+        assert "boom" in output
+
+
+class TestBridgeSilentByDefault:
+    """Un-configured (obs off, no CLI), the bridge must emit nothing."""
+
+    def test_library_logging_is_a_no_op(self, clean_repro_logger, capsys):
+        previous = obs.set_obs_enabled(False)
+        try:
+            assert obs.obs_enabled() is False
+            get_logger("core.detect").warning("library chatter")
+        finally:
+            obs.set_obs_enabled(previous)
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_null_handler_installed_on_import(self):
+        logger = logging.getLogger(ROOT_LOGGER_NAME)
+        assert any(
+            isinstance(h, logging.NullHandler) for h in logger.handlers
+        )

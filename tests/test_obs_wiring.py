@@ -1,0 +1,236 @@
+"""Ledger wiring: the profile CLI, the bench harness, and campaigns."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.detect import DetectorConfig
+from repro.core.normalize import NormalizerConfig
+from repro.core.profiler import EmprofConfig
+from repro.emsignal.receiver import Capture
+from repro.errors import HardwareMissingError
+from repro.experiments import Campaign, RunSpec
+from repro.obs.ledger import RunLedger
+
+SMALL = EmprofConfig(
+    normalizer=NormalizerConfig(window_samples=301),
+    detector=DetectorConfig(),
+)
+
+BENCH_CONFTEST = (
+    Path(__file__).resolve().parent.parent / "benchmarks" / "conftest.py"
+)
+
+
+class StaticSource:
+    """A SignalSource returning a synthetic dip capture."""
+
+    def capture(self):
+        rng = np.random.default_rng(0)
+        x = np.full(3000, 0.9) + rng.normal(0, 0.02, 3000)
+        for s in range(200, 2800, 170):
+            x[s : s + 13] = 0.1
+        return Capture(
+            magnitude=np.clip(x, 0.0, None),
+            sample_rate_hz=50e6,
+            clock_hz=1e9,
+            bandwidth_hz=50e6,
+            region_names={},
+        )
+
+
+class DeadSource:
+    def capture(self):
+        raise HardwareMissingError("probe unplugged")
+
+
+class TestProfileCliLedger:
+    def _capture(self, tmp_path):
+        path = tmp_path / "cap.npz"
+        main(
+            ["capture", "--workload", "micro", "--tm", "64", "--cm", "4",
+             "-o", str(path)]
+        )
+        return path
+
+    def test_profile_appends_profile_record(self, tmp_path, capsys):
+        cap = self._capture(tmp_path)
+        ledger_path = tmp_path / "ledger.jsonl"
+        code = main(["profile", str(cap), "--ledger", str(ledger_path)])
+        assert code == 0
+        assert "ledger +1" in capsys.readouterr().out
+        records, bad = RunLedger(ledger_path).read_with_errors()
+        assert bad == 0
+        (entry,) = records
+        assert entry.kind == "profile"
+        assert entry.label == "cap"
+        assert entry.wall_time_s > 0
+        assert entry.config_fingerprint.startswith("sha256:")
+        assert entry.extra["capture"] == str(cap)
+        assert "miss_count" in entry.extra
+
+    def test_two_profiles_make_two_entries(self, tmp_path):
+        cap = self._capture(tmp_path)
+        ledger_path = tmp_path / "ledger.jsonl"
+        main(["profile", str(cap), "--ledger", str(ledger_path)])
+        main(["profile", str(cap), "--ledger", str(ledger_path)])
+        assert len(RunLedger(ledger_path)) == 2
+
+    def test_no_ledger_flag_no_ledger_file(self, tmp_path):
+        cap = self._capture(tmp_path)
+        main(["profile", str(cap)])
+        assert list(tmp_path.glob("*.jsonl")) == []
+
+    def test_obs_subcommand_delegates_with_flags(self, tmp_path):
+        # `repro obs regress ... --allow-missing` must survive the
+        # outer parser (unknown-flag forwarding is obs-only).
+        missing = str(tmp_path / "absent.jsonl")
+        assert main(["obs", "regress", missing, "--allow-missing"]) == 0
+
+    def test_obs_subcommand_exit_codes_pass_through(self, tmp_path):
+        missing = str(tmp_path / "absent.jsonl")
+        assert main(["obs", "regress", missing]) == 2
+        assert main(["obs", "ledger", missing]) == 2
+
+
+class TestCampaignTelemetry:
+    def _specs(self, n=1, factory=StaticSource):
+        return [
+            RunSpec(name=f"r{i}", source_factory=factory, config=SMALL)
+            for i in range(n)
+        ]
+
+    def test_ledger_gets_run_and_summary_records(self, tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        campaign = Campaign(tmp_path / "camp", ledger=ledger_path)
+        campaign.execute(self._specs(2))
+        records = RunLedger(ledger_path).read()
+        kinds = [r.kind for r in records]
+        assert kinds == ["campaign-run", "campaign-run", "campaign"]
+        run = records[0]
+        assert run.label == "camp/r0"
+        assert run.extra["status"] == "done"
+        assert run.wall_time_s > 0
+        assert run.extra["miss_count"] > 0  # report stats travel along
+        summary = records[-1]
+        assert summary.label == "camp"
+        assert summary.extra["counts"]["done"] == 2
+        assert summary.extra["completed"] is True
+
+    def test_failed_run_recorded_with_error(self, tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        campaign = Campaign(
+            tmp_path / "camp", ledger=ledger_path, sleep=lambda _: None
+        )
+        campaign.execute(self._specs(1, factory=DeadSource))
+        run, summary = RunLedger(ledger_path).read()
+        assert run.extra["status"] == "failed"
+        assert "HardwareMissingError" in run.extra["error"]
+        assert summary.extra["counts"]["failed"] == 1
+
+    def test_manifest_entries_carry_timing(self, tmp_path):
+        campaign = Campaign(tmp_path / "camp")
+        campaign.execute(self._specs(1))
+        payload = json.loads(campaign.manifest_path.read_text())
+        entry = payload["runs"]["r0"]
+        assert entry["status"] == "done"
+        assert entry["wall_time_s"] > 0
+        assert entry["finished_unix_s"] > 0
+
+    def test_heartbeat_progress(self, tmp_path):
+        campaign = Campaign(tmp_path / "camp")
+        assert campaign.load_progress() == {}  # fresh campaign
+        campaign.execute(self._specs(3))
+        progress = campaign.load_progress()
+        assert progress["counts"] == {"done": 3, "failed": 0, "skipped": 0}
+        assert progress["total_planned"] == 3
+        assert progress["last_run"] == "r2"
+        assert progress["updated_unix_s"] > 0
+
+    def test_ledger_accepts_runledger_instance(self, tmp_path):
+        ledger = RunLedger(tmp_path / "ledger.jsonl")
+        campaign = Campaign(tmp_path / "camp", ledger=ledger)
+        assert campaign.ledger is ledger
+
+    def test_no_ledger_is_the_default(self, tmp_path):
+        campaign = Campaign(tmp_path / "camp")
+        result = campaign.execute(self._specs(1))
+        assert result.completed
+        assert campaign.ledger is None
+        assert list(tmp_path.glob("*.jsonl")) == []
+
+    def test_resume_skips_but_still_summarizes(self, tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        Campaign(tmp_path / "camp", ledger=ledger_path).execute(self._specs(1))
+        Campaign(tmp_path / "camp", ledger=ledger_path).execute(self._specs(1))
+        records = RunLedger(ledger_path).read()
+        # Second pass: everything skipped => no campaign-run record,
+        # one more summary.
+        assert [r.kind for r in records] == [
+            "campaign-run", "campaign", "campaign",
+        ]
+        assert records[-1].extra["counts"]["skipped"] == 1
+
+
+class TestBenchHarness:
+    """The bench conftest's session hook, exercised in isolation."""
+
+    @pytest.fixture()
+    def bench_conftest(self, tmp_path, monkeypatch):
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest_under_test", BENCH_CONFTEST
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        monkeypatch.setattr(module, "_OUT_PATH", tmp_path / "BENCH_obs.json")
+        monkeypatch.setattr(
+            module, "_LEDGER_PATH", tmp_path / "LEDGER_obs.jsonl"
+        )
+        return module
+
+    @staticmethod
+    def _session(module, nodeid, wall):
+        module._BENCH_RESULTS.clear()
+        module._BENCH_RESULTS.append(
+            {
+                "benchmark": nodeid,
+                "wall_time_s": wall,
+                "metrics": {"counters": {}},
+                "spans": {"detect": {"count": 1, "total_s": wall, "mean_s": wall}},
+            }
+        )
+        module.pytest_sessionfinish(session=None, exitstatus=0)
+
+    def test_snapshot_is_schema_stamped(self, bench_conftest):
+        self._session(bench_conftest, "benchmarks/test_a.py::test_a", 0.5)
+        payload = json.loads(bench_conftest._OUT_PATH.read_text())
+        assert payload["format"] == "repro-obs-bench"
+        assert payload["schema_version"] == 1
+        assert payload["git_rev"]
+        assert len(payload["benchmarks"]) == 1
+
+    def test_two_sessions_two_ledger_entries(self, bench_conftest):
+        # The acceptance check: `make bench` twice appends two ledger
+        # entries while BENCH_obs.json holds only the latest session.
+        self._session(bench_conftest, "benchmarks/test_a.py::test_a", 0.5)
+        self._session(bench_conftest, "benchmarks/test_a.py::test_a", 0.6)
+        records = RunLedger(bench_conftest._LEDGER_PATH).read()
+        assert [r.kind for r in records] == ["bench", "bench"]
+        assert [r.wall_time_s for r in records] == [0.5, 0.6]
+        payload = json.loads(bench_conftest._OUT_PATH.read_text())
+        assert len(payload["benchmarks"]) == 1  # latest session only
+
+    def test_no_results_no_files(self, bench_conftest):
+        bench_conftest._BENCH_RESULTS.clear()
+        bench_conftest.pytest_sessionfinish(session=None, exitstatus=0)
+        assert not bench_conftest._OUT_PATH.exists()
+        assert not bench_conftest._LEDGER_PATH.exists()
+
+    def test_snapshot_write_leaves_no_temp(self, bench_conftest, tmp_path):
+        self._session(bench_conftest, "benchmarks/test_a.py::test_a", 0.5)
+        leftovers = [p.name for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []

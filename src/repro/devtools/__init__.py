@@ -2,13 +2,22 @@
 
 Two halves, both specific to this codebase's failure modes:
 
-* :mod:`repro.devtools.lint` (``emlint``) - an AST-based static
-  analyzer whose rules encode the project's domain invariants: no
-  mixing of cycle/sample/second/hertz quantities without an explicit
-  conversion, no global (non-injected) RNGs, frozen ``*Config``
-  dataclasses, no float ``==``, no mutable default arguments.  Run it
-  with ``python -m repro.devtools.lint src/`` or ``make lint``; the
-  tier-1 test ``tests/test_lint_clean.py`` keeps the tree clean.
+* **emlint**, a two-phase whole-program static analyzer
+  (``python -m repro.devtools.lint`` / ``make lint``).  Phase 1 runs
+  per-file rules (:mod:`repro.devtools.rules`: unit safety,
+  determinism, config immutability, float equality, mutable defaults,
+  silent excepts) and extracts a per-module fact base
+  (:mod:`repro.devtools.facts`), cached by content hash
+  (:mod:`repro.devtools.cache`) and extracted in parallel.  Phase 2
+  runs cross-module rules (:mod:`repro.devtools.xrules`) over the
+  import graph and layer map (:mod:`repro.devtools.graph`,
+  configured via ``pyproject.toml`` ``[tool.emlint]``): architecture
+  layering, import cycles, concurrency safety (shared mutable state,
+  fork-unsafe import-time captures, unpicklable worker targets), and
+  hot-loop vectorization.  Known debt is carried in an adopt-now
+  baseline (:mod:`repro.devtools.baseline`); reports come out as
+  text, JSON, or SARIF (:mod:`repro.devtools.reporters`).  The
+  tier-1 tests ``tests/test_lint_clean.py`` keep the tree clean.
 
 * :mod:`repro.devtools.contracts` - runtime contracts (decorators and
   check functions) asserting the event invariants the analysis
@@ -18,10 +27,22 @@ Two halves, both specific to this codebase's failure modes:
   ``core.streaming`` surfaces and can be disabled with the
   ``EMPROF_CONTRACTS=0`` environment variable.
 
-See ``docs/static-analysis.md`` for the rule catalogue and the
-suppression syntax (``# emlint: disable=<rule>``).
+See ``docs/static-analysis.md`` for the rule catalogue, the layer
+map, the suppression syntax (``# emlint: disable=<rule>``), and the
+baseline workflow.
 """
 
 from __future__ import annotations
 
-__all__ = ["contracts", "engine", "lint", "reporters", "rules"]
+__all__ = [
+    "baseline",
+    "cache",
+    "contracts",
+    "engine",
+    "facts",
+    "graph",
+    "lint",
+    "reporters",
+    "rules",
+    "xrules",
+]

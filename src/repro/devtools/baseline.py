@@ -1,0 +1,175 @@
+"""Adopt-now baseline: a reviewed suppression file for known findings.
+
+Turning on a new rule family over an existing tree surfaces debt that
+cannot all be fixed in one PR.  The baseline file records each known
+finding with a one-line justification; baselined findings are
+suppressed (and counted), so the gate stays green while the file
+doubles as the explicit worklist.  Entries match on ``(rule, path,
+message)`` — deliberately **not** on line numbers, so unrelated edits
+to a file do not invalidate its baseline.
+
+When a baselined finding disappears (the debt was paid), its entry
+goes *stale*; stale entries are surfaced by the reporters and by
+``repro-lint`` on stderr so the file shrinks monotonically instead of
+rotting.  ``repro-lint --write-baseline`` regenerates the file from
+the current findings (preserving justifications for entries that
+still match).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .engine import Finding
+
+BASELINE_SCHEMA = "emlint-baseline"
+BASELINE_SCHEMA_VERSION = 1
+
+#: Default baseline filename, conventionally at the repository root.
+DEFAULT_BASELINE_NAME = ".emlint_baseline.json"
+
+PathLike = Union[str, Path]
+
+
+def _normalize_path(path: str) -> str:
+    """Repo-relative posix form when possible, so baselines are portable."""
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-number-independent identity of a finding."""
+    return f"{finding.rule}::{_normalize_path(finding.path)}::{finding.message}"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str  # normalized posix path
+    message: str
+    justification: str = ""
+
+    @property
+    def key(self) -> str:
+        return f"{self.rule}::{self.path}::{self.message}"
+
+
+@dataclass
+class Baseline:
+    """The in-memory baseline: entries plus match bookkeeping."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+    path: Optional[Path] = None
+    _matched: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Baseline":
+        """Parse a baseline file.
+
+        Raises:
+            ValueError: the file exists but is not a baseline document
+                (a baseline you *asked* for must never be silently
+                ignored).
+        """
+        p = Path(path)
+        try:
+            payload = json.loads(p.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ValueError(f"cannot read baseline {p}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {p} is not valid JSON: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != BASELINE_SCHEMA
+        ):
+            raise ValueError(f"{p} is not an {BASELINE_SCHEMA} document")
+        entries = []
+        for raw in payload.get("entries", []):
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    justification=str(raw.get("justification", "")),
+                )
+            )
+        return cls(entries=entries, path=p)
+
+    def match(self, finding: Finding) -> bool:
+        """True (and recorded) when ``finding`` is baselined."""
+        key = fingerprint(finding)
+        for entry in self.entries:
+            if entry.key == key:
+                self._matched[key] = self._matched.get(key, 0) + 1
+                return True
+        return False
+
+    def stale_entries(self) -> List[BaselineEntry]:
+        """Entries that matched nothing in the run just filtered."""
+        return [e for e in self.entries if e.key not in self._matched]
+
+    def apply(self, findings: Sequence[Finding]) -> Tuple[List[Finding], int]:
+        """(kept findings, suppressed count); resets match bookkeeping."""
+        self._matched.clear()
+        kept = [f for f in findings if not self.match(f)]
+        return kept, len(findings) - len(kept)
+
+
+def write_baseline(
+    path: PathLike,
+    findings: Sequence[Finding],
+    previous: Optional[Baseline] = None,
+    default_justification: str = "TODO: justify or fix",
+) -> Baseline:
+    """Write a baseline covering ``findings``; atomic replace.
+
+    Justifications from ``previous`` are carried over for entries that
+    still match, so regenerating never loses review notes.
+    """
+    carried: Dict[str, str] = {}
+    if previous is not None:
+        carried = {
+            e.key: e.justification for e in previous.entries if e.justification
+        }
+    seen: Dict[str, BaselineEntry] = {}
+    for finding in findings:
+        entry = BaselineEntry(
+            rule=finding.rule,
+            path=_normalize_path(finding.path),
+            message=finding.message,
+        )
+        key = entry.key
+        if key not in seen:
+            seen[key] = BaselineEntry(
+                rule=entry.rule,
+                path=entry.path,
+                message=entry.message,
+                justification=carried.get(key, default_justification),
+            )
+    entries = sorted(seen.values(), key=lambda e: (e.path, e.rule, e.message))
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "version": BASELINE_SCHEMA_VERSION,
+        "entries": [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "message": e.message,
+                "justification": e.justification,
+            }
+            for e in entries
+        ],
+    }
+    destination = Path(path)
+    tmp = destination.with_name(destination.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, destination)
+    return Baseline(entries=entries, path=destination)

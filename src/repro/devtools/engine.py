@@ -83,11 +83,22 @@ class Rule:
 
 @dataclass
 class LintResult:
-    """Aggregate outcome of linting one or more files."""
+    """Aggregate outcome of linting one or more files.
+
+    The whole-program driver (:func:`analyze_paths`) additionally
+    fills the cache counters (warm-run accounting), the count of
+    findings silenced by an adopt-now baseline, and the keys of
+    baseline entries that no longer match anything (stale — the debt
+    was paid, remove the entry).
+    """
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     suppressed_count: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    baseline_suppressed: int = 0
+    stale_baseline: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -137,7 +148,7 @@ def lint_source(
     path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
 ) -> LintResult:
-    """Lint one module's source text."""
+    """Lint one module's source text (per-file rules only)."""
     active = list(rules) if rules is not None else list(_default_rules())
     result = LintResult(files_checked=1)
     try:
@@ -211,3 +222,105 @@ def lint_paths(
         total.suppressed_count += one.suppressed_count
         total.files_checked += 1
     return total
+
+
+# ---------------------------------------------------------------------------
+# whole-program analysis (two-phase driver)
+# ---------------------------------------------------------------------------
+
+
+def _default_cross_rules():
+    from .xrules import ALL_CROSS_RULES  # deferred: xrules imports this module
+
+    return [cls() for cls in ALL_CROSS_RULES]
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    cross_rules=None,
+    *,
+    layers=None,
+    cache_path: Optional[Path] = None,
+    jobs: Optional[int] = None,
+    baseline=None,
+) -> LintResult:
+    """Two-phase whole-program analysis over every file under ``paths``.
+
+    Phase 1 runs the per-file rules and extracts a
+    :class:`repro.devtools.facts.ModuleFacts` summary per file —
+    cached by content hash when ``cache_path`` is given, parallelized
+    across files.  Phase 2 assembles the project fact base (import
+    graph + layer map) and runs the cross-module rules over it.
+    Inline ``# emlint: disable=`` suppressions apply to cross findings
+    through the cached suppression maps; an optional adopt-now
+    ``baseline`` (:class:`repro.devtools.baseline.Baseline`) filters
+    the final finding list and reports stale entries.
+
+    Args:
+        paths: files or directories to analyze.
+        rules: per-file rules (default: all registered).
+        cross_rules: cross-module rules (default: all registered);
+            pass ``[]`` to skip phase 2 entirely.
+        layers: a :class:`repro.devtools.graph.LayerConfig`; default
+            loads ``pyproject.toml`` from the current directory,
+            falling back to the built-in repository map.
+        cache_path: location of the incremental cache; ``None``
+            disables caching.
+        jobs: phase-1 worker threads (default: min(8, cpu count)).
+        baseline: adopt-now suppression file, already loaded.
+    """
+    from .cache import FactCache, extract_outcomes
+    from .graph import load_layer_config
+    from .xrules import ProgramFacts
+
+    active = list(rules) if rules is not None else list(_default_rules())
+    active_cross = (
+        list(cross_rules) if cross_rules is not None else _default_cross_rules()
+    )
+    layer_config = layers if layers is not None else load_layer_config()
+
+    cache = FactCache(cache_path) if cache_path is not None else None
+    outcomes, hits, misses = extract_outcomes(
+        [Path(p) for p in paths], active, cache=cache, jobs=jobs
+    )
+
+    result = LintResult(
+        files_checked=len(outcomes), cache_hits=hits, cache_misses=misses
+    )
+    for outcome in outcomes:
+        result.findings.extend(outcome.findings)
+        result.suppressed_count += outcome.suppressed_count
+
+    if active_cross:
+        modules = {
+            o.facts.module: o.facts for o in outcomes if o.facts is not None
+        }
+        program = ProgramFacts.build(modules, layers=layer_config)
+        suppression_by_path: Dict[str, Dict[int, Set[str]]] = {
+            facts.path: {
+                line: set(names) for line, names in facts.suppressions.items()
+            }
+            for facts in modules.values()
+        }
+        cross_findings: List[Finding] = []
+        for rule in active_cross:
+            cross_findings.extend(rule.check(program))
+        for finding in sorted(
+            cross_findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        ):
+            if _is_suppressed(
+                finding, suppression_by_path.get(finding.path, {})
+            ):
+                result.suppressed_count += 1
+            else:
+                result.findings.append(finding)
+
+    if baseline is not None:
+        kept, suppressed = baseline.apply(result.findings)
+        result.findings = kept
+        result.baseline_suppressed = suppressed
+        result.stale_baseline = [e.key for e in baseline.stale_entries()]
+
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result

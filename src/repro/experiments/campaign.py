@@ -36,6 +36,7 @@ deleting its entry, with a text editor.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import os
@@ -222,6 +223,27 @@ class Campaign:
         runs = self.load_manifest()
         result = CampaignResult()
         pass_begin = time.perf_counter()
+        # One reusable ledger handle for the whole pass: a 100-run
+        # campaign would otherwise pay an open+fsync per record.  The
+        # manifest (atomic replace per run) stays the crash-recovery
+        # source of truth, so the fsync is deferred to pass end.
+        ledger_ctx = (
+            self.ledger.appender(fsync_each=False)
+            if self.ledger is not None
+            else contextlib.nullcontext(None)
+        )
+        with ledger_ctx as ledger_sink:
+            self._execute_pass(specs, runs, result, ledger_sink, pass_begin)
+        return result
+
+    def _execute_pass(
+        self,
+        specs: List[RunSpec],
+        runs: Dict[str, dict],
+        result: CampaignResult,
+        ledger_sink: Optional[obs_ledger.LedgerAppender],
+        pass_begin: float,
+    ) -> None:
         for spec in specs:
             state = runs.get(spec.name, {})
             if state.get("status") == "done" and self.report_path(spec.name).exists():
@@ -242,9 +264,10 @@ class Campaign:
             self._save_manifest(
                 runs, progress=self._progress(result, len(specs), spec.name)
             )
-            self._ledger_run(spec, outcome)
-        self._ledger_summary(result, time.perf_counter() - pass_begin)
-        return result
+            self._ledger_run(spec, outcome, ledger_sink)
+        self._ledger_summary(
+            result, time.perf_counter() - pass_begin, ledger_sink
+        )
 
     def _progress(
         self, result: CampaignResult, total_planned: int, last_run: str
@@ -257,10 +280,16 @@ class Campaign:
             "last_run": last_run,
         }
 
-    def _ledger_run(self, spec: RunSpec, outcome: RunOutcome) -> None:
+    def _ledger_run(
+        self,
+        spec: RunSpec,
+        outcome: RunOutcome,
+        sink: Optional[obs_ledger.LedgerAppender] = None,
+    ) -> None:
         """Append one ``campaign-run`` record, when a ledger is wired."""
         if self.ledger is None:
             return
+        writer = sink if sink is not None else self.ledger
         report = outcome.report
         quality = (
             dataclasses.asdict(report.quality)
@@ -274,7 +303,7 @@ class Campaign:
             extra["miss_count"] = report.miss_count
             extra["low_confidence_count"] = report.low_confidence_count
             extra["stall_fraction"] = report.stall_fraction
-        self.ledger.append(
+        writer.append(
             obs_ledger.record(
                 kind="campaign-run",
                 label=f"{self.directory.name}/{spec.name}",
@@ -285,11 +314,17 @@ class Campaign:
             )
         )
 
-    def _ledger_summary(self, result: CampaignResult, wall_time_s: float) -> None:
+    def _ledger_summary(
+        self,
+        result: CampaignResult,
+        wall_time_s: float,
+        sink: Optional[obs_ledger.LedgerAppender] = None,
+    ) -> None:
         """Append one ``campaign`` summary record per execute() pass."""
         if self.ledger is None:
             return
-        self.ledger.append(
+        writer = sink if sink is not None else self.ledger
+        writer.append(
             obs_ledger.record(
                 kind="campaign",
                 label=self.directory.name,

@@ -1,10 +1,13 @@
 """Tier-1 gate: the source tree must be emlint-clean.
 
-Runs the linter programmatically over ``src/`` and asserts zero
+Runs the analyzer programmatically over ``src/`` and asserts zero
 findings, so any regression (a new unit mix-up, a global RNG, an
 unfrozen config, a float ``==``, a mutable default) fails pytest
-immediately.  Also checks the CLI contract: exit 0 on the clean tree,
-exit 1 with a file:line diagnostic on a seeded violation of each rule.
+immediately.  Also checks the CLI contract: exit 0 on the clean tree
+(under the checked-in adopt-now baseline), exit 1 with a file:line
+diagnostic on a seeded violation of each rule, and exit 2 on usage
+errors — including ``--list-rules`` combined with an unknown
+``--rules`` name.
 """
 
 from pathlib import Path
@@ -14,8 +17,10 @@ import pytest
 from repro.devtools.engine import lint_paths
 from repro.devtools.lint import main
 from repro.devtools.rules import rule_names
+from repro.devtools.xrules import cross_rule_names
 
-SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
 
 # One minimal violating module per rule, used to prove the gate trips.
 VIOLATIONS = {
@@ -54,17 +59,28 @@ def test_obs_package_is_lint_clean():
     assert result.findings == [], f"emlint regressions in src/repro/obs:\n{details}"
 
 
-def test_cli_exits_zero_on_clean_tree(capsys):
-    assert main([str(SRC)]) == 0
-    out = capsys.readouterr().out
-    assert "0 findings" in out
+def test_cli_exits_zero_on_clean_tree(tmp_path, capsys, monkeypatch):
+    """The full analyzer (cross rules included) passes under the baseline."""
+    monkeypatch.chdir(REPO_ROOT)  # baseline paths are repo-relative
+    argv = [
+        str(SRC),
+        "--baseline",
+        str(REPO_ROOT / ".emlint_baseline.json"),
+        "--cache",
+        str(tmp_path / "cache.json"),
+    ]
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    assert "0 findings" in captured.out
+    assert "baselined" in captured.out
+    assert "stale baseline" not in captured.err
 
 
 @pytest.mark.parametrize("rule", sorted(VIOLATIONS))
 def test_cli_flags_seeded_violation(rule, tmp_path, capsys):
     bad = tmp_path / "bad.py"
     bad.write_text(VIOLATIONS[rule])
-    assert main([str(bad)]) == 1
+    assert main([str(bad), "--no-cache"]) == 1
     out = capsys.readouterr().out
     # file:line diagnostics naming the violated rule
     assert f"{bad}:" in out
@@ -75,6 +91,17 @@ def test_cli_rejects_unknown_rule(tmp_path, capsys):
     assert main(["--rules", "no-such-rule", str(tmp_path)]) == 2
     err = capsys.readouterr().err
     assert "no-such-rule" in err
+    # the diagnostic enumerates every known rule, cross rules included
+    assert "hot-loop" in err
+
+
+def test_cli_list_rules_with_unknown_rule_is_usage_error(capsys):
+    # `--list-rules --rules bogus` must not exit 0 with a listing: the
+    # command line is wrong and the caller must find out (exit 2).
+    assert main(["--list-rules", "--rules", "bogus"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown rule 'bogus'" in captured.err
+    assert captured.out == ""
 
 
 def test_cli_rejects_empty_rules(tmp_path, capsys):
@@ -89,10 +116,22 @@ def test_cli_rejects_missing_path(capsys):
     assert "does not exist" in capsys.readouterr().err
 
 
+def test_cli_rejects_bad_jobs(tmp_path, capsys):
+    assert main(["--jobs", "0", str(tmp_path)]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_cli_rejects_broken_baseline(tmp_path, capsys):
+    bogus = tmp_path / "base.json"
+    bogus.write_text("{broken")
+    assert main(["--baseline", str(bogus), str(tmp_path)]) == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
 def test_cli_flags_syntax_error(tmp_path, capsys):
     bad = tmp_path / "broken.py"
     bad.write_text("def broken(:\n")
-    assert main([str(bad)]) == 1
+    assert main([str(bad), "--no-cache"]) == 1
     assert "parse-error" in capsys.readouterr().out
 
 
@@ -100,4 +139,25 @@ def test_cli_lists_all_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for name in rule_names():
-        assert name in out
+        assert f"{name} [per-file]" in out
+    for name in cross_rule_names():
+        assert f"{name} [cross-module]" in out
+
+
+def test_cli_list_rules_honors_subset(capsys):
+    assert main(["--list-rules", "--rules", "hot-loop,unit-safety"]) == 0
+    out = capsys.readouterr().out
+    assert "hot-loop" in out
+    assert "unit-safety" in out
+    assert "layering" not in out
+
+
+def test_cli_write_baseline_roundtrip(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(items=[]):\n    return items\n")
+    baseline = tmp_path / "base.json"
+    assert main([str(bad), "--no-cache", "--write-baseline", str(baseline)]) == 0
+    assert "wrote 1 baseline entry" in capsys.readouterr().out
+    # The same tree now passes under the baseline it just wrote.
+    assert main([str(bad), "--no-cache", "--baseline", str(baseline)]) == 0
+    assert "1 baselined" in capsys.readouterr().out

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-cold regress check dashboard chaos bench bench-all trace reproduce examples selftest clean
+.PHONY: install test lint lint-cold regress check dashboard chaos bench bench-all trace watch-demo reproduce examples selftest clean
 
 install:
 	pip install -e .
@@ -53,6 +53,12 @@ trace:
 	mkdir -p results
 	PYTHONPATH=src EMPROF_OBS=1 $(PYTHON) -m repro capture --workload micro -o results/trace_capture.npz
 	PYTHONPATH=src EMPROF_OBS=1 $(PYTHON) -m repro profile results/trace_capture.npz --trace-out results/spans.json --metrics-out results/metrics.json
+
+# Self-contained live-telemetry demo: a synthetic streaming producer,
+# the line-JSON status server, and the terminal watch client in one
+# process.  No hardware, no prior state; exits on its own.
+watch-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.cli watch --demo
 
 reproduce:
 	$(PYTHON) -m repro reproduce -o results/

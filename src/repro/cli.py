@@ -95,17 +95,35 @@ def cmd_capture(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    import contextlib as _contextlib
     import time as _time
 
     log = obs.get_logger("cli")
-    wants_obs = bool(args.trace_out or args.metrics_out or args.ledger)
+    wants_obs = bool(
+        args.trace_out
+        or args.metrics_out
+        or args.ledger
+        or args.profile_out
+        or args.span_memory
+    )
     if wants_obs and not obs.obs_enabled():
         # Exporting implies instrumenting: turn the obs layer on for
         # this command rather than silently writing empty artifacts.
         obs.set_obs_enabled(True)
         log.info(
             "observability enabled for this run "
-            "(--trace-out/--metrics-out/--ledger)"
+            "(--trace-out/--metrics-out/--ledger/--profile-out)"
+        )
+    if args.trace_id:
+        # A parent process (campaign orchestrator, shell script) is
+        # threading this run into its trace.
+        from .obs import tracectx
+
+        tracectx.activate(
+            tracectx.TraceContext(
+                trace_id=args.trace_id,
+                parent_span_id=args.parent_span or None,
+            )
         )
     run_begin = _time.perf_counter()
     capture = repro_io.load_capture(args.capture)
@@ -117,12 +135,22 @@ def cmd_profile(args: argparse.Namespace) -> int:
         ),
     )
     profiler = Emprof.from_capture(capture, config=config)
-    if args.isolate_window:
-        window = find_marker_window(profiler.signal, marker_min_samples=200)
-        report = profiler.profile_window(window.begin_sample, window.end_sample)
-        print(f"marker window: samples [{window.begin_sample}, {window.end_sample})")
-    else:
-        report = profiler.profile()
+    from .obs import profilehooks
+
+    memory_ctx = (
+        profilehooks.span_memory()
+        if args.span_memory
+        else _contextlib.nullcontext()
+    )
+    with profilehooks.profiled(args.profile_out), memory_ctx:
+        if args.isolate_window:
+            window = find_marker_window(profiler.signal, marker_min_samples=200)
+            report = profiler.profile_window(window.begin_sample, window.end_sample)
+            print(f"marker window: samples [{window.begin_sample}, {window.end_sample})")
+        else:
+            report = profiler.profile()
+    if args.profile_out:
+        print(f"cProfile stats -> {args.profile_out} (+ .txt table)")
     if args.plot:
         from .render import report_panel
 
@@ -428,6 +456,28 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LEDGER_JSONL",
         help="append this run to an append-only run ledger (.jsonl; "
         "implies observability on); see `repro obs regress`",
+    )
+    prof.add_argument(
+        "--profile-out",
+        metavar="PSTATS",
+        help="capture cProfile stats of the run (binary pstats + .txt "
+        "table; implies observability on)",
+    )
+    prof.add_argument(
+        "--span-memory",
+        action="store_true",
+        help="record per-span tracemalloc high-water marks in the trace "
+        "(implies observability on)",
+    )
+    prof.add_argument(
+        "--trace-id",
+        metavar="HEX",
+        help="join an existing cross-process trace (see repro-obs stitch)",
+    )
+    prof.add_argument(
+        "--parent-span",
+        metavar="PID:SPAN",
+        help="globalized parent span id this run hangs under",
     )
     prof.set_defaults(func=cmd_profile)
 

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..obs import metrics as _metrics, trace as _trace
+from ..obs.events import bus as _event_bus
 from ..obs.runtime import obs_enabled
 from .detect import DetectorConfig, detect_stalls
 from .events import ProfileReport
@@ -116,9 +117,16 @@ class Emprof:
         """Run detection over the whole signal and build the report."""
         if not obs_enabled():
             return self._profile_impl()
+        _event_bus.emit("run_started", op="profile", samples=len(self.signal))
         with _trace.span("profile", samples=len(self.signal)):
             report = self._profile_impl()
         _PROFILE_RUNS.inc()
+        _event_bus.emit(
+            "run_finished",
+            op="profile",
+            samples=len(self.signal),
+            stalls=len(report.stalls),
+        )
         return report
 
     def _profile_impl(self) -> ProfileReport:
@@ -148,11 +156,22 @@ class Emprof:
             raise ValueError("window out of signal bounds")
         if not obs_enabled():
             return self._profile_window_impl(begin_sample, end_sample)
+        _event_bus.emit(
+            "run_started",
+            op="profile_window",
+            samples=end_sample - begin_sample,
+        )
         with _trace.span(
             "profile_window", begin=begin_sample, end=end_sample
         ):
             report = self._profile_window_impl(begin_sample, end_sample)
         _PROFILE_RUNS.inc()
+        _event_bus.emit(
+            "run_finished",
+            op="profile_window",
+            samples=end_sample - begin_sample,
+            stalls=len(report.stalls),
+        )
         return report
 
     def _profile_window_impl(

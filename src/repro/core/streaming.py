@@ -37,6 +37,7 @@ from ..devtools.contracts import (
 )
 from ..faults.quality import QualityConfig, QualityMonitor
 from ..obs import metrics as _metrics, trace as _trace
+from ..obs.events import bus as _event_bus
 from ..obs.runtime import obs_enabled
 from .detect import DetectorConfig
 from .events import DetectedStall, ProfileReport
@@ -459,8 +460,23 @@ class StreamingEmprof:
         with _trace.span("streaming.chunk", samples=len(chunk)) as span:
             new = self._process_impl(chunk, gap_before)
             span.set_attr(stalls=len(new))
-        _STREAM_CHUNK_LATENCY.observe(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        _STREAM_CHUNK_LATENCY.observe(elapsed)
         _STREAM_CHUNKS.inc()
+        _event_bus.emit(
+            "chunk_processed",
+            samples=len(chunk),
+            stalls=len(new),
+            latency_s=elapsed,
+        )
+        for stall in new:
+            _event_bus.emit(
+                "stall_detected",
+                begin_cycle=stall.begin_cycle,
+                duration_cycles=stall.end_cycle - stall.begin_cycle,
+                is_refresh=stall.is_refresh,
+                low_confidence=stall.low_confidence,
+            )
         return new
 
     def _process_impl(
@@ -510,6 +526,7 @@ class StreamingEmprof:
         if obs_enabled():
             _STREAM_GAPS.inc()
             _STREAM_DROPPED.inc(dropped)
+            _event_bus.emit("quality_flag", flag="gap", dropped=int(dropped))
         return new
 
     @report_result
@@ -526,9 +543,14 @@ class StreamingEmprof:
         # must still flag a stall that was finalized before it.
         stalls = [self.quality_monitor.flag(s) for s in self._stalls]
         if obs_enabled():
-            _STREAM_LOW_CONFIDENCE.inc(
-                sum(1 for s in stalls if s.low_confidence)
-            )
+            low_confidence = sum(1 for s in stalls if s.low_confidence)
+            _STREAM_LOW_CONFIDENCE.inc(low_confidence)
+            if low_confidence:
+                _event_bus.emit(
+                    "quality_flag",
+                    flag="low_confidence",
+                    count=low_confidence,
+                )
         quality = self.quality_monitor.summary()
         return ProfileReport(
             stalls=stalls,

@@ -97,6 +97,8 @@ DEFAULT_LAYER_CONFIG = LayerConfig(
             "repro.obs.metrics",
             "repro.obs.trace",
             "repro.obs.runtime",
+            "repro.obs.events",
+            "repro.obs.tracectx",
         ),
         "obs-internal": ("repro.obs",),
         "experiments": ("repro.experiments",),

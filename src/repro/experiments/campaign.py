@@ -39,11 +39,13 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import json
+import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from .. import io as repro_io
 from ..core.events import ProfileReport
@@ -51,10 +53,17 @@ from ..core.profiler import Emprof, EmprofConfig
 from ..errors import AcquisitionError, CampaignError
 from ..obs import metrics as _metrics, trace as _trace
 from ..obs import ledger as obs_ledger
+from ..obs import tracectx
+from ..obs.events import NDJSONFileSink, SocketSink, bus as _event_bus
+from ..obs.runtime import obs_enabled
 from .runner import RetryPolicy, acquire_with_retry
 
 _MANIFEST_NAME = "manifest.json"
 _MANIFEST_FORMAT = "emprof-campaign-v1"
+_EVENTS_NAME = "events.ndjsonl"
+
+#: Cadence of campaign worker ``heartbeat`` events.
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.25
 
 _RUNS_COMPLETED = _metrics.counter(
     "campaign_runs_completed_total", "campaign runs that produced a report"
@@ -128,6 +137,18 @@ class Campaign:
             :class:`repro.obs.ledger.RunLedger`); when given, every
             executed run appends a ``campaign-run`` record and each
             :meth:`execute` pass appends a ``campaign`` summary.
+        workers: processes to execute runs in.  1 (default) keeps the
+            in-process serial path; more forks that many workers, each
+            writing per-run ``<name>.outcome.json`` checkpoints the
+            parent merges into the manifest at join time (workers
+            never touch the manifest, so crash semantics are
+            unchanged: a run without both its report and outcome file
+            is simply re-attempted).
+        status_port: when given, :meth:`execute`/:meth:`start` serve
+            the line-JSON status protocol (:mod:`repro.obs.statusd`)
+            on this port for the duration of the pass; 0 picks an
+            ephemeral port, published as :attr:`status_address`.
+        heartbeat_interval_s: cadence of worker ``heartbeat`` events.
     """
 
     def __init__(
@@ -136,7 +157,14 @@ class Campaign:
         retry: Optional[RetryPolicy] = None,
         sleep=None,
         ledger: Optional[Union[str, Path, obs_ledger.RunLedger]] = None,
+        workers: int = 1,
+        status_port: Optional[int] = None,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
     ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
         self.directory = Path(directory)
         self.retry = retry if retry is not None else RetryPolicy()
         self._sleep = sleep
@@ -144,6 +172,12 @@ class Campaign:
             self.ledger = ledger
         else:
             self.ledger = obs_ledger.RunLedger(ledger)
+        self.workers = int(workers)
+        self.status_port = status_port
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
+        #: ``(host, port)`` of the live status server, set while a
+        #: pass with ``status_port`` is executing.
+        self.status_address: Optional[Tuple[str, int]] = None
         self.directory.mkdir(parents=True, exist_ok=True)
 
     # -- manifest ------------------------------------------------------------
@@ -151,6 +185,15 @@ class Campaign:
     @property
     def manifest_path(self) -> Path:
         return self.directory / _MANIFEST_NAME
+
+    @property
+    def events_path(self) -> Path:
+        """The campaign's shared NDJSON event stream (all processes)."""
+        return self.directory / _EVENTS_NAME
+
+    def outcome_path(self, name: str) -> Path:
+        """A worker's per-run checkpoint file."""
+        return self.directory / f"{name}.outcome.json"
 
     def load_manifest(self) -> Dict[str, dict]:
         """Per-run state map; empty when the campaign is fresh."""
@@ -216,10 +259,14 @@ class Campaign:
         interrupted mid-run) is attempted.  A failing run never stops
         the campaign - its error is recorded in the manifest and the
         outcome list.
+
+        With ``workers > 1`` this is ``self.start(specs).join()``:
+        the specs are partitioned across forked worker processes and
+        the manifest is merged once they finish.
         """
-        names = [spec.name for spec in specs]
-        if len(set(names)) != len(names):
-            raise CampaignError("run names must be unique within a campaign")
+        self._check_names(specs)
+        if self.workers > 1:
+            return self.start(specs).join()
         runs = self.load_manifest()
         result = CampaignResult()
         pass_begin = time.perf_counter()
@@ -232,9 +279,90 @@ class Campaign:
             if self.ledger is not None
             else contextlib.nullcontext(None)
         )
-        with ledger_ctx as ledger_sink:
-            self._execute_pass(specs, runs, result, ledger_sink, pass_begin)
+        with self._observation(len(specs)):
+            with ledger_ctx as ledger_sink:
+                self._execute_pass(specs, runs, result, ledger_sink, pass_begin)
         return result
+
+    def start(self, specs: List[RunSpec]) -> "CampaignExecution":
+        """Launch the pass across ``self.workers`` forked processes.
+
+        Returns a :class:`CampaignExecution` handle immediately; call
+        :meth:`CampaignExecution.join` for the merged result.  While
+        the pass runs, each worker streams events (heartbeats, run
+        lifecycle, per-chunk telemetry) into the campaign's shared
+        NDJSON event file and - when ``status_port`` is set - into the
+        parent's status server, so the pass can be watched live.
+        """
+        self._check_names(specs)
+        return CampaignExecution(self, list(specs)).start()
+
+    @staticmethod
+    def _check_names(specs: List[RunSpec]) -> None:
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise CampaignError("run names must be unique within a campaign")
+
+    @contextlib.contextmanager
+    def _observation(self, total_planned: int):
+        """Event/status scaffolding around one execute pass.
+
+        Attaches an NDJSON sink for the campaign's event file (when
+        observability is on), serves the status protocol on
+        ``status_port`` (when set), and brackets the pass in
+        ``run_started``/``run_finished`` events.  All of it tears back
+        down when the pass ends; with observability off and no status
+        port this is a no-op.
+        """
+        sink = None
+        server = None
+        if obs_enabled():
+            sink = _event_bus.add_sink(NDJSONFileSink(self.events_path))
+        if self.status_port is not None:
+            from ..obs import statusd
+
+            server = statusd.StatusServer(
+                _event_bus,
+                metrics=_metrics,
+                port=self.status_port,
+                extra_status=lambda: self._live_status(total_planned),
+            ).start()
+            self.status_address = server.address
+        _event_bus.emit(
+            "run_started",
+            op="campaign",
+            campaign=self.directory.name,
+            total_planned=total_planned,
+            workers=self.workers,
+        )
+        try:
+            yield server
+        finally:
+            _event_bus.emit(
+                "run_finished", op="campaign", campaign=self.directory.name
+            )
+            _event_bus.flush(timeout_s=2.0)
+            if server is not None:
+                server.close()
+                self.status_address = None
+            if sink is not None:
+                _event_bus.remove_sink(sink)
+                sink.close()
+
+    def _live_status(self, total_planned: int) -> Dict[str, object]:
+        """The ``status`` response's campaign block (cheap to compute)."""
+        try:
+            progress = self.load_progress()
+        except CampaignError:
+            progress = {}
+        return {
+            "campaign": self.directory.name,
+            "total_planned": total_planned,
+            "progress": progress,
+            "worker_outcomes": len(
+                list(self.directory.glob("*.outcome.json"))
+            ),
+        }
 
     def _execute_pass(
         self,
@@ -264,6 +392,13 @@ class Campaign:
             self._save_manifest(
                 runs, progress=self._progress(result, len(specs), spec.name)
             )
+            _event_bus.emit(
+                "checkpoint_written",
+                target="manifest",
+                run=spec.name,
+                status=outcome.status,
+            )
+            _event_bus.emit("heartbeat", run=spec.name)
             self._ledger_run(spec, outcome, ledger_sink)
         self._ledger_summary(
             result, time.perf_counter() - pass_begin, ledger_sink
@@ -324,15 +459,31 @@ class Campaign:
         if self.ledger is None:
             return
         writer = sink if sink is not None else self.ledger
+        extra: Dict[str, object] = {
+            "counts": result.counts(),
+            "completed": result.completed,
+        }
+        if obs_enabled():
+            # Bridge the live-telemetry rollup into the post-hoc
+            # record: the dashboard's "final" numbers can be checked
+            # against what the bus saw while the pass was in flight.
+            stats = _event_bus.stats()
+            extra["events"] = {
+                key: stats[key]
+                for key in (
+                    "total",
+                    "samples_total",
+                    "stalls_total",
+                    "quality_flags_total",
+                    "dropped_events",
+                )
+            }
         writer.append(
             obs_ledger.record(
                 kind="campaign",
                 label=self.directory.name,
                 wall_time_s=wall_time_s,
-                extra={
-                    "counts": result.counts(),
-                    "completed": result.completed,
-                },
+                extra=extra,
             )
         )
 
@@ -370,3 +521,313 @@ class Campaign:
         return acquire_with_retry(
             spec.source_factory(), policy=self.retry, **kwargs
         )
+
+
+# ---------------------------------------------------------------------------
+# multi-process execution
+# ---------------------------------------------------------------------------
+
+
+class CampaignExecution:
+    """A launched multi-worker pass; :meth:`join` merges the result.
+
+    Created by :meth:`Campaign.start`.  The parent holds the open
+    ``campaign`` span (workers stitch under it via the propagated
+    :class:`~repro.obs.tracectx.TraceContext`), the status server, and
+    the shared event sink; workers run their share of the specs and
+    checkpoint each run as ``<name>.outcome.json``.  Killing a worker
+    mid-pass is survivable: its finished runs keep their outcome files
+    and reports, its unfinished ones are marked failed at join and
+    re-attempted by the next pass.
+
+    Attributes:
+        processes: worker label -> live :class:`multiprocessing.Process`
+            (exposed so callers - and the live-demo test - can signal
+            individual workers).
+        assignments: worker label -> the specs it was handed.
+    """
+
+    def __init__(self, campaign: Campaign, specs: List[RunSpec]):
+        self.campaign = campaign
+        self.specs = specs
+        self.processes: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self.assignments: Dict[str, List[RunSpec]] = {}
+        self.result: Optional[CampaignResult] = None
+        self._skipped: List[str] = []
+        self._pass_begin = 0.0
+        self._observation = None
+        self._span = None
+        self._server = None
+
+    def start(self) -> "CampaignExecution":
+        """Fork the workers; returns immediately."""
+        campaign = self.campaign
+        self._pass_begin = time.perf_counter()
+        self._observation = campaign._observation(len(self.specs))
+        self._server = self._observation.__enter__()
+        self._span = _trace.span(
+            "campaign",
+            campaign=campaign.directory.name,
+            workers=campaign.workers,
+        )
+        self._span.__enter__()
+
+        runs = campaign.load_manifest()
+        todo: List[RunSpec] = []
+        for spec in self.specs:
+            state = runs.get(spec.name, {})
+            if (
+                state.get("status") == "done"
+                and campaign.report_path(spec.name).exists()
+            ):
+                self._skipped.append(spec.name)
+            else:
+                todo.append(spec)
+                # A stale outcome file from an earlier pass must not
+                # masquerade as this pass's result.
+                with contextlib.suppress(FileNotFoundError):
+                    campaign.outcome_path(spec.name).unlink()
+
+        context = tracectx.current().child(_trace.current_span_token())
+        status_address = (
+            self._server.address if self._server is not None else None
+        )
+        # Fork, not spawn: RunSpec factories are arbitrary callables
+        # (closures, lambdas) that only survive by inheritance.
+        mp_context = multiprocessing.get_context("fork")
+        n_workers = min(campaign.workers, len(todo))
+        for index in range(n_workers):
+            label = f"worker{index}"
+            assigned = todo[index::n_workers]
+            process = mp_context.Process(
+                target=_worker_main,
+                name=label,
+                args=(
+                    campaign,
+                    assigned,
+                    label,
+                    context,
+                    status_address,
+                ),
+            )
+            process.start()
+            self.processes[label] = process
+            self.assignments[label] = assigned
+        return self
+
+    def alive(self) -> List[str]:
+        """Labels of workers still running."""
+        return [
+            label
+            for label, process in self.processes.items()
+            if process.is_alive()
+        ]
+
+    def join(self, timeout_s: Optional[float] = None) -> CampaignResult:
+        """Wait for the workers and merge their checkpoints.
+
+        Workers still alive after ``timeout_s`` (None = wait forever)
+        are terminated; their unfinished runs - like those of a worker
+        that died on its own - are recorded as failed with the worker's
+        exit code, and will be re-attempted by the next pass.
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        for process in self.processes.values():
+            if deadline is None:
+                process.join()
+            else:
+                process.join(max(0.0, deadline - time.monotonic()))
+        for process in self.processes.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+
+        campaign = self.campaign
+        result = CampaignResult()
+        runs = campaign.load_manifest()
+        last_run = ""
+        outcome_by_name: Dict[str, RunOutcome] = {}
+        for name in self._skipped:
+            _RUNS_SKIPPED.inc()
+            outcome_by_name[name] = RunOutcome(name=name, status="skipped")
+        for label, assigned in self.assignments.items():
+            process = self.processes[label]
+            for spec in assigned:
+                outcome = self._collect(spec, label, process.exitcode)
+                outcome_by_name[spec.name] = outcome
+                runs[spec.name] = {
+                    "status": outcome.status,
+                    "wall_time_s": outcome.wall_time_s,
+                    "finished_unix_s": time.time(),
+                    "worker": label,
+                }
+                if outcome.error is not None:
+                    runs[spec.name]["error"] = outcome.error
+                last_run = spec.name
+        for spec in self.specs:
+            outcome = outcome_by_name.get(spec.name)
+            if outcome is not None:
+                result.outcomes.append(outcome)
+
+        campaign._save_manifest(
+            runs,
+            progress=campaign._progress(result, len(self.specs), last_run),
+        )
+        _event_bus.emit(
+            "checkpoint_written",
+            target="manifest",
+            campaign=campaign.directory.name,
+        )
+        self._ledger(result)
+        if self._span is not None:
+            self._span.__exit__(None, None, None)
+            self._span = None
+        if obs_enabled():
+            # After the span closes, so the campaign span itself is in
+            # the payload the stitcher reads.
+            _trace_write_safe(
+                _trace, campaign.directory / "main.trace.json"
+            )
+        if self._observation is not None:
+            self._observation.__exit__(None, None, None)
+            self._observation = None
+        self.result = result
+        return result
+
+    def _collect(
+        self, spec: RunSpec, label: str, exitcode: Optional[int]
+    ) -> RunOutcome:
+        """One run's outcome from its worker checkpoint (or absence)."""
+        campaign = self.campaign
+        path = campaign.outcome_path(spec.name)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = None
+        if payload is None or payload.get("status") not in ("done", "failed"):
+            _RUNS_FAILED.inc()
+            return RunOutcome(
+                name=spec.name,
+                status="failed",
+                error=(
+                    f"worker {label} (exit code {exitcode}) "
+                    "died before finishing this run"
+                ),
+            )
+        status = payload["status"]
+        report = None
+        if status == "done":
+            _RUNS_COMPLETED.inc()
+            try:
+                report = campaign.load_report(spec.name)
+            except (OSError, ValueError):
+                report = None
+        else:
+            _RUNS_FAILED.inc()
+        return RunOutcome(
+            name=spec.name,
+            status=status,
+            report=report,
+            error=payload.get("error"),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+        )
+
+    def _ledger(self, result: CampaignResult) -> None:
+        campaign = self.campaign
+        if campaign.ledger is None:
+            return
+        outcomes = {o.name: o for o in result.outcomes}
+        with campaign.ledger.appender(fsync_each=False) as sink:
+            for spec in self.specs:
+                outcome = outcomes.get(spec.name)
+                if outcome is not None and outcome.status != "skipped":
+                    campaign._ledger_run(spec, outcome, sink)
+            campaign._ledger_summary(
+                result, time.perf_counter() - self._pass_begin, sink
+            )
+
+
+def _trace_write_safe(tracer, path: Path) -> None:
+    """Write a trace payload, never letting I/O kill the pass."""
+    try:
+        tracer.write(str(path))
+    except OSError:
+        pass
+
+
+def _worker_main(
+    campaign: Campaign,
+    specs: List[RunSpec],
+    label: str,
+    context: tracectx.TraceContext,
+    status_address: Optional[Tuple[str, int]],
+) -> None:
+    """A forked campaign worker's whole life.
+
+    Runs in the child process.  The forked copies of the global
+    tracer/bus still hold the parent's spans, sinks, and counters, so
+    the first job is to shed that inherited state (without closing the
+    parent's file descriptors); then events flow to the shared NDJSON
+    file and - when the parent is serving status - over a socket sink,
+    a heartbeat thread ticks, and the assigned specs execute exactly
+    like the serial path, checkpointing each run as an outcome file
+    instead of touching the shared manifest.
+    """
+    tracectx.activate(context)
+    _trace.reset()
+    _trace.set_process_label(label)
+    _event_bus.reset()
+    _event_bus.set_source(label)
+    stop = threading.Event()
+    if obs_enabled():
+        if status_address is not None:
+            # Push to the parent's status server; the parent's bus
+            # re-delivers ingested events to its own sinks (the shared
+            # NDJSON file, watch subscriptions), so attaching the file
+            # sink here too would write every worker event twice.
+            _event_bus.add_sink(
+                SocketSink(status_address[0], status_address[1])
+            )
+        else:
+            _event_bus.add_sink(NDJSONFileSink(campaign.events_path))
+        _event_bus.emit("heartbeat", worker=label, phase="start")
+
+        def _beat() -> None:
+            while not stop.wait(campaign.heartbeat_interval_s):
+                _event_bus.emit("heartbeat", worker=label)
+
+        threading.Thread(
+            target=_beat, name=f"{label}-heartbeat", daemon=True
+        ).start()
+    try:
+        with _trace.span("campaign_worker", worker=label, runs=len(specs)):
+            for spec in specs:
+                outcome = campaign._execute_one(spec)
+                obs_ledger.atomic_write_json(
+                    campaign.outcome_path(spec.name),
+                    {
+                        "name": spec.name,
+                        "status": outcome.status,
+                        "error": outcome.error,
+                        "wall_time_s": outcome.wall_time_s,
+                        "finished_unix_s": time.time(),
+                        "worker": label,
+                    },
+                )
+                _event_bus.emit(
+                    "checkpoint_written",
+                    target="outcome",
+                    run=spec.name,
+                    status=outcome.status,
+                )
+    finally:
+        stop.set()
+        if obs_enabled():
+            _event_bus.emit("heartbeat", worker=label, phase="end")
+            _trace_write_safe(
+                _trace, campaign.directory / f"{label}.trace.json"
+            )
+            _event_bus.flush(timeout_s=2.0)
+            _event_bus.close()

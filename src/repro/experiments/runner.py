@@ -31,6 +31,7 @@ from ..core.profiler import Emprof, EmprofConfig
 from ..core.events import ProfileReport
 from ..errors import AcquisitionError
 from ..obs import metrics as _metrics, trace as _trace
+from ..obs.events import bus as _event_bus
 from ..devices.models import default_channel
 from ..emsignal.apparatus import Apparatus
 from ..emsignal.channel import ChannelConfig
@@ -150,9 +151,9 @@ def run_simulator(
     from ..devices.models import sesc
 
     begin = time.perf_counter()
-    with _trace.span(
-        "run_simulator", workload=getattr(workload, "name", "?")
-    ):
+    name = getattr(workload, "name", "?")
+    _event_bus.emit("run_started", op="run_simulator", workload=name)
+    with _trace.span("run_simulator", workload=name):
         machine = Machine(config if config is not None else sesc(), seed=seed)
         result = machine.run(workload)
         emprof = Emprof.from_simulation(result, config=emprof_config)
@@ -162,6 +163,13 @@ def run_simulator(
     run.wall_time_s = time.perf_counter() - begin
     _EXPERIMENT_RUNS.inc()
     _RUN_WALL_TIME.set(run.wall_time_s)
+    _event_bus.emit(
+        "run_finished",
+        op="run_simulator",
+        workload=name,
+        stalls=len(run.report.stalls),
+        wall_time_s=run.wall_time_s,
+    )
     return run
 
 
@@ -180,9 +188,13 @@ def run_device(
     :func:`repro.devices.default_channel`).
     """
     begin = time.perf_counter()
+    name = getattr(workload, "name", "?")
+    _event_bus.emit(
+        "run_started", op="run_device", workload=name, device=device.name
+    )
     with _trace.span(
         "run_device",
-        workload=getattr(workload, "name", "?"),
+        workload=name,
         device=device.name,
         bandwidth_hz=bandwidth_hz,
     ):
@@ -205,6 +217,14 @@ def run_device(
     run.wall_time_s = time.perf_counter() - begin
     _EXPERIMENT_RUNS.inc()
     _RUN_WALL_TIME.set(run.wall_time_s)
+    _event_bus.emit(
+        "run_finished",
+        op="run_device",
+        workload=name,
+        device=device.name,
+        stalls=len(run.report.stalls),
+        wall_time_s=run.wall_time_s,
+    )
     return run
 
 

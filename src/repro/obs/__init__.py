@@ -36,6 +36,7 @@ exporter formats.
 
 from __future__ import annotations
 
+from .events import Event, EventBus, bus
 from .ledger import RunLedger, RunRecord
 from .logbridge import configure_logging, get_logger, level_for_verbosity
 from .metrics import (
@@ -47,6 +48,7 @@ from .metrics import (
 )
 from .runtime import obs_enabled, set_obs_enabled
 from .trace import SpanRecord, Tracer
+from .tracectx import TraceContext
 
 #: Process-global tracer; import as ``from repro.obs import trace``.
 trace = Tracer()
@@ -57,13 +59,17 @@ metrics = MetricsRegistry()
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "Event",
+    "EventBus",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RunLedger",
     "RunRecord",
     "SpanRecord",
+    "TraceContext",
     "Tracer",
+    "bus",
     "configure_logging",
     "get_logger",
     "level_for_verbosity",

@@ -18,6 +18,20 @@ Two layers of interface, one exit-code contract:
 * ``repro-obs dashboard LEDGER.jsonl -o out.html`` - write the
   self-contained HTML dashboard (:mod:`repro.obs.dashboard`).
 
+**Live subcommands** (over the event bus / status protocol):
+
+* ``repro-obs serve`` - serve the line-JSON status protocol
+  (:mod:`repro.obs.statusd`) over this process's event bus,
+  optionally pre-loading an NDJSON event file;
+* ``repro-obs tail HOST:PORT`` - print a live server's recent events;
+* ``repro-obs watch HOST:PORT`` - poll a live server and render
+  streaming progress (chunks/s, samples/s, stall rate, quality
+  flags); ``repro-obs watch --demo`` runs a self-contained demo
+  (producer + server + watcher in one process);
+* ``repro-obs stitch DIR|TRACE.json ...`` - merge per-process trace
+  payloads (and the event stream's heartbeats) into one cross-process
+  trace (:mod:`repro.obs.tracectx`).
+
 Exit codes (CI contract, pinned by tests):
 
 * ``0`` - success; for ``regress``, no regression detected
@@ -33,6 +47,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from .ledger import RunLedger
@@ -41,7 +57,15 @@ EXIT_OK = 0
 EXIT_BAD_INPUT = 2
 EXIT_REGRESSION = 3
 
-_SUBCOMMANDS = ("ledger", "regress", "dashboard")
+_SUBCOMMANDS = (
+    "ledger",
+    "regress",
+    "dashboard",
+    "serve",
+    "tail",
+    "watch",
+    "stitch",
+)
 
 _QUANTILES = (0.5, 0.9, 0.99)
 
@@ -266,6 +290,269 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+# -- live subcommands --------------------------------------------------------
+
+
+def format_event(event) -> str:
+    """One-line terminal rendering of an event."""
+    stamp = time.strftime("%H:%M:%S", time.localtime(event.t_unix_s))
+    attrs = " ".join(
+        f"{key}={value}" for key, value in sorted(event.attrs.items())
+    )
+    return f"{stamp}  {event.source:<8} {event.kind:<19} {attrs}".rstrip()
+
+
+def _parse_target(address: str):
+    """``(host, port)`` or an exit code, printable-error included."""
+    from . import statusd
+
+    try:
+        return statusd.parse_address(address)
+    except ValueError as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the status protocol over this process's event bus."""
+    from . import metrics, statusd
+    from .events import bus, read_events
+
+    if args.events:
+        events, bad_lines = read_events(args.events)
+        if not events and not Path(args.events).is_file():
+            print(
+                f"repro-obs: cannot read {args.events}: no such file",
+                file=sys.stderr,
+            )
+            return EXIT_BAD_INPUT
+        for event in events:
+            bus.ingest(event.to_dict())
+        note = f" ({bad_lines} unparseable lines skipped)" if bad_lines else ""
+        print(f"loaded {len(events)} event(s) from {args.events}{note}")
+    server = statusd.StatusServer(
+        bus, metrics=metrics, host=args.host, port=args.port
+    ).start()
+    print(
+        f"serving line-JSON status on {server.host}:{server.port} "
+        "(status / metrics / tail N / health / watch)"
+    )
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive foreground serve
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.close()
+    return EXIT_OK
+
+
+def cmd_tail(args: argparse.Namespace) -> int:
+    """Print a live server's most recent events."""
+    from . import statusd
+    from .events import Event
+
+    target = _parse_target(args.address)
+    if isinstance(target, int):
+        return target
+    host, port = target
+    try:
+        response = statusd.query(host, port, {"req": "tail", "n": args.n})
+    except (OSError, ValueError) as exc:
+        print(f"repro-obs: cannot query {host}:{port}: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    if not response.get("ok"):
+        print(f"repro-obs: server error: {response.get('error')}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    events = []
+    for payload in response.get("events", []):
+        try:
+            events.append(Event.from_dict(payload))
+        except ValueError:
+            continue
+    for event in events:
+        print(format_event(event))
+    print(f"{len(events)} event(s)")
+    return EXIT_OK
+
+
+def _watch_line(previous: Dict[str, Any], stats: Dict[str, Any], dt: float) -> str:
+    """One progress line from two successive ``status`` rollups."""
+    def rate(key: str) -> float:
+        return max(0.0, (stats.get(key, 0) - previous.get(key, 0)) / dt)
+
+    def count_rate(kind: str) -> float:
+        now = stats.get("counts", {}).get(kind, 0)
+        before = previous.get("counts", {}).get(kind, 0)
+        return max(0.0, (now - before) / dt)
+
+    alive = len(stats.get("last_heartbeat_unix_s", {}))
+    return (
+        f"{count_rate('chunk_processed'):>8.1f} chunks/s  "
+        f"{rate('samples_total'):>12.0f} samples/s  "
+        f"{rate('stalls_total'):>8.1f} stalls/s  "
+        f"{stats.get('quality_flags_total', 0):>4} quality flags  "
+        f"{stats.get('dropped_events', 0):>4} dropped  "
+        f"{alive:>2} source(s)"
+    )
+
+
+def _watch_loop(
+    host: str, port: int, interval_s: float, duration_s: Optional[float]
+) -> int:
+    """Poll ``status`` and render progress until duration (or error)."""
+    from . import statusd
+
+    previous: Optional[Dict[str, Any]] = None
+    previous_t = time.monotonic()
+    deadline = (
+        None if duration_s is None else time.monotonic() + duration_s
+    )
+    while True:
+        try:
+            response = statusd.query(host, port, {"req": "status"})
+        except (OSError, ValueError) as exc:
+            if previous is None:
+                print(
+                    f"repro-obs: cannot query {host}:{port}: {exc}",
+                    file=sys.stderr,
+                )
+                return EXIT_BAD_INPUT
+            print("(server went away)")
+            return EXIT_OK
+        stats = response.get("events", {})
+        now = time.monotonic()
+        if previous is not None:
+            print(_watch_line(previous, stats, max(now - previous_t, 1e-9)))
+        previous, previous_t = stats, now
+        if deadline is not None and now >= deadline:
+            return EXIT_OK
+        try:
+            time.sleep(interval_s)
+        except KeyboardInterrupt:  # pragma: no cover - interactive stop
+            return EXIT_OK
+
+
+def run_watch_demo(
+    duration_s: float = 2.0, interval_s: float = 0.25
+) -> int:
+    """Self-contained live demo: producer + status server + watcher.
+
+    Streams a synthetic dip signal through :class:`StreamingEmprof` on
+    a background thread (emitting per-chunk events and heartbeats),
+    serves the bus on an ephemeral port, and runs the watch loop
+    against it - one process, no arguments, bounded runtime.  This is
+    what ``make watch-demo`` runs.
+    """
+    import threading
+
+    import numpy as np
+
+    from . import set_obs_enabled, statusd
+    from .events import bus
+    from ..core.streaming import StreamingEmprof
+
+    previous_enabled = set_obs_enabled(True)
+    bus.reset()
+    previous_source = bus.set_source("demo")
+    stop = threading.Event()
+
+    def _produce() -> None:
+        rng = np.random.default_rng(0)
+        streamer = StreamingEmprof(sample_rate_hz=50e6, clock_hz=1e9)
+        while not stop.is_set():
+            chunk = 0.9 + rng.normal(0, 0.02, 5000)
+            for start in range(400, 4600, 700):
+                chunk[start : start + 13] = 0.1
+            streamer.process(np.clip(chunk, 0.0, None))
+            bus.emit("heartbeat", worker="demo")
+            if stop.wait(0.05):
+                break
+        streamer.finish()
+
+    server = statusd.StatusServer(bus).start()
+    producer = threading.Thread(
+        target=_produce, name="watch-demo-producer", daemon=True
+    )
+    producer.start()
+    print(
+        f"watch demo: streaming profile on {server.host}:{server.port} "
+        f"for {duration_s:.0f}s"
+    )
+    try:
+        return _watch_loop(server.host, server.port, interval_s, duration_s)
+    finally:
+        stop.set()
+        producer.join(timeout=2.0)
+        server.close()
+        bus.reset()
+        bus.set_source(previous_source)
+        set_obs_enabled(previous_enabled)
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Render live progress from a status server (or run the demo)."""
+    if args.demo:
+        duration = args.duration if args.duration is not None else 3.0
+        return run_watch_demo(duration_s=duration, interval_s=args.interval)
+    if not args.address:
+        print(
+            "repro-obs: watch needs HOST:PORT (or --demo)", file=sys.stderr
+        )
+        return EXIT_BAD_INPUT
+    target = _parse_target(args.address)
+    if isinstance(target, int):
+        return target
+    host, port = target
+    return _watch_loop(host, port, args.interval, args.duration)
+
+
+def cmd_stitch(args: argparse.Namespace) -> int:
+    """Merge per-process trace payloads into one stitched trace."""
+    from .events import read_events
+    from .ledger import atomic_write_json
+    from .tracectx import render_stitched, stitch_traces
+
+    trace_paths: List[Path] = []
+    events_path = Path(args.events) if args.events else None
+    for target in args.inputs:
+        path = Path(target)
+        if path.is_dir():
+            # A campaign directory: every per-process payload, plus
+            # its event stream unless one was named explicitly.
+            trace_paths.extend(sorted(path.glob("*.trace.json")))
+            candidate = path / "events.ndjsonl"
+            if events_path is None and candidate.is_file():
+                events_path = candidate
+        else:
+            trace_paths.append(path)
+    if not trace_paths:
+        print("repro-obs: no trace payloads to stitch", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    payloads = []
+    for path in trace_paths:
+        try:
+            payloads.append(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro-obs: cannot read {path}: {exc}", file=sys.stderr)
+            return EXIT_BAD_INPUT
+    events = None
+    bad_lines = 0
+    if events_path is not None:
+        events, bad_lines = read_events(events_path)
+    document = stitch_traces(payloads, events=events)
+    if args.json:
+        atomic_write_json(args.json, document)
+        print(f"stitched document -> {args.json}")
+    print(render_stitched(document))
+    if bad_lines:
+        print(f"({bad_lines} unparseable event lines skipped)")
+    return EXIT_OK
+
+
 def _build_sub_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
@@ -321,6 +608,71 @@ def _build_sub_parser() -> argparse.ArgumentParser:
         "--title", default="EMPROF run observatory", help="report title"
     )
     dash.set_defaults(func=cmd_dashboard)
+
+    serve = sub.add_parser(
+        "serve", help="serve the line-JSON status protocol"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default: 0 = ephemeral, printed at startup)",
+    )
+    serve.add_argument(
+        "--events", help="pre-load an NDJSON event file into the bus"
+    )
+    serve.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds then exit (default: forever)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    tail = sub.add_parser(
+        "tail", help="print a live status server's recent events"
+    )
+    tail.add_argument("address", help="HOST:PORT of a status server")
+    tail.add_argument(
+        "-n", type=int, default=20, help="events to fetch (default: 20)"
+    )
+    tail.set_defaults(func=cmd_tail)
+
+    watch = sub.add_parser(
+        "watch", help="render live progress from a status server"
+    )
+    watch.add_argument(
+        "address", nargs="?", help="HOST:PORT of a status server"
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between progress lines (default: 1)",
+    )
+    watch.add_argument(
+        "--duration", type=float, default=None,
+        help="stop after this many seconds (default: until interrupted)",
+    )
+    watch.add_argument(
+        "--demo", action="store_true",
+        help="run a self-contained producer+server+watcher demo",
+    )
+    watch.set_defaults(func=cmd_watch)
+
+    stitch = sub.add_parser(
+        "stitch", help="merge per-process traces into one stitched trace"
+    )
+    stitch.add_argument(
+        "inputs", nargs="+",
+        help="trace payload .json files, or campaign directories "
+        "(globs *.trace.json and picks up events.ndjsonl)",
+    )
+    stitch.add_argument(
+        "--events", help="NDJSON event file for the heartbeat table"
+    )
+    stitch.add_argument(
+        "--json", metavar="OUT",
+        help="also write the stitched document as JSON to OUT",
+    )
+    stitch.set_defaults(func=cmd_stitch)
 
     return parser
 

@@ -133,8 +133,15 @@ def _fmt_when(unix_s: float) -> str:
     return time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(unix_s)) + " UTC"
 
 
-def _sparkline(values: Sequence[float], latest_label: str = "") -> str:
-    """Inline-SVG trend line with a dot on the newest point."""
+def _sparkline(
+    values: Sequence[float], latest_label: str = "", tooltip: str = ""
+) -> str:
+    """Inline-SVG trend line with a dot on the newest point.
+
+    ``tooltip``, when given, becomes the SVG ``<title>`` - the
+    browser-native hover tooltip - used to surface latency percentiles
+    without spending card real estate on them.
+    """
     if not values:
         return ""
     width, height, pad = _SPARK_WIDTH, _SPARK_HEIGHT, _SPARK_PAD
@@ -160,10 +167,12 @@ def _sparkline(values: Sequence[float], latest_label: str = "") -> str:
         if latest_label
         else ""
     )
+    hover = f"<title>{_esc(tooltip)}</title>" if tooltip else ""
     return (
         f'<svg class="spark" width="{width}" height="{height}" '
         f'viewBox="0 0 {width} {height}" role="img" '
         f'aria-label="trend, latest {_esc(latest_label)}">'
+        f"{hover}"
         f'<line class="mid" x1="{pad}" y1="{height / 2:.1f}" '
         f'x2="{width - pad}" y2="{height / 2:.1f}"/>'
         f'<polyline points="{polyline}"/>'
@@ -198,6 +207,31 @@ def _group_status(report: RegressionReport) -> Dict[str, str]:
     return out
 
 
+def _percentile_tooltip(entry: RunRecord) -> str:
+    """The latest entry's histogram percentiles, one line per metric.
+
+    Feeds the wall-time sparkline's hover tooltip; entries recorded
+    before the exporter carried percentiles simply yield "".
+    """
+    if not entry.metrics:
+        return ""
+    lines: List[str] = []
+    for name, row in sorted(entry.metrics.get("histograms", {}).items()):
+        if not isinstance(row, dict):
+            continue
+        percentiles = row.get("percentiles")
+        if not isinstance(percentiles, dict):
+            continue
+        cells = [
+            f"{suffix} {_fmt_duration(float(value))}"
+            for suffix, value in sorted(percentiles.items())
+            if isinstance(value, (int, float))
+        ]
+        if cells:
+            lines.append(f"{name}: " + " · ".join(cells))
+    return "\n".join(lines)
+
+
 def _group_cards(
     groups: Dict[str, List[RunRecord]], status_by_group: Dict[str, str]
 ) -> List[str]:
@@ -214,7 +248,11 @@ def _group_cards(
             f"{_fmt_duration(latest.wall_time_s)} · rev "
             f"{_esc(latest.git_rev)} · {_fmt_when(latest.created_unix_s)}"
             f"</div>"
-            + _sparkline(walls, _fmt_duration(latest.wall_time_s))
+            + _sparkline(
+                walls,
+                _fmt_duration(latest.wall_time_s),
+                tooltip=_percentile_tooltip(latest),
+            )
             + f"<div>wall time {_badge(status)}</div>"
             "</div>"
         )

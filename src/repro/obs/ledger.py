@@ -51,6 +51,28 @@ RUN_KINDS = ("profile", "bench", "campaign-run", "campaign")
 
 PathLike = Union[str, Path]
 
+#: Environment variable controlling the default fsync policy.  Set to
+#: ``0`` / ``false`` / ``no`` / ``off`` to skip the per-append fsync
+#: (e.g. on CI runners with slow fsync or tmpfs-backed workspaces).
+#: Anything else - including unset - keeps the durable default.
+ENV_LEDGER_FSYNC = "EMPROF_LEDGER_FSYNC"
+
+_FALSEY = ("0", "false", "no", "off")
+
+
+def fsync_default() -> bool:
+    """The process-environment fsync policy, read at call time.
+
+    ``EMPROF_LEDGER_FSYNC=0`` (or ``false``/``no``/``off``, any case)
+    disables per-append fsync for ledgers that do not pin a policy
+    explicitly; every other value - including unset - enables it.
+    """
+    raw = os.environ.get(ENV_LEDGER_FSYNC)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _FALSEY
+
+
 _GIT_REV_CACHE: Dict[str, str] = {}
 _GIT_REV_LOCK = threading.Lock()
 
@@ -241,24 +263,32 @@ class RunLedger:
     The ledger file never shrinks: :meth:`append` only ever adds one
     line, and readers tolerate (and count) torn or foreign lines so a
     crash mid-write cannot poison the history.
+
+    ``fsync`` pins the durability policy for this ledger: ``True``
+    fsyncs every :meth:`append` (the historical behaviour), ``False``
+    relies on the OS page cache, and ``None`` (the default) defers to
+    the :data:`ENV_LEDGER_FSYNC` environment variable - read once at
+    construction - which itself defaults to ``True``.
     """
 
-    def __init__(self, path: PathLike):
+    def __init__(self, path: PathLike, fsync: Optional[bool] = None):
         self.path = Path(path)
+        self.fsync = fsync_default() if fsync is None else bool(fsync)
 
     def exists(self) -> bool:
         """Whether the ledger file is present on disk."""
         return self.path.is_file()
 
     def append(self, entry: RunRecord) -> RunRecord:
-        """Append one record (single write + flush + fsync)."""
+        """Append one record (single write + flush, fsync per policy)."""
         if self.path.parent != Path("."):
             self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(entry.to_dict(), sort_keys=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
-            os.fsync(handle.fileno())
+            if self.fsync:
+                os.fsync(handle.fileno())
         return entry
 
     def append_many(self, entries: List[RunRecord]) -> int:
@@ -267,15 +297,20 @@ class RunLedger:
             self.append(entry)
         return len(entries)
 
-    def appender(self, fsync_each: bool = True) -> "LedgerAppender":
+    def appender(
+        self, fsync_each: Optional[bool] = None
+    ) -> "LedgerAppender":
         """A reusable append handle (see :class:`LedgerAppender`).
 
         Use as a context manager around a burst of appends — e.g. a
         100-run campaign — so each record does not pay the open/close
         (and, with ``fsync_each=False``, fsync) cost of
-        :meth:`append`.
+        :meth:`append`.  ``fsync_each=None`` inherits the ledger's
+        :attr:`fsync` policy.
         """
-        return LedgerAppender(self, fsync_each=fsync_each)
+        return LedgerAppender(
+            self, fsync_each=self.fsync if fsync_each is None else fsync_each
+        )
 
     def read_with_errors(self) -> Tuple[List[RunRecord], int]:
         """All parseable records, in file order, plus a bad-line count.
@@ -335,12 +370,13 @@ class LedgerAppender:
       ``write`` of one ``\\n``-terminated line, immediately flushed,
       so readers never see an interleaved or torn *parsed* record —
       at worst one torn final line, which they already skip and count.
-    * **Durability.**  With ``fsync_each=True`` (the default) every
-      record is fsynced exactly as :meth:`RunLedger.append` does.
+    * **Durability.**  With ``fsync_each=True`` every record is
+      fsynced exactly as :meth:`RunLedger.append` does.
       ``fsync_each=False`` defers the fsync to :meth:`close` — the
       mode :class:`repro.experiments.campaign.Campaign` uses, since
       its crash-recovery source of truth is the manifest, not the
-      ledger.
+      ledger.  Even that deferred fsync is skipped when the owning
+      ledger's :attr:`RunLedger.fsync` policy is off.
 
     Use as a context manager; appending after close raises
     ``ValueError``.
@@ -372,7 +408,7 @@ class LedgerAppender:
             return
         try:
             self._handle.flush()
-            if self._wrote and not self.fsync_each:
+            if self._wrote and not self.fsync_each and self.ledger.fsync:
                 os.fsync(self._handle.fileno())
         finally:
             handle, self._handle = self._handle, None

@@ -183,6 +183,13 @@ class Histogram(_Instrument):
 
     kind = "histogram"
 
+    #: The quantiles every export carries, as (suffix, q) pairs.
+    EXPORT_QUANTILES: Tuple[Tuple[str, float], ...] = (
+        ("p50", 0.50),
+        ("p95", 0.95),
+        ("p99", 0.99),
+    )
+
     def __init__(
         self,
         name: str,
@@ -240,20 +247,24 @@ class Histogram(_Instrument):
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         with self._lock:
-            total = self._count
-            if total == 0:
-                return 0.0
-            target = q * total
-            cumulative = 0
-            for index, bucket_count in enumerate(self._counts):
-                cumulative += bucket_count
-                if cumulative >= target and bucket_count > 0:
-                    lower = self._bucket_lower(index)
-                    upper = self._bucket_upper(index)
-                    inside = target - (cumulative - bucket_count)
-                    frac = min(max(inside / bucket_count, 0.0), 1.0)
-                    return lower + frac * (upper - lower)
-            return self._max
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        """Quantile body; caller must hold ``self._lock``."""
+        total = self._count
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count > 0:
+                lower = self._bucket_lower(index)
+                upper = self._bucket_upper(index)
+                inside = target - (cumulative - bucket_count)
+                frac = min(max(inside / bucket_count, 0.0), 1.0)
+                return lower + frac * (upper - lower)
+        return self._max
 
     def _bucket_lower(self, index: int) -> float:
         lower = self.bounds[index - 1] if index > 0 else -math.inf
@@ -281,6 +292,10 @@ class Histogram(_Instrument):
                 cumulative += bucket_count
                 le: Any = self.bounds[index] if index < len(self.bounds) else "+Inf"
                 buckets.append({"le": le, "count": cumulative})
+            percentiles = {
+                suffix: (self._quantile_locked(q) if self._count else None)
+                for suffix, q in self.EXPORT_QUANTILES
+            }
             return {
                 "help": self.help,
                 "labels": dict(self.labels),
@@ -288,6 +303,7 @@ class Histogram(_Instrument):
                 "sum": self._sum,
                 "min": self._min if self._count else None,
                 "max": self._max if self._count else None,
+                "percentiles": percentiles,
                 "buckets": buckets,
             }
 
@@ -310,6 +326,21 @@ class Histogram(_Instrument):
             f"{self.name}_sum{_format_labels(self.labels)} {_format_value(self._sum)}"
         )
         lines.append(f"{self.name}_count{_format_labels(self.labels)} {self._count}")
+        # Estimated quantiles as derived gauges (`_p50`/`_p95`/`_p99`):
+        # the Prometheus histogram type has no native quantile samples,
+        # and computing them scrape-side needs a query engine a textfile
+        # collector does not have.
+        with self._lock:
+            estimates = [
+                (suffix, self._quantile_locked(q))
+                for suffix, q in self.EXPORT_QUANTILES
+            ]
+        for suffix, value in estimates:
+            series = f"{self.name}_{suffix}"
+            lines.append(f"# TYPE {series} gauge")
+            lines.append(
+                f"{series}{_format_labels(self.labels)} {_format_value(value)}"
+            )
         return lines
 
 

@@ -1,0 +1,118 @@
+"""Opt-in deep profiling hooks: cProfile capture and per-span memory.
+
+These are deliberately *not* part of the always-on instrumentation:
+``cProfile`` and :mod:`tracemalloc` each cost far more than the ≤10%
+overhead budget the rest of :mod:`repro.obs` lives under, so both are
+explicit opt-ins layered on top of the cheap span/metric/event rails:
+
+* :func:`profiled` wraps a region in a ``cProfile.Profile`` and writes
+  a binary ``.pstats`` dump (loadable with :mod:`pstats` or snakeviz)
+  plus a human-readable ``.txt`` top-N table next to it.  This is what
+  ``repro profile --profile-out`` uses.
+* :func:`span_memory` switches the global tracer into per-span memory
+  accounting: :mod:`tracemalloc` is started and every span records
+  ``mem_peak_bytes`` (high-water since the span opened) and
+  ``mem_alloc_bytes`` (net allocation across the span) in its attrs.
+
+Caveat worth knowing: tracemalloc keeps a *single* process-wide peak
+counter, which span entry resets (``tracemalloc.reset_peak``).  With
+nested spans the inner span's entry re-anchors the outer span's
+window, so an outer span's ``mem_peak_bytes`` reflects the high-water
+since its *most recent descendant* opened, not since its own entry.
+Leaf spans - where per-phase memory questions actually live - are
+exact.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from .trace import Tracer
+
+
+def _global_tracer() -> Tracer:
+    # The package rebinds the name ``trace`` from the submodule to the
+    # global Tracer instance, so resolve it through the package (and
+    # lazily, to stay clean of import cycles).
+    from repro import obs
+
+    return obs.trace
+
+#: Rows kept in the human-readable profile table.
+DEFAULT_TOP_N = 40
+
+
+def write_profile_stats(
+    profile: cProfile.Profile,
+    out_path: Union[str, "os.PathLike[str]"],
+    top_n: int = DEFAULT_TOP_N,
+    sort: str = "cumulative",
+) -> str:
+    """Write ``profile`` to ``out_path`` (binary pstats) and a ``.txt``
+    sibling with the top-``top_n`` table; returns the text path.
+    """
+    out = os.fspath(out_path)
+    profile.dump_stats(out)
+    text_path = out + ".txt"
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.sort_stats(sort)
+    stats.print_stats(top_n)
+    with open(text_path, "w", encoding="utf-8") as handle:
+        handle.write(buffer.getvalue())
+    return text_path
+
+
+@contextmanager
+def profiled(
+    out_path: Optional[Union[str, "os.PathLike[str]"]],
+    top_n: int = DEFAULT_TOP_N,
+    sort: str = "cumulative",
+) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the enclosed block with cProfile.
+
+    With ``out_path`` of None this is a no-op (yields None), so
+    callers can write ``with profiled(args.profile_out):``
+    unconditionally.  Otherwise yields the live profile and writes
+    ``out_path`` (+ ``.txt`` table) when the block exits - including
+    on error, so a crashing run still leaves its profile behind.
+    """
+    if not out_path:
+        yield None
+        return
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        write_profile_stats(profile, out_path, top_n=top_n, sort=sort)
+
+
+@contextmanager
+def span_memory(tracer: Optional[Tracer] = None) -> Iterator[None]:
+    """Enable per-span tracemalloc accounting for the enclosed block.
+
+    Starts :mod:`tracemalloc` (if this block started it, it also stops
+    it) and flips ``tracer.capture_memory`` so spans record
+    ``mem_peak_bytes`` / ``mem_alloc_bytes``.  Nesting-safe: previous
+    states are restored on exit.
+    """
+    target = _global_tracer() if tracer is None else tracer
+    previous = target.capture_memory
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    target.capture_memory = True
+    try:
+        yield
+    finally:
+        target.capture_memory = previous
+        if started_here:
+            tracemalloc.stop()

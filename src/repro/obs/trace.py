@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import functools
 import json
+import os
 import threading
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar
 
-from . import runtime
+from . import runtime, tracectx
 
 F = TypeVar("F", bound=Callable[..., Any])
 
@@ -119,7 +121,16 @@ _NULL_SPAN = _NullSpan()
 class _ActiveSpan:
     """An open span; created only when tracing is enabled."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_begin_s", "_span_id", "_parent_id", "_depth")
+    __slots__ = (
+        "_tracer",
+        "_name",
+        "_attrs",
+        "_begin_s",
+        "_span_id",
+        "_parent_id",
+        "_depth",
+        "_mem_begin",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
         self._tracer = tracer
@@ -137,12 +148,26 @@ class _ActiveSpan:
         self._depth = len(stack)
         self._span_id = tracer._allocate_id()
         stack.append((self._span_id, self._name))
+        if tracer.capture_memory and tracemalloc.is_tracing():
+            # Per-span high-water: reset the shared peak on entry, so
+            # the peak read on exit is "since this span began".  Note
+            # the caveat: nested spans share tracemalloc's single peak
+            # counter, so an inner span's entry re-anchors the outer
+            # span's window too (documented in profilehooks).
+            tracemalloc.reset_peak()
+            self._mem_begin = tracemalloc.get_traced_memory()[0]
+        else:
+            self._mem_begin = None
         self._begin_s = time.perf_counter() - tracer._origin
         return self
 
     def __exit__(self, *exc_info: Any) -> bool:
         tracer = self._tracer
         end = time.perf_counter() - tracer._origin
+        if self._mem_begin is not None and tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            self._attrs["mem_peak_bytes"] = int(peak)
+            self._attrs["mem_alloc_bytes"] = int(current - self._mem_begin)
         stack = tracer._stack()
         if stack and stack[-1][0] == self._span_id:
             stack.pop()
@@ -173,12 +198,35 @@ class Tracer:
         if max_spans < 1:
             raise ValueError("max_spans must be at least 1")
         self.max_spans = int(max_spans)
+        #: When True (see :mod:`repro.obs.profilehooks`), every span
+        #: records tracemalloc high-water marks into its attrs.
+        self.capture_memory = False
         self._lock = threading.Lock()
         self._local = threading.local()
+        self._process_label = "main"
         self._spans: List[SpanRecord] = []
         self._dropped = 0
         self._next_id = 0
         self._origin = time.perf_counter()
+
+    def set_process_label(self, label: str) -> str:
+        """Name this process in exported payloads (``worker0`` ...)."""
+        with self._lock:
+            previous, self._process_label = self._process_label, str(label)
+        return previous
+
+    def current_span_token(self) -> Optional[str]:
+        """Globalized id (``"<pid>:<span_id>"``) of the innermost open
+        span on this thread, or None.
+
+        This is what a parent process passes to
+        :meth:`repro.obs.tracectx.TraceContext.child` so child-process
+        root spans stitch under the right parent.
+        """
+        stack = self._stack()
+        if not stack:
+            return None
+        return f"{os.getpid()}:{stack[-1][0]}"
 
     # -- recording ---------------------------------------------------------
 
@@ -269,17 +317,37 @@ class Tracer:
             self._dropped = 0
             self._next_id = 0
             self._origin = time.perf_counter()
+            # Rebuild the per-thread stacks too: a forked worker
+            # inherits the parent's open spans (the campaign span is
+            # active at fork time), and its fresh root span must not
+            # adopt a stale parent id from that ghost stack.
+            self._local = threading.local()
 
     # -- exporters ---------------------------------------------------------
 
     def to_payload(self) -> Dict[str, Any]:
-        """The JSON exporter's document (a JSON-pure dict)."""
+        """The JSON exporter's document (a JSON-pure dict).
+
+        Version 2 adds the process identity block (``trace_id`` /
+        ``parent_span_id`` from the active :mod:`repro.obs.tracectx`
+        context, ``pid``, ``process``) that ``repro-obs stitch`` keys
+        on; version-1 consumers that only read ``spans``/``dropped``
+        are unaffected.
+        """
         with self._lock:
             spans = list(self._spans)
             dropped = self._dropped
+            process_label = self._process_label
+        context = tracectx.peek()
         return {
             "format": "repro-obs-trace",
-            "version": 1,
+            "version": 2,
+            "trace_id": context.trace_id if context is not None else None,
+            "parent_span_id": (
+                context.parent_span_id if context is not None else None
+            ),
+            "pid": os.getpid(),
+            "process": process_label,
             "dropped": dropped,
             "spans": [r.to_dict() for r in spans],
         }
@@ -294,6 +362,7 @@ class Tracer:
         Load the file via chrome://tracing "Load" or https://ui.perfetto.dev;
         spans appear as complete ("ph": "X") events, one track per thread.
         """
+        pid = os.getpid()
         events = []
         for record in self.records():
             events.append(
@@ -302,7 +371,7 @@ class Tracer:
                     "ph": "X",
                     "ts": record.begin_s * 1e6,
                     "dur": record.duration_s * 1e6,
-                    "pid": 1,
+                    "pid": pid,
                     "tid": record.thread_id,
                     "args": dict(record.attrs),
                 }

@@ -1,0 +1,326 @@
+"""Cross-process trace context: one trace id across a process tree.
+
+The tracer (:mod:`repro.obs.trace`) is process-local: each campaign
+worker collects its own spans into its own file.  This module is the
+glue that lets those files *stitch* back into one trace:
+
+* a :class:`TraceContext` is a ``(trace_id, parent_span_id)`` pair.
+  The parent process creates one (:func:`current` mints a fresh
+  16-hex-digit trace id on first use), opens its campaign span, and
+  hands children a context whose ``parent_span_id`` names that span;
+* propagation is by **environment** (``EMPROF_TRACE_ID`` /
+  ``EMPROF_PARENT_SPAN``, see :meth:`TraceContext.to_env`) or by
+  **argv** (:meth:`TraceContext.to_cli_args` produces the
+  ``--trace-id``/``--parent-span`` flags ``repro profile`` accepts) -
+  both survive ``fork`` *and* ``spawn`` *and* plain subprocesses;
+* :func:`stitch_traces` merges per-process trace payloads (plus,
+  optionally, an NDJSON event stream) into one document keyed by the
+  shared trace id, with span ids globalized as ``"<pid>:<span_id>"``
+  so cross-process parent links resolve; heartbeat events are rolled
+  into per-worker liveness rows (``max_gap_s`` / ``end_gap_s``) that
+  make a killed worker visible at a glance.
+
+``repro-obs stitch`` is the CLI face of the last step.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, MutableMapping, Optional
+
+ENV_TRACE_ID = "EMPROF_TRACE_ID"
+ENV_PARENT_SPAN = "EMPROF_PARENT_SPAN"
+
+STITCH_SCHEMA = "repro-obs-stitched"
+STITCH_SCHEMA_VERSION = 1
+
+#: A worker whose final heartbeat precedes the stream's end by more
+#: than this many expected heartbeat intervals is flagged ``stalled``.
+STALL_INTERVALS = 3.0
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A serializable trace identity: trace id + parent span.
+
+    Attributes:
+        trace_id: hex string shared by every process in the trace.
+        parent_span_id: globalized span id (``"<pid>:<span_id>"``) of
+            the span this process hangs under, or None for the root
+            process.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str] = None
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh root context with a random 16-hex-digit trace id."""
+        return cls(trace_id=uuid.uuid4().hex[:16])
+
+    def child(self, parent_span_id: Optional[str]) -> "TraceContext":
+        """The context a child process should run under."""
+        return TraceContext(
+            trace_id=self.trace_id, parent_span_id=parent_span_id
+        )
+
+    # -- propagation ---------------------------------------------------------
+
+    def to_env(
+        self, env: Optional[MutableMapping[str, str]] = None
+    ) -> MutableMapping[str, str]:
+        """Write the context into ``env`` (a new dict by default)."""
+        target: MutableMapping[str, str] = {} if env is None else env
+        target[ENV_TRACE_ID] = self.trace_id
+        if self.parent_span_id is not None:
+            target[ENV_PARENT_SPAN] = self.parent_span_id
+        else:
+            target.pop(ENV_PARENT_SPAN, None)
+        return target
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["TraceContext"]:
+        """The context carried by ``environ``, or None if absent."""
+        source = os.environ if environ is None else environ
+        trace_id = source.get(ENV_TRACE_ID, "").strip()
+        if not trace_id:
+            return None
+        parent = source.get(ENV_PARENT_SPAN, "").strip() or None
+        return cls(trace_id=trace_id, parent_span_id=parent)
+
+    def to_cli_args(self) -> List[str]:
+        """The argv form (``repro profile`` accepts these flags)."""
+        args = ["--trace-id", self.trace_id]
+        if self.parent_span_id is not None:
+            args.extend(["--parent-span", self.parent_span_id])
+        return args
+
+
+# -- the process-active context ---------------------------------------------
+
+_lock = threading.Lock()
+_current: Optional[TraceContext] = None
+
+
+def current() -> TraceContext:
+    """The process's active context, creating one if needed.
+
+    Resolution order: an explicitly :func:`activate`-d context, then
+    the environment (a parent process propagated one), then a freshly
+    minted root context (cached, so every caller in this process sees
+    the same trace id).
+    """
+    global _current
+    with _lock:
+        if _current is None:
+            _current = TraceContext.from_env() or TraceContext.new()
+        return _current
+
+
+def peek() -> Optional[TraceContext]:
+    """The active context *without* creating one (hot-path safe)."""
+    with _lock:
+        if _current is not None:
+            return _current
+    # Falling back to the environment is read-only and cheap; minting
+    # is what peek() must never do.
+    return TraceContext.from_env()
+
+
+def activate(context: Optional[TraceContext]) -> Optional[TraceContext]:
+    """Set (or with None, clear) the active context; returns previous."""
+    global _current
+    with _lock:
+        previous, _current = _current, context
+    return previous
+
+
+# -- stitching ---------------------------------------------------------------
+
+
+def _global_span_id(pid: int, span_id: Any) -> str:
+    return f"{pid}:{span_id}"
+
+
+def stitch_traces(
+    payloads: Iterable[Dict[str, Any]],
+    events: Optional[Iterable[Any]] = None,
+) -> Dict[str, Any]:
+    """Merge per-process trace payloads into one stitched document.
+
+    Args:
+        payloads: trace documents as written by
+            :meth:`repro.obs.trace.Tracer.write` (version 1 payloads
+            are accepted; they simply lack a trace id and pid).
+        events: optionally, :class:`repro.obs.events.Event` objects
+            (or their dicts) from the same run; heartbeats become the
+            per-worker liveness table and the event horizon anchors
+            ``end_gap_s``.
+
+    Returns:
+        A JSON-pure document: ``trace_id`` (or ``"unknown"``),
+        ``mixed_trace_ids`` when inputs disagree, one ``processes``
+        row per payload, all spans with globalized ids, and a
+        ``heartbeats`` liveness table.
+    """
+    processes: List[Dict[str, Any]] = []
+    spans: List[Dict[str, Any]] = []
+    trace_ids: List[str] = []
+    for index, payload in enumerate(payloads):
+        pid = int(payload.get("pid", -(index + 1)))
+        label = str(payload.get("process", f"process{index}"))
+        trace_id = payload.get("trace_id")
+        if trace_id:
+            trace_ids.append(str(trace_id))
+        payload_spans = payload.get("spans", [])
+        processes.append(
+            {
+                "pid": pid,
+                "process": label,
+                "trace_id": trace_id,
+                "parent_span_id": payload.get("parent_span_id"),
+                "spans": len(payload_spans),
+                "dropped": payload.get("dropped", 0),
+            }
+        )
+        for span in payload_spans:
+            row = dict(span)
+            row["gid"] = _global_span_id(pid, span.get("span_id"))
+            parent = span.get("parent_id")
+            if parent is not None:
+                row["parent_gid"] = _global_span_id(pid, parent)
+            elif payload.get("parent_span_id"):
+                # A root span in a child process hangs under the span
+                # named by the propagated context.
+                row["parent_gid"] = str(payload["parent_span_id"])
+            else:
+                row["parent_gid"] = None
+            row["pid"] = pid
+            row["process"] = label
+            spans.append(row)
+
+    distinct = sorted(set(trace_ids))
+    document: Dict[str, Any] = {
+        "schema": STITCH_SCHEMA,
+        "schema_version": STITCH_SCHEMA_VERSION,
+        "trace_id": distinct[0] if len(distinct) == 1 else "unknown",
+        "mixed_trace_ids": distinct if len(distinct) > 1 else [],
+        "processes": processes,
+        "spans": spans,
+        "heartbeats": {},
+    }
+    if events is not None:
+        document["heartbeats"] = heartbeat_gaps(events)
+    return document
+
+
+def heartbeat_gaps(events: Iterable[Any]) -> Dict[str, Dict[str, Any]]:
+    """Per-source heartbeat liveness from an event stream.
+
+    For every event source that heartbeated at least once:
+    ``count``, ``first_unix_s``/``last_unix_s``, ``max_gap_s``
+    (largest interval between consecutive heartbeats), ``end_gap_s``
+    (silence between the last heartbeat and the stream's last event
+    of any kind), and ``stalled`` - True when the end gap exceeds
+    :data:`STALL_INTERVALS` times the source's typical interval, the
+    signature of a killed or wedged worker.
+    """
+    beats: Dict[str, List[float]] = {}
+    horizon = 0.0
+    for item in events:
+        kind = getattr(item, "kind", None)
+        if kind is None and isinstance(item, dict):
+            kind = item.get("kind")
+            t = float(item.get("t_unix_s", 0.0))
+            source = str(item.get("source", "main"))
+        else:
+            t = float(getattr(item, "t_unix_s", 0.0))
+            source = str(getattr(item, "source", "main"))
+        horizon = max(horizon, t)
+        if kind == "heartbeat":
+            beats.setdefault(source, []).append(t)
+
+    table: Dict[str, Dict[str, Any]] = {}
+    for source, times in beats.items():
+        times.sort()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        max_gap = max(gaps) if gaps else 0.0
+        # The expected cadence: the median inter-beat interval, or the
+        # largest observed gap when only one beat exists.
+        if gaps:
+            expected = sorted(gaps)[len(gaps) // 2]
+        else:
+            expected = 0.0
+        end_gap = max(0.0, horizon - times[-1])
+        stalled = bool(
+            expected > 0.0 and end_gap > STALL_INTERVALS * expected
+        )
+        table[source] = {
+            "count": len(times),
+            "first_unix_s": times[0],
+            "last_unix_s": times[-1],
+            "max_gap_s": max_gap,
+            "end_gap_s": end_gap,
+            "expected_interval_s": expected,
+            "stalled": stalled,
+        }
+    return table
+
+
+def render_stitched(document: Dict[str, Any]) -> str:
+    """Terminal rendering of a stitched document."""
+    lines: List[str] = []
+    trace_id = document.get("trace_id", "unknown")
+    lines.append(f"trace {trace_id}")
+    mixed = document.get("mixed_trace_ids") or []
+    if mixed:
+        lines.append(
+            "  WARNING: inputs carry different trace ids: "
+            + ", ".join(mixed)
+        )
+    processes = document.get("processes", [])
+    if processes:
+        width = max(len(str(p.get("process", "?"))) for p in processes)
+        lines.append(f"  {len(processes)} process(es):")
+        for proc in processes:
+            parent = proc.get("parent_span_id")
+            suffix = f"  under span {parent}" if parent else "  (root)"
+            lines.append(
+                f"    {str(proc.get('process', '?')):<{width}}  "
+                f"pid {proc.get('pid')}  {proc.get('spans', 0)} spans  "
+                f"{proc.get('dropped', 0)} dropped{suffix}"
+            )
+    rollup: Dict[str, Dict[str, float]] = {}
+    for span in document.get("spans", []):
+        row = rollup.setdefault(
+            str(span.get("name", "?")), {"count": 0.0, "total_s": 0.0}
+        )
+        row["count"] += 1.0
+        row["total_s"] += float(span.get("duration_s", 0.0))
+    if rollup:
+        width = max(len(name) for name in rollup)
+        lines.append("  spans by name:")
+        for name in sorted(rollup, key=lambda n: -rollup[n]["total_s"]):
+            row = rollup[name]
+            lines.append(
+                f"    {name:<{width}}  {int(row['count']):>6}  "
+                f"{row['total_s'] * 1e3:>9.2f}ms"
+            )
+    heartbeats = document.get("heartbeats") or {}
+    if heartbeats:
+        width = max(len(source) for source in heartbeats)
+        lines.append("  heartbeats:")
+        for source in sorted(heartbeats):
+            row = heartbeats[source]
+            flag = "  STALLED" if row.get("stalled") else ""
+            lines.append(
+                f"    {source:<{width}}  {row['count']:>4} beats  "
+                f"max gap {row['max_gap_s']:.2f}s  "
+                f"end gap {row['end_gap_s']:.2f}s{flag}"
+            )
+    return "\n".join(lines)

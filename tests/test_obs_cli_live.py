@@ -1,0 +1,152 @@
+"""The repro-obs live subcommands: serve, tail, stitch, watch."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import cli as obs_cli
+from repro.obs import set_obs_enabled
+from repro.obs.cli import EXIT_BAD_INPUT, EXIT_OK
+from repro.obs.events import Event, EventBus, NDJSONFileSink
+from repro.obs.statusd import StatusServer, query
+
+
+@pytest.fixture()
+def obs_on():
+    previous = set_obs_enabled(True)
+    yield
+    set_obs_enabled(previous)
+
+
+def _trace_payload(pid, process, trace_id="abcd" * 4, parent=None):
+    return {
+        "format": "repro-obs-trace",
+        "version": 2,
+        "pid": pid,
+        "process": process,
+        "trace_id": trace_id,
+        "parent_span_id": parent,
+        "dropped": 0,
+        "spans": [
+            {"span_id": 0, "parent_id": None, "name": f"{process}_root",
+             "begin_s": 0.0, "end_s": 1.0, "duration_s": 1.0,
+             "depth": 0, "thread": "t", "attrs": {}},
+        ],
+    }
+
+
+def _write_events(path, sources=("main", "worker0")):
+    bus = EventBus(auto_drain=False)
+    bus.add_sink(NDJSONFileSink(path))
+    for index, source in enumerate(sources * 4):
+        bus.ingest(
+            Event(kind="heartbeat", t_unix_s=0.1 * index, seq=index,
+                  pid=10 + index, source=source).to_dict()
+        )
+    bus.drain()
+    bus.close()
+
+
+class TestStitch:
+    def test_stitch_explicit_files(self, tmp_path, capsys):
+        main_trace = tmp_path / "main.trace.json"
+        worker_trace = tmp_path / "worker0.trace.json"
+        main_trace.write_text(json.dumps(_trace_payload(1, "main")))
+        worker_trace.write_text(
+            json.dumps(_trace_payload(2, "worker0", parent="1:0"))
+        )
+        code = obs_cli.main(["stitch", str(main_trace), str(worker_trace)])
+        output = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "abcd" * 4 in output
+        assert "worker0" in output
+
+    def test_stitch_campaign_directory_with_events(self, tmp_path, capsys):
+        (tmp_path / "main.trace.json").write_text(
+            json.dumps(_trace_payload(1, "main"))
+        )
+        _write_events(tmp_path / "events.ndjsonl")
+        out_path = tmp_path / "stitched.json"
+        code = obs_cli.main(
+            ["stitch", str(tmp_path), "--json", str(out_path)]
+        )
+        assert code == EXIT_OK
+        document = json.loads(out_path.read_text())
+        assert document["trace_id"] == "abcd" * 4
+        assert "worker0" in document["heartbeats"]
+
+    def test_stitch_missing_input_is_bad_input(self, tmp_path, capsys):
+        code = obs_cli.main(["stitch", str(tmp_path / "nope.trace.json")])
+        assert code == EXIT_BAD_INPUT
+
+
+class TestServeAndTail:
+    def test_serve_preloads_events_and_tail_reads_them(
+        self, tmp_path, capsys, obs_on
+    ):
+        events_path = tmp_path / "events.ndjsonl"
+        _write_events(events_path)
+
+        # serve --duration in a thread; grab the advertised port.
+        ready = threading.Event()
+        ports = []
+
+        original = StatusServer.start
+
+        def patched(self):
+            result = original(self)
+            ports.append(self.port)
+            ready.set()
+            return result
+
+        StatusServer.start = patched
+        try:
+            server_thread = threading.Thread(
+                target=obs_cli.main,
+                args=(
+                    ["serve", "--port", "0", "--events", str(events_path),
+                     "--duration", "4"],
+                ),
+                daemon=True,
+            )
+            server_thread.start()
+            assert ready.wait(5.0)
+            reply = query("127.0.0.1", ports[0], {"req": "status"})
+            assert reply["events"]["counts"]["heartbeat"] == 8
+
+            code = obs_cli.main(["tail", f"127.0.0.1:{ports[0]}", "-n", "3"])
+            output = capsys.readouterr().out
+            assert code == EXIT_OK
+            assert output.count("heartbeat") >= 3
+        finally:
+            StatusServer.start = original
+
+    def test_tail_against_dead_server_is_bad_input(self, capsys):
+        assert obs_cli.main(["tail", "127.0.0.1:1"]) == EXIT_BAD_INPUT
+
+
+class TestWatchDemo:
+    def test_demo_runs_standalone_and_prints_rates(self, capsys):
+        code = obs_cli.main(
+            ["watch", "--demo", "--duration", "1.2", "--interval", "0.3"]
+        )
+        output = capsys.readouterr().out
+        assert code == EXIT_OK
+        assert "chunks/s" in output
+        assert "samples/s" in output
+
+    def test_watch_without_address_or_demo_is_bad_input(self, capsys):
+        assert obs_cli.main(["watch"]) == EXIT_BAD_INPUT
+
+
+class TestFormatEvent:
+    def test_line_contains_source_kind_and_attrs(self):
+        event = Event(
+            kind="quality_flag", t_unix_s=1754690000.0, seq=1, pid=1,
+            source="worker2", attrs={"flag": "gap", "dropped": 3},
+        )
+        line = obs_cli.format_event(event)
+        assert "worker2" in line
+        assert "quality_flag" in line
+        assert "flag=gap" in line

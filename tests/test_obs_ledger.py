@@ -3,6 +3,7 @@
 import ast
 import dataclasses
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -220,3 +221,63 @@ class TestObsStaysLightweight:
         # If the package moves, the guard must fail loudly, not
         # silently iterate over nothing.
         assert len(list(SRC_OBS.glob("*.py"))) >= 7
+
+
+class TestFsyncPolicy:
+    @pytest.fixture()
+    def fsync_counter(self, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            obs_ledger.os, "fsync",
+            lambda fd: (calls.append(fd), real_fsync(fd))[1],
+        )
+        return calls
+
+    def _entry(self):
+        return record("profile", "cap", 1.0)
+
+    def test_default_fsyncs_every_append(self, tmp_path, fsync_counter):
+        ledger = RunLedger(tmp_path / "l.jsonl")
+        assert ledger.fsync is True
+        ledger.append(self._entry())
+        ledger.append(self._entry())
+        assert len(fsync_counter) == 2
+
+    def test_explicit_false_skips_fsync(self, tmp_path, fsync_counter):
+        ledger = RunLedger(tmp_path / "l.jsonl", fsync=False)
+        ledger.append(self._entry())
+        assert fsync_counter == []
+        # The record still lands on disk (page cache durability).
+        assert len(ledger) == 1
+
+    def test_env_var_disables_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs_ledger.ENV_LEDGER_FSYNC, "0")
+        assert RunLedger(tmp_path / "l.jsonl").fsync is False
+        monkeypatch.setenv(obs_ledger.ENV_LEDGER_FSYNC, "off")
+        assert RunLedger(tmp_path / "l.jsonl").fsync is False
+        monkeypatch.setenv(obs_ledger.ENV_LEDGER_FSYNC, "1")
+        assert RunLedger(tmp_path / "l.jsonl").fsync is True
+
+    def test_explicit_true_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs_ledger.ENV_LEDGER_FSYNC, "0")
+        assert RunLedger(tmp_path / "l.jsonl", fsync=True).fsync is True
+
+    def test_appender_inherits_ledger_policy(self, tmp_path, fsync_counter):
+        ledger = RunLedger(tmp_path / "l.jsonl", fsync=False)
+        with ledger.appender() as appender:
+            appender.append(self._entry())
+            appender.append(self._entry())
+        # No per-append fsync, and the deferred close fsync is also
+        # skipped when the ledger policy is off.
+        assert fsync_counter == []
+        assert len(ledger) == 2
+
+    def test_deferred_fsync_on_close_with_policy_on(
+        self, tmp_path, fsync_counter
+    ):
+        ledger = RunLedger(tmp_path / "l.jsonl")
+        with ledger.appender(fsync_each=False) as appender:
+            appender.append(self._entry())
+            appender.append(self._entry())
+        assert len(fsync_counter) == 1

@@ -1,0 +1,194 @@
+"""The live-telemetry acceptance scenario, end to end.
+
+A multi-worker campaign serves the line-JSON status protocol while it
+runs; a client queries it mid-flight from another thread; one worker
+is killed mid-run; afterwards the per-process traces stitch into one
+trace under a single trace id and the heartbeat table shows the
+killed worker's silence.  This is the ISSUE's "live demo as a test".
+"""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.detect import DetectorConfig
+from repro.core.normalize import NormalizerConfig
+from repro.core.profiler import EmprofConfig
+from repro.emsignal.receiver import Capture
+from repro.experiments import Campaign, RunSpec
+from repro.obs import set_obs_enabled
+from repro.obs.events import bus, read_events
+from repro.obs.ledger import RunLedger
+from repro.obs.statusd import query
+from repro.obs.tracectx import stitch_traces
+
+SMALL = EmprofConfig(
+    normalizer=NormalizerConfig(window_samples=301),
+    detector=DetectorConfig(),
+)
+
+
+class SlowSource:
+    """A synthetic capture that takes a while - long enough to query
+    the live campaign and to kill a worker mid-run."""
+
+    def __init__(self, delay_s=0.4):
+        self.delay_s = delay_s
+
+    def capture(self):
+        time.sleep(self.delay_s)
+        rng = np.random.default_rng(0)
+        x = np.full(3000, 0.9) + rng.normal(0, 0.02, 3000)
+        for s in range(200, 2800, 170):
+            x[s : s + 13] = 0.1
+        return Capture(
+            magnitude=np.clip(x, 0.0, None),
+            sample_rate_hz=50e6,
+            clock_hz=1e9,
+            bandwidth_hz=50e6,
+            region_names={},
+        )
+
+
+@pytest.fixture()
+def obs_on():
+    previous = set_obs_enabled(True)
+    bus.reset()
+    yield
+    bus.reset()
+    set_obs_enabled(previous)
+
+
+def _specs(n, delay_s=0.4):
+    return [
+        RunSpec(f"run{i}", (lambda: SlowSource(delay_s)), config=SMALL)
+        for i in range(n)
+    ]
+
+
+def test_live_campaign_query_kill_and_stitch(tmp_path, obs_on):
+    campaign = Campaign(
+        tmp_path / "camp",
+        sleep=lambda _: None,
+        ledger=RunLedger(tmp_path / "ledger.jsonl", fsync=False),
+        workers=2,
+        status_port=0,
+        heartbeat_interval_s=0.05,
+    )
+    execution = campaign.start(_specs(4))
+    try:
+        host, port = campaign.status_address
+
+        # -- mid-run: the status socket answers from another thread --
+        deadline = time.monotonic() + 10.0
+        status = None
+        while time.monotonic() < deadline:
+            status = query(host, port, {"req": "status"})
+            beats = status["events"]["last_heartbeat_unix_s"]
+            if {"worker0", "worker1"} <= set(beats):
+                break
+            time.sleep(0.05)
+        assert status is not None
+        assert {"worker0", "worker1"} <= set(
+            status["events"]["last_heartbeat_unix_s"]
+        ), "both workers should heartbeat while running"
+        assert status["extra"]["campaign"] == "camp"
+
+        tail = query(host, port, {"req": "tail", "n": 50})
+        assert any(e["kind"] == "heartbeat" for e in tail["events"])
+
+        health = query(host, port, {"req": "health"})
+        assert health["healthy"] is True
+
+        # -- kill one worker mid-run ---------------------------------
+        execution.processes["worker1"].kill()
+    finally:
+        result = execution.join(timeout_s=30.0)
+
+    counts = result.counts()
+    assert counts["done"] >= 1, counts
+    assert counts["failed"] >= 1, counts
+    killed = [
+        o for o in result.outcomes
+        if o.status == "failed" and "worker1" in (o.error or "")
+    ]
+    assert killed, "the killed worker's runs must carry its label"
+    assert any("exit code" in (o.error or "") for o in killed)
+
+    # -- the server is down, the events file survives ----------------
+    assert campaign.status_address is None
+    events, bad = read_events(campaign.events_path)
+    assert bad == 0
+    sources = {e.source for e in events}
+    assert {"main", "worker0", "worker1"} <= sources
+    kinds = {e.kind for e in events}
+    assert {"run_started", "run_finished", "heartbeat",
+            "checkpoint_written"} <= kinds
+
+    # -- stitch: every process under one trace id --------------------
+    payloads = [
+        json.loads(path.read_text())
+        for path in sorted(campaign.directory.glob("*.trace.json"))
+    ]
+    # SIGKILL means worker1 never wrote its trace - the stitch works
+    # from whoever survived; the heartbeat table covers the dead.
+    stitched_processes = {p["process"] for p in payloads}
+    assert {"main", "worker0"} <= stitched_processes
+    document = stitch_traces(payloads, events=events)
+    assert document["mixed_trace_ids"] == []
+    assert document["trace_id"] not in ("", "unknown")
+
+    # Worker root spans hang under the parent campaign span.
+    campaign_gids = {
+        s["gid"] for s in document["spans"] if s["name"] == "campaign"
+    }
+    worker_roots = [
+        s for s in document["spans"] if s["name"] == "campaign_worker"
+    ]
+    assert worker_roots
+    assert all(s["parent_gid"] in campaign_gids for s in worker_roots)
+
+    # The heartbeat table indicts the killed worker, not the survivor.
+    beats = document["heartbeats"]
+    assert beats["worker1"]["stalled"] is True
+    assert beats["worker0"]["stalled"] is False
+
+    # The ledger summary bridges the bus rollup.
+    ledger = RunLedger(tmp_path / "ledger.jsonl")
+    summaries = ledger.read(kind="campaign")
+    assert summaries
+    bridged = summaries[-1].extra["events"]
+    assert bridged["total"] > 0
+    assert bridged["dropped_events"] == 0
+
+
+def test_obs_off_campaign_emits_no_events(tmp_path):
+    previous = set_obs_enabled(False)
+    bus.reset()
+    try:
+        campaign = Campaign(
+            tmp_path / "camp",
+            sleep=lambda _: None,
+            workers=2,
+            heartbeat_interval_s=0.05,
+        )
+        result = campaign.start(_specs(2, delay_s=0.05)).join(timeout_s=30.0)
+        assert result.counts()["done"] == 2
+        assert not campaign.events_path.exists()
+        assert bus.stats()["total"] == 0
+    finally:
+        bus.reset()
+        set_obs_enabled(previous)
+
+
+def test_serial_campaign_still_observes(tmp_path, obs_on):
+    # workers=1 keeps the in-process path; events must still flow.
+    campaign = Campaign(tmp_path / "camp", sleep=lambda _: None)
+    result = campaign.execute(_specs(2, delay_s=0.0))
+    assert result.counts()["done"] == 2
+    events, bad = read_events(campaign.events_path)
+    assert bad == 0
+    assert any(e.kind == "checkpoint_written" for e in events)
+    assert any(e.kind == "run_started" for e in events)

@@ -127,3 +127,75 @@ class TestBridgeSilentByDefault:
         assert any(
             isinstance(h, logging.NullHandler) for h in logger.handlers
         )
+
+
+class TestConcurrentLogging:
+    """The bridge under parallel producers: one handler, intact lines."""
+
+    N_THREADS = 6
+    PER_THREAD = 50
+
+    def test_parallel_configure_stacks_no_extra_handlers(
+        self, clean_repro_logger
+    ):
+        import threading
+
+        stream = io.StringIO()
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def reconfigure():
+            barrier.wait()
+            for _ in range(20):
+                configure_logging(1, stream=stream)
+
+        threads = [
+            threading.Thread(target=reconfigure)
+            for _ in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        bridged = [
+            h for h in clean_repro_logger.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        # Concurrent reconfiguration may race the first install, but
+        # must never grow without bound - and the logger still works.
+        assert 1 <= len(bridged) <= self.N_THREADS
+        get_logger("test").info("after the storm")
+        assert "after the storm" in stream.getvalue()
+
+    def test_lines_from_four_plus_threads_arrive_intact(
+        self, clean_repro_logger
+    ):
+        import threading
+
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def chatter(worker):
+            logger = get_logger(f"worker{worker}")
+            barrier.wait()
+            for index in range(self.PER_THREAD):
+                logger.info("w%d-%d", worker, index)
+
+        threads = [
+            threading.Thread(target=chatter, args=(n,))
+            for n in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == self.N_THREADS * self.PER_THREAD
+        # Every expected message appears exactly once, untorn.
+        for worker in range(self.N_THREADS):
+            for index in range(self.PER_THREAD):
+                needle = f"w{worker}-{index}"
+                assert sum(needle in l for l in lines) >= 1
+        # No interleaved garbage: each line carries exactly one record.
+        assert all(l.count("repro.worker") == 1 for l in lines)

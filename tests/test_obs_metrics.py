@@ -226,3 +226,45 @@ class TestPrometheusText:
         assert _escape_help("a\\b\nc") == "a\\\\b\\nc"
         # Help lines do not escape quotes; label values do.
         assert _escape_label_value('say "hi"') == 'say \\"hi\\"'
+
+
+class TestHistogramPercentiles:
+    def test_snapshot_carries_p50_p95_p99(self, obs_on):
+        hist = Histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for _ in range(90):
+            hist.observe(0.005)
+        for _ in range(10):
+            hist.observe(0.5)
+        snap = hist.snapshot()
+        pct = snap["percentiles"]
+        assert set(pct) == {"p50", "p95", "p99"}
+        assert pct["p50"] <= 0.01
+        assert 0.1 <= pct["p99"] <= 1.0
+        assert pct["p50"] <= pct["p95"] <= pct["p99"]
+
+    def test_empty_histogram_exports_nulls(self, obs_on):
+        hist = Histogram("never_fired_seconds", buckets=(1.0,))
+        snap = hist.snapshot()
+        assert snap["percentiles"] == {"p50": None, "p95": None, "p99": None}
+
+    def test_snapshot_percentiles_match_quantile(self, obs_on):
+        # snapshot() computes inside the lock; quantile() takes it.
+        # Both must agree (and neither may deadlock).
+        hist = Histogram("h_seconds", buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.02, 0.05, 0.5):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["percentiles"]["p95"] == pytest.approx(hist.quantile(0.95))
+
+    def test_prometheus_emits_percentile_gauges(self, obs_on, registry):
+        hist = registry.histogram("lat_seconds", buckets=(0.01, 1.0))
+        hist.observe(0.005)
+        text = registry.to_prometheus()
+        assert "# TYPE lat_seconds_p50 gauge" in text
+        assert "lat_seconds_p95 " in text
+        assert "lat_seconds_p99 " in text
+
+    def test_json_snapshot_roundtrip_with_percentiles(self, obs_on, registry):
+        hist = registry.histogram("lat_seconds", buckets=(0.01, 1.0))
+        hist.observe(0.005)
+        assert json.loads(registry.to_json()) == registry.snapshot()

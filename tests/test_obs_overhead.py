@@ -86,3 +86,36 @@ def test_disabled_obs_overhead_within_ten_percent(big_signal):
         f"pipeline ({instrumented_best * 1e3:.1f}ms vs "
         f"{baseline_best * 1e3:.1f}ms)"
     )
+
+
+def test_disabled_obs_emits_zero_events(big_signal):
+    """EMPROF_OBS off means the event bus sees *nothing* — not merely
+    cheap events, zero events."""
+    from repro.core.streaming import StreamingEmprof
+    from repro.obs.events import InMemorySink, bus
+
+    obs_previous = set_obs_enabled(False)
+    contracts_previous = set_contracts_enabled(False)
+    bus.reset()
+    sink = InMemorySink()
+    bus.add_sink(sink)
+    try:
+        emprof = Emprof(big_signal[:100_000], SAMPLE_RATE_HZ, CLOCK_HZ)
+        emprof.profile()
+
+        streaming = StreamingEmprof(SAMPLE_RATE_HZ, CLOCK_HZ)
+        for begin in range(0, 100_000, 20_000):
+            streaming.process(big_signal[begin:begin + 20_000])
+        streaming.finish()
+
+        bus.flush()
+        stats = bus.stats()
+    finally:
+        bus.remove_sink(sink)
+        bus.reset()
+        set_contracts_enabled(contracts_previous)
+        set_obs_enabled(obs_previous)
+
+    assert sink.events == []
+    assert stats["total"] == 0
+    assert stats["dropped_events"] == 0

@@ -1,0 +1,70 @@
+"""Opt-in profiling hooks: cProfile capture and span memory."""
+
+import pytest
+
+from repro.obs import set_obs_enabled
+from repro.obs.profilehooks import profiled, span_memory
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def obs_on():
+    previous = set_obs_enabled(True)
+    yield
+    set_obs_enabled(previous)
+
+
+class TestProfiled:
+    def test_none_out_path_is_a_no_op(self):
+        with profiled(None) as profile:
+            assert profile is None
+
+    def test_writes_pstats_and_text_table(self, tmp_path):
+        out = tmp_path / "run.pstats"
+        with profiled(out):
+            sum(range(10_000))
+        assert out.is_file()
+        text = (tmp_path / "run.pstats.txt").read_text()
+        assert "cumulative" in text
+        # The binary file loads back as pstats.
+        import pstats
+
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
+
+    def test_writes_even_when_the_body_raises(self, tmp_path):
+        out = tmp_path / "crash.pstats"
+        with pytest.raises(RuntimeError):
+            with profiled(out):
+                raise RuntimeError("mid-run failure")
+        assert out.is_file()
+
+
+class TestSpanMemory:
+    def test_spans_gain_memory_high_water(self, obs_on):
+        tracer = Tracer()
+        with span_memory(tracer):
+            with tracer.span("alloc"):
+                block = bytearray(2_000_000)
+                del block
+        (record,) = tracer.records()
+        assert record.attrs["mem_peak_bytes"] >= 1_000_000
+
+    def test_restores_capture_flag_and_tracemalloc(self, obs_on):
+        import tracemalloc
+
+        tracer = Tracer()
+        assert not tracer.capture_memory
+        was_tracing = tracemalloc.is_tracing()
+        with span_memory(tracer):
+            assert tracer.capture_memory
+            assert tracemalloc.is_tracing()
+        assert not tracer.capture_memory
+        assert tracemalloc.is_tracing() == was_tracing
+
+    def test_without_hook_spans_carry_no_memory(self, obs_on):
+        tracer = Tracer()
+        with tracer.span("plain"):
+            pass
+        (record,) = tracer.records()
+        assert "mem_peak_bytes" not in record.attrs

@@ -1,0 +1,170 @@
+"""The line-JSON status server: queries, ingest, streaming, errors."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.obs import set_obs_enabled
+from repro.obs.events import Event, EventBus, InMemorySink
+from repro.obs.statusd import StatusServer, parse_address, query, watch
+
+
+@pytest.fixture()
+def obs_on():
+    previous = set_obs_enabled(True)
+    yield
+    set_obs_enabled(previous)
+
+
+@pytest.fixture()
+def server():
+    bus = EventBus(auto_drain=False)
+    status = StatusServer(bus, port=0)
+    status.start()
+    yield status, bus
+    status.close()
+    bus.close()
+
+
+class TestQueries:
+    def test_status_reports_protocol_and_bus_stats(self, obs_on, server):
+        status, bus = server
+        bus.emit("chunk_processed", samples=64, stalls=2, latency_s=0.01)
+        reply = query("127.0.0.1", status.port, {"req": "status"})
+        assert reply["ok"] is True
+        assert reply["protocol"] == "repro-obs-statusd"
+        assert reply["events"]["samples_total"] == 64
+        assert reply["events"]["counts"]["chunk_processed"] == 1
+
+    def test_tail_returns_newest_events(self, obs_on, server):
+        status, bus = server
+        for index in range(5):
+            bus.emit("heartbeat", n=index)
+        reply = query("127.0.0.1", status.port, {"req": "tail", "n": 2})
+        assert reply["ok"] is True
+        assert [e["attrs"]["n"] for e in reply["events"]] == [3, 4]
+
+    def test_health_healthy_after_recent_event(self, obs_on, server):
+        status, bus = server
+        bus.emit("heartbeat")
+        reply = query("127.0.0.1", status.port, {"req": "health"})
+        assert reply["ok"] is True
+        assert reply["healthy"] is True
+        assert reply["stalled"] is False
+
+    def test_unknown_request_names_the_catalogue(self, obs_on, server):
+        status, _ = server
+        reply = query("127.0.0.1", status.port, {"req": "frobnicate"})
+        assert reply["ok"] is False
+        assert "status" in reply["error"]
+
+    def test_malformed_json_yields_error_not_hangup(self, obs_on, server):
+        status, _ = server
+        with socket.create_connection(("127.0.0.1", status.port), 5) as sock:
+            sock.sendall(b"this is not json\n")
+            reply = json.loads(sock.makefile().readline())
+        assert reply["ok"] is False
+
+    def test_extra_status_callback_is_merged(self, obs_on):
+        bus = EventBus(auto_drain=False)
+        status = StatusServer(
+            bus, port=0, extra_status=lambda: {"campaign": "night"}
+        )
+        status.start()
+        try:
+            reply = query("127.0.0.1", status.port, {"req": "status"})
+            assert reply["extra"]["campaign"] == "night"
+        finally:
+            status.close()
+            bus.close()
+
+    def test_extra_status_errors_are_contained(self, obs_on):
+        def broken():
+            raise RuntimeError("status source on fire")
+
+        bus = EventBus(auto_drain=False)
+        status = StatusServer(bus, port=0, extra_status=broken)
+        status.start()
+        try:
+            reply = query("127.0.0.1", status.port, {"req": "status"})
+            assert reply["ok"] is True
+            assert "on fire" in reply["extra"]["error"]
+        finally:
+            status.close()
+            bus.close()
+
+
+class TestIngest:
+    def test_emit_request_lands_on_the_bus(self, obs_on, server):
+        status, bus = server
+        payload = Event(
+            kind="heartbeat", t_unix_s=1.0, seq=0, pid=77, source="w0"
+        ).to_dict()
+        with socket.create_connection(("127.0.0.1", status.port), 5) as sock:
+            sock.sendall(
+                (json.dumps({"req": "emit", "event": payload}) + "\n").encode()
+            )
+            # emit is fire-and-forget; a follow-up query on the same
+            # connection proves ordering.
+            sock.sendall(b'{"req": "status"}\n')
+            reply = json.loads(sock.makefile().readline())
+        assert reply["events"]["counts"]["heartbeat"] == 1
+        assert "w0" in reply["events"]["last_heartbeat_unix_s"]
+
+    def test_invalid_events_are_rejected_and_counted(self, obs_on, server):
+        status, bus = server
+        with socket.create_connection(("127.0.0.1", status.port), 5) as sock:
+            sock.sendall(
+                b'{"req": "emit", "event": {"kind": "nope"}}\n'
+                b'{"req": "status"}\n'
+            )
+            reply = json.loads(sock.makefile().readline())
+        assert reply["rejected_events"] == 1
+        assert reply["events"]["total"] == 0
+
+
+class TestWatch:
+    def test_watch_streams_live_events(self, obs_on):
+        # Streaming needs the drainer thread: subscriptions are sinks.
+        bus = EventBus()
+        status = StatusServer(bus, port=0)
+        status.start()
+        received = []
+        done = threading.Event()
+
+        def consume():
+            for event in watch("127.0.0.1", status.port, timeout_s=5.0):
+                received.append(event)
+                if len(received) >= 3:
+                    break
+            done.set()
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        try:
+            # Give the subscription a moment to attach, then produce.
+            deadline_beats = 0
+            while not done.is_set() and deadline_beats < 200:
+                bus.emit("heartbeat", n=deadline_beats)
+                deadline_beats += 1
+                done.wait(0.02)
+            assert done.wait(5.0)
+            assert len(received) >= 3
+            assert all(e.kind == "heartbeat" for e in received)
+        finally:
+            status.close()
+            bus.close()
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.0.0.5:9000") == ("10.0.0.5", 9000)
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_address("9000") == ("127.0.0.1", 9000)
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_address("not-an-address")

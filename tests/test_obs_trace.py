@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 import threading
 
 import pytest
@@ -142,7 +143,8 @@ class TestExporters:
                 pass
         payload = json.loads(tracer.export_json())
         assert payload["format"] == "repro-obs-trace"
-        assert payload["version"] == 1
+        assert payload["version"] == 2
+        assert payload["pid"] == os.getpid()
         assert payload == tracer.to_payload()
         rows = {row["name"]: row for row in payload["spans"]}
         assert rows["detect"]["parent_id"] == rows["profile"]["span_id"]
@@ -158,7 +160,7 @@ class TestExporters:
         (event,) = doc["traceEvents"]
         assert event["name"] == "sim.run"
         assert event["ph"] == "X"
-        assert event["pid"] == 1
+        assert event["pid"] == os.getpid()
         assert event["args"] == {"cycles": 100}
         record = tracer.records()[0]
         assert event["ts"] == pytest.approx(record.begin_s * 1e6)

@@ -1,0 +1,158 @@
+"""Cross-process trace context: propagation, stitching, heartbeats."""
+
+import pytest
+
+from repro.obs import tracectx
+from repro.obs.tracectx import (
+    ENV_PARENT_SPAN,
+    ENV_TRACE_ID,
+    TraceContext,
+    heartbeat_gaps,
+    render_stitched,
+    stitch_traces,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_context():
+    previous = tracectx.activate(None)
+    yield
+    tracectx.activate(previous)
+
+
+class TestTraceContext:
+    def test_new_mints_sixteen_hex_digits(self):
+        context = TraceContext.new()
+        assert len(context.trace_id) == 16
+        int(context.trace_id, 16)
+        assert context.parent_span_id is None
+
+    def test_child_keeps_trace_id(self):
+        root = TraceContext.new()
+        child = root.child("123:0")
+        assert child.trace_id == root.trace_id
+        assert child.parent_span_id == "123:0"
+
+    def test_env_round_trip(self):
+        context = TraceContext(trace_id="cafe" * 4, parent_span_id="7:3")
+        env = context.to_env({})
+        assert env[ENV_TRACE_ID] == "cafe" * 4
+        assert env[ENV_PARENT_SPAN] == "7:3"
+        assert TraceContext.from_env(env) == context
+
+    def test_to_env_clears_stale_parent(self):
+        env = {ENV_PARENT_SPAN: "stale"}
+        TraceContext(trace_id="ab12").to_env(env)
+        assert ENV_PARENT_SPAN not in env
+
+    def test_from_env_absent_is_none(self):
+        assert TraceContext.from_env({}) is None
+
+    def test_cli_args_match_profile_flags(self):
+        context = TraceContext(trace_id="ab12", parent_span_id="9:1")
+        assert context.to_cli_args() == [
+            "--trace-id", "ab12", "--parent-span", "9:1",
+        ]
+        assert TraceContext(trace_id="ab12").to_cli_args() == [
+            "--trace-id", "ab12",
+        ]
+
+
+class TestActiveContext:
+    def test_current_mints_once_and_caches(self):
+        first = tracectx.current()
+        assert tracectx.current() is first
+
+    def test_peek_never_mints(self):
+        assert tracectx.peek() is None
+
+    def test_activate_returns_previous(self):
+        context = TraceContext.new()
+        assert tracectx.activate(context) is None
+        assert tracectx.peek() == context
+        assert tracectx.activate(None) == context
+
+
+def _payload(pid, process, spans, trace_id="feed" * 4, parent=None):
+    return {
+        "format": "repro-obs-trace",
+        "version": 2,
+        "pid": pid,
+        "process": process,
+        "trace_id": trace_id,
+        "parent_span_id": parent,
+        "spans": spans,
+        "dropped": 0,
+    }
+
+
+class TestStitch:
+    def test_single_trace_id_and_globalized_parents(self):
+        main = _payload(
+            100, "main",
+            [{"span_id": 0, "parent_id": None, "name": "campaign",
+              "begin_s": 0.0, "end_s": 2.0, "duration_s": 2.0, "attrs": {}}],
+        )
+        worker = _payload(
+            200, "worker0",
+            [{"span_id": 0, "parent_id": None, "name": "campaign_worker",
+              "begin_s": 0.1, "end_s": 1.9, "duration_s": 1.8, "attrs": {}}],
+            parent="100:0",
+        )
+        document = stitch_traces([main, worker])
+        assert document["trace_id"] == "feed" * 4
+        assert document["mixed_trace_ids"] == []
+        by_gid = {s["gid"]: s for s in document["spans"]}
+        assert by_gid["200:0"]["parent_gid"] == "100:0"
+        assert by_gid["100:0"]["parent_gid"] is None
+        assert len(document["processes"]) == 2
+
+    def test_mixed_trace_ids_flagged(self):
+        a = _payload(1, "a", [], trace_id="aaaa")
+        b = _payload(2, "b", [], trace_id="bbbb")
+        document = stitch_traces([a, b])
+        assert document["trace_id"] == "unknown"
+        assert document["mixed_trace_ids"] == ["aaaa", "bbbb"]
+
+    def test_render_is_textual_and_names_processes(self):
+        document = stitch_traces([_payload(1, "main", [])])
+        text = render_stitched(document)
+        assert "main" in text
+        assert "feed" * 4 in text
+
+
+def _beat(source, t):
+    return {"kind": "heartbeat", "source": source, "t_unix_s": t}
+
+
+class TestHeartbeatGaps:
+    def test_steady_source_is_healthy(self):
+        events = [_beat("w0", 0.1 * i) for i in range(10)]
+        table = heartbeat_gaps(events)
+        assert table["w0"]["count"] == 10
+        assert not table["w0"]["stalled"]
+        assert table["w0"]["expected_interval_s"] == pytest.approx(0.1)
+
+    def test_killed_worker_is_stalled(self):
+        # w1 beats until t=0.5 then dies; w0 keeps the horizon moving.
+        events = [_beat("w0", 0.1 * i) for i in range(30)]
+        events += [_beat("w1", 0.1 * i) for i in range(6)]
+        table = heartbeat_gaps(events)
+        assert table["w1"]["stalled"]
+        assert not table["w0"]["stalled"]
+        assert table["w1"]["end_gap_s"] == pytest.approx(2.4)
+
+    def test_single_beat_never_stalls(self):
+        # One beat gives no cadence estimate - no basis to accuse.
+        events = [_beat("w0", 0.0), _beat("w1", 10.0)]
+        assert not heartbeat_gaps(events)["w0"]["stalled"]
+
+    def test_accepts_event_objects(self):
+        from repro.obs.events import Event
+
+        events = [
+            Event(kind="heartbeat", t_unix_s=0.1 * i, seq=i, pid=1,
+                  source="w0")
+            for i in range(5)
+        ]
+        assert heartbeat_gaps(events)["w0"]["count"] == 5

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-cold regress check dashboard chaos bench bench-all trace watch-demo reproduce examples selftest clean
+.PHONY: install test lint lint-cold regress check dashboard chaos bench bench-all bench-engine trace watch-demo reproduce examples selftest clean
 
 install:
 	pip install -e .
@@ -25,8 +25,11 @@ lint-cold:
 regress:
 	PYTHONPATH=src $(PYTHON) -m repro obs regress LEDGER_obs.jsonl --allow-missing
 
-# The default verification flow: static analysis + perf history.
+# The default verification flow: static analysis + perf history +
+# the engine differential harness (docs/engine.md equivalence
+# contract: the vectorized engine is bit-identical to the seed).
 check: lint regress
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_engine_equivalence.py tests/test_engine_chunks.py -q
 
 # Render the run observatory over the ledger history.
 dashboard:
@@ -45,6 +48,11 @@ bench:
 # The full figure/table regeneration suite (slow).
 bench-all:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Engine throughput: batch vs streaming vs chunked vs the frozen seed
+# per-sample loop; records the >=5x speedup claim into the ledger.
+bench-engine:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_engine_throughput.py --benchmark-only -s
 
 # Capture + profile one microbenchmark with observability on; drops
 # spans.json (chrome://tracing compatible via --trace-format chrome),

@@ -9,6 +9,9 @@ Signal in, profile out:
 5. :mod:`repro.core.stats` - latency histograms and summaries
 6. :mod:`repro.core.markers` - microbenchmark window isolation
 7. :mod:`repro.core.validate` - accuracy metrics vs. ground truth
+
+Both the batch and the streaming paths share one vectorized chunked
+core, :mod:`repro.core.engine` (see ``docs/engine.md``).
 """
 
 from .calibrate import (
@@ -18,6 +21,7 @@ from .calibrate import (
     sensitivity,
 )
 from .detect import DetectorConfig, detect_stalls
+from .engine import ChunkDetector, ChunkNormalizer, SampleRing, finite_segments
 from .events import DetectedStall, ProfileReport
 from .markers import MarkerWindow, find_marker_window
 from .normalize import NormalizerConfig, moving_average, moving_extrema, normalize
@@ -45,6 +49,10 @@ __all__ = [
     "StreamingDetector",
     "OnlineNormalizer",
     "profile_chunks",
+    "ChunkDetector",
+    "ChunkNormalizer",
+    "SampleRing",
+    "finite_segments",
     "CalibrationPoint",
     "CalibrationResult",
     "calibrate_detector",

@@ -13,6 +13,14 @@ Detection runs in three stages:
 3. keep runs whose duration exceeds ``min_duration_cycles`` and refine
    their boundaries by linear interpolation of the threshold crossing,
    so measured durations are not quantized to whole sample periods.
+
+The numerical work is done by the vectorized chunked engine
+(:mod:`repro.core.engine`, see ``docs/engine.md``): the batch path is
+one whole-signal chunk through :class:`repro.core.engine.ChunkDetector`
+plus a flush, which is proven bit-identical to the historical per-run
+implementation by ``tests/test_engine_equivalence.py``.  This module
+keeps the configuration, the quality flagging, and the obs/contract
+adapter around that engine.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import numpy as np
 from ..devtools.contracts import stall_sequence_result
 from ..obs import metrics as _metrics, trace as _trace
 from ..obs.runtime import obs_enabled
+from .engine import detect_all
 from .events import DetectedStall
 
 _STALLS_TOTAL = _metrics.counter(
@@ -86,73 +95,6 @@ class DetectorConfig:
             raise ValueError("merge gap cannot be negative")
         if self.refresh_min_cycles <= self.min_duration_cycles:
             raise ValueError("refresh threshold must exceed min duration")
-
-
-def _runs_below(mask: np.ndarray) -> List[Tuple[int, int]]:
-    """Half-open [start, end) index runs where ``mask`` is True."""
-    if len(mask) == 0:
-        return []
-    padded = np.concatenate(([False], mask, [False]))
-    edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
-    starts = edges[0::2]
-    ends = edges[1::2]
-    return list(zip(starts.tolist(), ends.tolist()))
-
-
-def _merge_runs(
-    runs: List[Tuple[int, int]], max_gap: int
-) -> List[Tuple[int, int]]:
-    """Merge runs whose separating gap is at most ``max_gap`` samples."""
-    if not runs or max_gap <= 0:
-        return runs
-    merged = [runs[0]]
-    for start, end in runs[1:]:
-        last_start, last_end = merged[-1]
-        if start - last_end <= max_gap:
-            merged[-1] = (last_start, end)
-        else:
-            merged.append((start, end))
-    return merged
-
-
-def _merge_hysteresis(
-    runs: List[Tuple[int, int]], normalized: np.ndarray, recover: float
-) -> List[Tuple[int, int]]:
-    """Merge runs unless the signal between them recovers above ``recover``."""
-    if not runs:
-        return runs
-    merged = [runs[0]]
-    for start, end in runs[1:]:
-        last_start, last_end = merged[-1]
-        if float(normalized[last_end:start].max()) < recover:
-            merged[-1] = (last_start, end)
-        else:
-            merged.append((start, end))
-    return merged
-
-
-def _refine_edge(normalized: np.ndarray, index: int, threshold: float) -> float:
-    """Fractional sample position of the threshold crossing at ``index``.
-
-    Runs are half-open, so both edges interpolate between sample
-    ``index - 1`` and sample ``index`` (one of the pair is above the
-    threshold and the other below, for either edge direction).  Falls
-    back to the integer boundary at array edges or degenerate slopes.
-    """
-    n = len(normalized)
-    lo, hi = index - 1, index
-    if lo < 0 or hi >= n:
-        return float(index)
-    a = float(normalized[lo])
-    b = float(normalized[hi])
-    # Exact equality is the degenerate-slope guard: interpolation is
-    # undefined only when the two samples are bit-identical.
-    if a == b:  # emlint: disable=float-equality
-        return float(index)
-    frac = (threshold - a) / (b - a)
-    if not 0.0 <= frac <= 1.0:
-        return float(index)
-    return lo + frac
 
 
 def flag_low_confidence(
@@ -227,36 +169,13 @@ def _detect_stalls_impl(
     sample_period_cycles: float,
     cfg: DetectorConfig,
 ) -> List[DetectedStall]:
-    """The uninstrumented detection pipeline (see :func:`detect_stalls`)."""
+    """The uninstrumented detection pipeline (see :func:`detect_stalls`).
+
+    One whole-signal chunk through the vectorized engine: the run
+    extraction, gap-merge and hysteresis passes of the historical
+    implementation collapse into the engine's single grouped pass.
+    """
     x = np.asarray(normalized, dtype=np.float64)
     if x.ndim != 1:
         raise ValueError("signal must be one-dimensional")
-    if sample_period_cycles <= 0:
-        raise ValueError("sample period must be positive")
-
-    runs = _runs_below(x < cfg.threshold)
-    runs = _merge_runs(runs, cfg.merge_gap_samples)
-    runs = _merge_hysteresis(runs, x, cfg.recover_threshold)
-
-    stalls: List[DetectedStall] = []
-    for start, end in runs:
-        if end - start < cfg.min_duration_samples:
-            continue
-        begin = _refine_edge(x, start, cfg.threshold)
-        finish = _refine_edge(x, end, cfg.threshold)
-        if finish <= begin:
-            continue
-        duration_cycles = (finish - begin) * sample_period_cycles
-        if duration_cycles < cfg.min_duration_cycles:
-            continue
-        stalls.append(
-            DetectedStall(
-                begin_sample=begin,
-                end_sample=finish,
-                begin_cycle=begin * sample_period_cycles,
-                end_cycle=finish * sample_period_cycles,
-                min_level=float(x[start:end].min()) if end > start else float(x[start]),
-                is_refresh=duration_cycles >= cfg.refresh_min_cycles,
-            )
-        )
-    return stalls
+    return detect_all(x, sample_period_cycles, cfg)

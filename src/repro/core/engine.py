@@ -1,0 +1,671 @@
+"""The vectorized chunked engine behind batch and streaming EMPROF.
+
+The paper's receivers digitize at 20-160 MHz (Sections V-VI); keeping
+up with that sample stream in Python means no per-sample Python work
+at all.  This module is the single numerical core shared by the batch
+profiler (:mod:`repro.core.detect`) and the streaming facade
+(:mod:`repro.core.streaming`): both are thin adapters over the three
+pieces here.
+
+* :class:`SampleRing` - a preallocated ndarray ring holding the
+  trailing raw-sample window, with head/tail indices and amortized
+  O(1) pushes (no ``list.pop(0)``-style per-sample maintenance);
+* :class:`ChunkNormalizer` - sliding-window min/max normalization
+  computed per chunk with ``scipy.ndimage`` filters over a zero-copy
+  view of the ring, emitting exactly the batch normalizer's values;
+* :class:`ChunkDetector` - dip detection over whole chunks using
+  boolean-mask run-length analysis (``np.diff``/``np.flatnonzero``)
+  and ``ufunc.reduceat`` segment reductions, with explicit carry
+  state (:class:`DipCarry`) for dips, hysteresis gaps and edge
+  refinement across chunk boundaries;
+* :func:`finite_segments` - vectorized splitting of a chunk into
+  finite runs and the NaN/Inf gaps between them.
+
+Carry-state invariants (see ``docs/engine.md`` for the full contract):
+
+1. Feeding a signal through :class:`ChunkDetector.push` in *any*
+   chunking, followed by :meth:`ChunkDetector.finish`, yields stalls
+   bit-identical to one whole-signal pass - same boundaries, same
+   cycle estimates, same refresh flags.
+2. A dip may only be finalized once no future sample can change it:
+   after the signal has recovered above the hysteresis threshold for
+   more than ``merge_gap_samples`` samples, at a stream
+   discontinuity (:meth:`ChunkDetector.resync`), or at end of stream
+   (:meth:`ChunkDetector.finish`).
+3. All carry state is plain data (ints, floats, small ndarrays), so
+   an engine mid-stream is picklable and can migrate to a campaign
+   worker process.
+
+The engine is deliberately instrumentation-free: the adapters in
+:mod:`repro.core.detect` and :mod:`repro.core.streaming` carry the
+observability counters and runtime contracts so the hot path here
+stays pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.ndimage import maximum_filter1d, minimum_filter1d
+
+from .events import DetectedStall
+from .normalize import NormalizerConfig
+
+
+# ---------------------------------------------------------------------------
+# run-length primitives
+# ---------------------------------------------------------------------------
+
+
+def bool_runs(mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(starts, ends) of half-open [start, end) runs where ``mask`` is True."""
+    if len(mask) == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    padded = np.concatenate(([False], mask, [False]))
+    edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    return edges[0::2], edges[1::2]
+
+
+def finite_segments(chunk: np.ndarray, finite: Optional[np.ndarray] = None):
+    """Split ``chunk`` into (finite_segment, preceding_bad_run) pairs.
+
+    Segments are zero-copy views into ``chunk``.  A trailing non-finite
+    run yields a final pair with an empty segment, so the bad-run
+    lengths always add up to the number of non-finite samples.
+    """
+    if finite is None:
+        finite = np.isfinite(chunk)
+    n = len(chunk)
+    if n == 0:
+        return []
+    starts, ends = bool_runs(finite)
+    pairs = []
+    prev_end = 0
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        pairs.append((chunk[start:end], start - prev_end))
+        prev_end = end
+    if prev_end < n:
+        pairs.append((chunk[n:n], n - prev_end))
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# the sample ring
+# ---------------------------------------------------------------------------
+
+
+class SampleRing:
+    """Preallocated ndarray ring over a trailing window of the stream.
+
+    Samples are addressed by their absolute stream position.  The ring
+    keeps positions ``[first_position, end_position)``; ``push``
+    appends a chunk, ``drop_before`` releases the left edge, and
+    ``view`` returns a zero-copy slice.
+
+    Pushes are amortized O(1) per sample: the backing buffer is
+    preallocated, appends are single slice assignments, and the live
+    region is compacted to the front (or the buffer doubled) only when
+    the write head runs off the end.  ``copied_samples`` counts every
+    sample moved by compaction/growth so tests can pin the amortized
+    bound deterministically instead of trusting wall clocks.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self._data = np.empty(max(16, int(capacity)), dtype=np.float64)
+        self._base = 0  # absolute position of the first live sample
+        self._start = 0  # index of the first live sample in _data
+        self._len = 0  # live samples
+        #: total samples ever pushed / moved by compaction (test hooks).
+        self.pushed_samples = 0
+        self.copied_samples = 0
+
+    @property
+    def first_position(self) -> int:
+        """Absolute position of the oldest retained sample."""
+        return self._base
+
+    @property
+    def end_position(self) -> int:
+        """One past the absolute position of the newest sample."""
+        return self._base + self._len
+
+    @property
+    def capacity(self) -> int:
+        """Current backing-buffer size (grows geometrically)."""
+        return len(self._data)
+
+    def push(self, chunk: np.ndarray) -> None:
+        """Append ``chunk`` after the newest sample (one slice copy)."""
+        n = len(chunk)
+        if n == 0:
+            return
+        need = self._len + n
+        if self._start + need > len(self._data):
+            live = self._data[self._start : self._start + self._len]
+            if need > len(self._data):
+                capacity = len(self._data)
+                while capacity < need:
+                    capacity *= 2
+                fresh = np.empty(capacity, dtype=np.float64)
+                fresh[: self._len] = live
+                self._data = fresh
+            elif self._start >= self._len:
+                self._data[: self._len] = live
+            else:
+                # Overlapping move; numpy slice assignment does not
+                # guarantee memmove semantics, so stage a copy.
+                self._data[: self._len] = live.copy()
+            self.copied_samples += self._len
+            self._start = 0
+        self._data[self._start + self._len : self._start + need] = chunk
+        self._len = need
+        self.pushed_samples += n
+
+    def drop_before(self, position: int) -> None:
+        """Release samples below absolute ``position`` (O(1))."""
+        delta = min(max(0, position - self._base), self._len)
+        self._start += delta
+        self._base += delta
+        self._len -= delta
+
+    def view(self, begin: int, end: int) -> np.ndarray:
+        """Zero-copy view of absolute positions [begin, end)."""
+        if begin < self._base or end > self._base + self._len:
+            raise IndexError(
+                f"positions [{begin}, {end}) outside retained "
+                f"[{self._base}, {self._base + self._len})"
+            )
+        lo = self._start + (begin - self._base)
+        return self._data[lo : lo + (end - begin)]
+
+
+# ---------------------------------------------------------------------------
+# chunked normalization
+# ---------------------------------------------------------------------------
+
+
+class ChunkNormalizer:
+    """Vectorized sliding min/max normalization with bounded memory.
+
+    Emits exactly the values of :func:`repro.core.normalize.normalize`
+    (centered window, edge-clamped at the true stream start and end):
+    output position ``i`` is released once its full right context has
+    arrived, or at :meth:`flush` where the window clamps to the signal
+    end.  The min/max themselves come from the same
+    ``scipy.ndimage`` filters the batch path uses, run over a
+    zero-copy :class:`SampleRing` view, so the chunked values are
+    bit-identical to the batch values.
+
+    Pre-smoothing (``smooth_samples > 1``) is not supported online;
+    the constructor rejects such configs rather than silently
+    diverging from the batch result.
+    """
+
+    def __init__(self, config: Optional[NormalizerConfig] = None):
+        cfg = config if config is not None else NormalizerConfig()
+        if cfg.smooth_samples != 1:
+            raise ValueError(
+                "online normalization does not support pre-smoothing; "
+                "use smooth_samples=1"
+            )
+        self.config = cfg
+        window = cfg.window_samples
+        self._left = window // 2  # left context of the centered window
+        self._right = (window - 1) // 2  # right context (emission latency)
+        self._ring = SampleRing(capacity=2 * window + 4096)
+        self._next_out = 0  # absolute position of the next output sample
+
+    @property
+    def latency_samples(self) -> int:
+        """Fixed emission delay (the window's right context)."""
+        return self._right
+
+    @property
+    def ring(self) -> SampleRing:
+        """The backing sample ring (exposed for tests/diagnostics)."""
+        return self._ring
+
+    def push(self, chunk: np.ndarray) -> np.ndarray:
+        """Feed samples; return the normalized values now determined."""
+        arr = np.asarray(chunk, dtype=np.float64)
+        if arr.size:
+            self._ring.push(arr)
+        return self._emit(self._ring.end_position - self._right)
+
+    def flush(self) -> np.ndarray:
+        """Emit the tail (window right edge clamps to the stream end)."""
+        return self._emit(self._ring.end_position)
+
+    def _emit(self, until: int) -> np.ndarray:
+        until = min(until, self._ring.end_position)
+        if until <= self._next_out:
+            return np.empty(0, dtype=np.float64)
+        cfg = self.config
+        base = max(0, self._next_out - self._left)
+        window_view = self._ring.view(base, self._ring.end_position)
+        moving_min = minimum_filter1d(
+            window_view, size=cfg.window_samples, mode="nearest"
+        )
+        moving_max = maximum_filter1d(
+            window_view, size=cfg.window_samples, mode="nearest"
+        )
+        lo = self._next_out - base
+        hi = until - base
+        x = window_view[lo:hi]
+        mmin = moving_min[lo:hi]
+        mmax = moving_max[lo:hi]
+        span = mmax - mmin
+        # Identical expression to the batch normalizer: engage only
+        # where the window plausibly contains a stall, and keep the
+        # guard purely relative so gain invariance holds.
+        engaged = span > cfg.min_range_ratio * mmax
+        out = np.ones_like(x)
+        np.divide(x - mmin, span, out=out, where=engaged & (span > 0))
+        out = np.clip(out, 0.0, 1.0)
+        self._next_out = until
+        self._ring.drop_before(max(0, until - self._left))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# chunked dip detection
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DipCarry:
+    """Carry state for a dip still open at a chunk boundary.
+
+    Positions are absolute stream sample indices.  ``gap_start`` is
+    set while the signal sits above the threshold after the dip but
+    the hysteresis decision (merge vs. finalize) is still pending.
+    """
+
+    start: int  # first sample below threshold
+    end: int  # one past the last sample below threshold
+    min_level: float
+    enter_prev: float  # value just before `start` (1.0 at stream start)
+    start_value: float  # value at `start`
+    end_prev_value: float  # value at `end - 1`
+    exit_value: float = 0.0  # value at `end` (valid once gap_start is set)
+    gap_start: Optional[int] = None
+    gap_max: float = -np.inf
+
+
+class ChunkDetector:
+    """Vectorized dip detection with carry state across chunks.
+
+    The per-chunk pipeline thresholds the whole chunk into a boolean
+    mask, extracts below-threshold runs with
+    :func:`bool_runs`, evaluates every hysteresis/merge gap with
+    ``np.maximum.reduceat`` segment maxima, groups merged runs with a
+    cumulative-sum partition, and refines all group edges with one
+    vectorized interpolation.  Only the (rare) dip that straddles the
+    chunk boundary is carried as scalar state.
+
+    ``config`` is a :class:`repro.core.detect.DetectorConfig` (taken
+    duck-typed to keep this module import-light).
+
+    A dip is finalized as soon as its fate is sealed: once the signal
+    has recovered above ``recover_threshold`` and stayed away longer
+    than ``merge_gap_samples``, no future sample can merge it, so the
+    stall is emitted at the end of the current :meth:`push` rather
+    than lazily on the next below-threshold sample.  The emitted
+    stalls are bit-identical either way; only their latency differs.
+    """
+
+    def __init__(self, sample_period_cycles: float, config):
+        if sample_period_cycles <= 0:
+            raise ValueError("sample period must be positive")
+        self.period = float(sample_period_cycles)
+        self.config = config
+        self._pos = 0  # absolute position of the next input sample
+        self._prev = 1.0  # previous sample value (edge refinement)
+        self._carry: Optional[DipCarry] = None
+        self._samples_seen = 0
+
+    # -- scalar paths (chunk boundaries and stream edges) -------------------
+
+    def _refine(self, a: float, b: float, boundary: int) -> float:
+        """Fractional threshold crossing between samples boundary-1/boundary."""
+        if boundary <= 0:
+            return float(boundary)
+        # Exact equality is the degenerate-slope guard: interpolation
+        # is undefined only when the two samples are bit-identical.
+        if a == b:  # emlint: disable=float-equality
+            return float(boundary)
+        frac = (self.config.threshold - a) / (b - a)
+        if not 0.0 <= frac <= 1.0:
+            return float(boundary)
+        return boundary - 1 + frac
+
+    def _finalize(self, dip: DipCarry, exit_value: float) -> Optional[DetectedStall]:
+        cfg = self.config
+        if dip.end - dip.start < cfg.min_duration_samples:
+            return None
+        begin = self._refine(dip.enter_prev, dip.start_value, dip.start)
+        finish = self._refine(dip.end_prev_value, exit_value, dip.end)
+        if finish <= begin:
+            return None
+        duration = (finish - begin) * self.period
+        if duration < cfg.min_duration_cycles:
+            return None
+        return DetectedStall(
+            begin_sample=begin,
+            end_sample=finish,
+            begin_cycle=begin * self.period,
+            end_cycle=finish * self.period,
+            min_level=dip.min_level,
+            is_refresh=duration >= cfg.refresh_min_cycles,
+        )
+
+    def _close_carry(self) -> List[DetectedStall]:
+        """Finalize the carried dip exactly as end-of-stream would."""
+        out: List[DetectedStall] = []
+        dip = self._carry
+        if dip is not None:
+            # No sample exists past the boundary when the stream ends
+            # mid-dip, so the edge cannot be interpolated: passing the
+            # end-adjacent value makes _refine return the integer
+            # boundary (the batch detector's array-edge fallback).
+            exit_value = (
+                dip.end_prev_value if dip.gap_start is None else dip.exit_value
+            )
+            stall = self._finalize(dip, exit_value)
+            if stall is not None:
+                out.append(stall)
+            self._carry = None
+        return out
+
+    # -- vectorized edge refinement -----------------------------------------
+
+    def _refine_vec(
+        self, a: np.ndarray, b: np.ndarray, boundary: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`_refine` over group edges."""
+        threshold = self.config.threshold
+        boundary_f = boundary.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = (threshold - a) / (b - a)
+        # Bit-identical samples make the slope degenerate; out-of-range
+        # fractions mean the crossing is not between these samples.
+        usable = (
+            (b != a)  # emlint: disable=float-equality
+            & (frac >= 0.0)
+            & (frac <= 1.0)
+            & (boundary > 0)
+        )
+        return np.where(usable, boundary_f - 1.0 + frac, boundary_f)
+
+    # -- public --------------------------------------------------------------
+
+    @property
+    def samples_seen(self) -> int:
+        """Total normalized samples consumed."""
+        return self._samples_seen
+
+    def push(self, normalized: np.ndarray) -> List[DetectedStall]:
+        """Consume one chunk; return every stall whose fate is sealed."""
+        arr = np.asarray(normalized, dtype=np.float64)
+        n = arr.size
+        if n == 0:
+            return []
+        cfg = self.config
+        recover = cfg.recover_threshold
+        merge_gap = cfg.merge_gap_samples
+        pos0 = self._pos
+        prev_tail = self._prev
+        out: List[DetectedStall] = []
+
+        starts, ends = bool_runs(arr < cfg.threshold)
+        if starts.size == 0:
+            self._no_runs(arr, pos0, out)
+            self._advance(arr, n)
+            return out
+
+        first_start = int(starts[0])
+        carry_merged = self._junction(arr, pos0, first_start, out)
+
+        group_start, group_end, group_min, merged_tail = self._group_runs(
+            arr, starts, ends
+        )
+        n_groups = len(group_start)
+
+        # Absolute group boundaries and the values flanking them.
+        abs_start = pos0 + group_start
+        abs_end = pos0 + group_end
+        with np.errstate(invalid="ignore"):
+            a_begin = np.where(group_start > 0, arr[group_start - 1], prev_tail)
+        b_begin = arr[group_start]
+        if carry_merged:
+            carry = self._carry
+            abs_start = abs_start.astype(np.int64)
+            abs_start[0] = carry.start
+            a_begin = a_begin.astype(np.float64)
+            a_begin[0] = carry.enter_prev
+            b_begin = b_begin.astype(np.float64)
+            b_begin[0] = carry.start_value
+            group_min = group_min.astype(np.float64)
+            group_min[0] = min(carry.min_level, float(group_min[0]))
+
+        # Trailing state: does the last group stay open?
+        last_end = int(ends[-1])
+        if last_end == n:
+            open_in_gap = False
+            trailing_open = True
+        else:
+            trail_max = float(merged_tail)
+            trail_len = n - last_end
+            trailing_open = not (trail_max >= recover and trail_len > merge_gap)
+            open_in_gap = trailing_open
+        n_final = n_groups - 1 if trailing_open else n_groups
+
+        if n_final > 0:
+            fin_end = group_end[:n_final]
+            begin = self._refine_vec(
+                a_begin[:n_final], b_begin[:n_final], abs_start[:n_final]
+            )
+            finish = self._refine_vec(
+                arr[fin_end - 1], arr[fin_end], abs_end[:n_final]
+            )
+            duration = (finish - begin) * self.period
+            keep = (
+                ((abs_end[:n_final] - abs_start[:n_final]) >= cfg.min_duration_samples)
+                & (finish > begin)
+                & (duration >= cfg.min_duration_cycles)
+            )
+            refresh = duration >= cfg.refresh_min_cycles
+            for s_begin, s_finish, s_min, s_refresh in zip(
+                begin[keep].tolist(),
+                finish[keep].tolist(),
+                group_min[:n_final][keep].tolist(),
+                refresh[keep].tolist(),
+            ):
+                out.append(
+                    DetectedStall(
+                        begin_sample=s_begin,
+                        end_sample=s_finish,
+                        begin_cycle=s_begin * self.period,
+                        end_cycle=s_finish * self.period,
+                        min_level=s_min,
+                        is_refresh=bool(s_refresh),
+                    )
+                )
+
+        if trailing_open:
+            last = n_groups - 1
+            if carry_merged and last == 0:
+                carry = self._carry
+                dip_start = carry.start
+                dip_enter = carry.enter_prev
+                dip_start_value = carry.start_value
+            else:
+                dip_start = int(abs_start[last])
+                dip_enter = float(a_begin[last])
+                dip_start_value = float(b_begin[last])
+            dip = DipCarry(
+                start=dip_start,
+                end=pos0 + int(group_end[last]),
+                min_level=float(group_min[last]),
+                enter_prev=dip_enter,
+                start_value=dip_start_value,
+                end_prev_value=float(arr[int(group_end[last]) - 1]),
+            )
+            if open_in_gap:
+                dip.gap_start = pos0 + last_end
+                dip.exit_value = float(arr[last_end])
+                dip.gap_max = float(merged_tail)
+            self._carry = dip
+        else:
+            self._carry = None
+
+        self._advance(arr, n)
+        return out
+
+    def finish(self) -> List[DetectedStall]:
+        """Finalize any open dip at end of signal."""
+        out = self._close_carry()
+        return out
+
+    def resync(self) -> List[DetectedStall]:
+        """Close any open dip at a stream discontinuity and continue.
+
+        A gap means the samples between the last and the next chunk
+        are unknown, so the dip state machine cannot bridge it: the
+        open dip (if any) is finalized exactly as :meth:`finish`
+        would finalize it, but the detector stays usable - positions
+        keep advancing and the next sample is treated like a stream
+        start (neutral previous value for edge refinement).
+        """
+        out = self._close_carry()
+        self._prev = 1.0
+        return out
+
+    # -- internals ------------------------------------------------------------
+
+    def _advance(self, arr: np.ndarray, n: int) -> None:
+        self._prev = float(arr[n - 1])
+        self._pos += n
+        self._samples_seen += n
+
+    def _no_runs(self, arr: np.ndarray, pos0: int, out: List[DetectedStall]) -> None:
+        """Whole chunk above threshold: extend/resolve the carried gap."""
+        dip = self._carry
+        if dip is None:
+            return
+        if dip.gap_start is None:
+            dip.gap_start = pos0
+            dip.exit_value = float(arr[0])
+        dip.gap_max = max(dip.gap_max, float(arr.max()))
+        gap_len = pos0 + arr.size - dip.gap_start
+        cfg = self.config
+        if dip.gap_max >= cfg.recover_threshold and gap_len > cfg.merge_gap_samples:
+            stall = self._finalize(dip, dip.exit_value)
+            if stall is not None:
+                out.append(stall)
+            self._carry = None
+
+    def _junction(
+        self,
+        arr: np.ndarray,
+        pos0: int,
+        first_start: int,
+        out: List[DetectedStall],
+    ) -> bool:
+        """Resolve the carried dip against this chunk's first run.
+
+        Returns True when the carried dip merges into the first run
+        (the first group then starts at the carried position), False
+        when there is no carry or it was finalized here.
+        """
+        dip = self._carry
+        if dip is None:
+            return False
+        cfg = self.config
+        if first_start > 0:
+            if dip.gap_start is None:
+                dip.gap_start = pos0
+                dip.exit_value = float(arr[0])
+            dip.gap_max = max(dip.gap_max, float(arr[:first_start].max()))
+        if dip.gap_start is None:
+            # The chunk opens below threshold and the dip never saw a
+            # gap: it simply continues.
+            return True
+        gap_len = pos0 + first_start - dip.gap_start
+        if dip.gap_max < cfg.recover_threshold or gap_len <= cfg.merge_gap_samples:
+            # Merge: the dip continues through the gap.
+            dip.gap_start = None
+            dip.gap_max = -np.inf
+            return True
+        stall = self._finalize(dip, dip.exit_value)
+        if stall is not None:
+            out.append(stall)
+        self._carry = None
+        return False
+
+    def _group_runs(
+        self, arr: np.ndarray, starts: np.ndarray, ends: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Merge below-threshold runs into dip groups, vectorized.
+
+        Returns (group_start, group_end, group_min, trailing_max):
+        chunk-local [start, end) per merged group, the minimum level
+        inside each group, and the signal maximum over the trailing
+        above-threshold region (``-inf`` when the chunk ends below
+        threshold).
+
+        A gap merges its neighbours when it is short
+        (``<= merge_gap_samples``) or never recovers above the
+        hysteresis threshold - evaluated per gap with one
+        ``np.maximum.reduceat`` over the interleaved run boundaries,
+        exactly the decision the batch detector's merge passes make.
+        """
+        n = arr.size
+        n_runs = len(starts)
+        bounds = np.empty(2 * n_runs, dtype=np.intp)
+        bounds[0::2] = starts
+        bounds[1::2] = ends
+        last_is_end = int(ends[-1]) == n
+        reduce_bounds = bounds[:-1] if last_is_end else bounds
+        seg_max = np.maximum.reduceat(arr, reduce_bounds)
+        trailing_max = -np.inf if last_is_end else float(seg_max[-1])
+        if n_runs == 1:
+            merge = np.empty(0, dtype=bool)
+        else:
+            gap_max = seg_max[1 : 2 * n_runs - 1 : 2]
+            gap_len = starts[1:] - ends[:-1]
+            merge = (gap_max < self.config.recover_threshold) | (
+                gap_len <= self.config.merge_gap_samples
+            )
+        breaks = np.flatnonzero(~merge)
+        first_run = np.concatenate(([0], breaks + 1))
+        last_run = np.concatenate((breaks, [n_runs - 1]))
+        group_start = starts[first_run]
+        group_end = ends[last_run]
+        # Group minimum over the merged [start, end) interval: interior
+        # gap samples sit at/above the threshold, so the interval min
+        # is the dip floor (and matches the batch detector exactly).
+        group_bounds = np.empty(2 * len(group_start), dtype=np.intp)
+        group_bounds[0::2] = group_start
+        group_bounds[1::2] = group_end
+        reduce_bounds = group_bounds[:-1] if last_is_end else group_bounds
+        group_min = np.minimum.reduceat(arr, reduce_bounds)[0::2]
+        return group_start, group_end, group_min, trailing_max
+
+
+# ---------------------------------------------------------------------------
+# one-shot batch entry
+# ---------------------------------------------------------------------------
+
+
+def detect_all(
+    normalized: np.ndarray, sample_period_cycles: float, config
+) -> List[DetectedStall]:
+    """Whole-signal detection: one chunk through the engine plus flush."""
+    detector = ChunkDetector(sample_period_cycles, config)
+    stalls = detector.push(normalized)
+    stalls.extend(detector.finish())
+    return stalls

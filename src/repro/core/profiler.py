@@ -10,7 +10,7 @@ simulator's power trace (Section V-C) and the receiver's EM capture
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 import numpy as np
@@ -19,8 +19,9 @@ from ..obs import metrics as _metrics, trace as _trace
 from ..obs.events import bus as _event_bus
 from ..obs.runtime import obs_enabled
 from .detect import DetectorConfig, detect_stalls
+from .engine import ChunkDetector, ChunkNormalizer
 from .events import ProfileReport
-from .normalize import NormalizerConfig, normalize
+from .normalize import NormalizerConfig, moving_average, normalize
 
 _PROFILE_RUNS = _metrics.counter(
     "profile_runs_total", "Emprof.profile()/profile_window() invocations"
@@ -143,6 +144,64 @@ class Emprof:
                 sample_period_cycles=self.sample_period_cycles,
                 region_names=dict(self.region_names),
             )
+
+    def profile_chunked(self, chunk_samples: int = 65536) -> ProfileReport:
+        """Profile via the chunked engine in bounded-memory pieces.
+
+        Feeds the signal through the same
+        :class:`repro.core.engine.ChunkNormalizer` /
+        :class:`repro.core.engine.ChunkDetector` pair the streaming
+        path uses, ``chunk_samples`` at a time, and is bit-identical
+        to :meth:`profile` for any chunk size (the equivalence
+        contract of ``docs/engine.md``).  Useful when the whole
+        normalized signal should never be materialized at once.
+        """
+        if chunk_samples < 1:
+            raise ValueError("chunk_samples must be at least 1")
+        if not obs_enabled():
+            return self._profile_chunked_impl(chunk_samples)
+        _event_bus.emit(
+            "run_started", op="profile_chunked", samples=len(self.signal)
+        )
+        with _trace.span(
+            "profile_chunked", samples=len(self.signal), chunk=chunk_samples
+        ):
+            report = self._profile_chunked_impl(chunk_samples)
+        _PROFILE_RUNS.inc()
+        _event_bus.emit(
+            "run_finished",
+            op="profile_chunked",
+            samples=len(self.signal),
+            stalls=len(report.stalls),
+        )
+        return report
+
+    def _profile_chunked_impl(self, chunk_samples: int) -> ProfileReport:
+        """Chunked profiling (instrumentation-free entry)."""
+        norm_cfg = self.config.normalizer
+        x = self.signal
+        if norm_cfg.smooth_samples > 1:
+            # Pre-smoothing needs the whole signal anyway; apply the
+            # identical moving average once, then stream unsmoothed.
+            x = moving_average(x, norm_cfg.smooth_samples)
+            norm_cfg = replace(norm_cfg, smooth_samples=1)
+        normalizer = ChunkNormalizer(norm_cfg)
+        detector = ChunkDetector(self.sample_period_cycles, self.config.detector)
+        stalls = []
+        for chunk in np.array_split(
+            x, np.arange(chunk_samples, len(x), chunk_samples)
+        ):
+            stalls.extend(detector.push(normalizer.push(chunk)))
+        stalls.extend(detector.push(normalizer.flush()))
+        stalls.extend(detector.finish())
+        total_cycles = len(self.signal) * self.sample_period_cycles
+        return ProfileReport(
+            stalls=stalls,
+            total_cycles=total_cycles,
+            clock_hz=self.clock_hz,
+            sample_period_cycles=self.sample_period_cycles,
+            region_names=dict(self.region_names),
+        )
 
     def profile_window(self, begin_sample: int, end_sample: int) -> ProfileReport:
         """Profile only samples [begin_sample, end_sample).

@@ -4,29 +4,36 @@ The paper's SPEC captures outran the MXA's record length and had to be
 taken with a streaming front end (ThinkRF WSA5000 + PX14400 digitizers,
 Section VI).  Profiling such captures offline means holding hours of
 samples; this module processes the signal *incrementally*, in chunks of
-any size, with bounded memory:
+any size, with bounded memory.
 
-* :class:`OnlineNormalizer` - sliding-window min/max via monotonic
-  deques (amortized O(1) per sample), emitting exactly the same values
-  as the batch :func:`repro.core.normalize.normalize` (centered window,
+The numerical work lives in :mod:`repro.core.engine` (the vectorized
+chunked core shared with the batch path - see ``docs/engine.md``);
+this module is the *adapter* layer that adds runtime contracts,
+observability counters, and the robustness orchestration:
+
+* :class:`OnlineNormalizer` - sliding-window min/max normalization
+  over :class:`repro.core.engine.ChunkNormalizer`, emitting exactly
+  the same values as the batch
+  :func:`repro.core.normalize.normalize` (centered window,
   edge-clamped) at a fixed latency of half a window;
-* :class:`StreamingDetector` - an event state machine replicating the
-  batch detector (threshold, hysteresis merging, duration thresholds,
-  edge interpolation, refresh classification);
-* :class:`StreamingEmprof` - the facade: feed magnitude chunks, collect
-  stalls as they complete, and get the final :class:`ProfileReport`.
+* :class:`StreamingDetector` - chunked dip detection over
+  :class:`repro.core.engine.ChunkDetector`, equivalent to the batch
+  detector (threshold, hysteresis merging, duration thresholds, edge
+  interpolation, refresh classification);
+* :class:`StreamingEmprof` - the facade: feed magnitude chunks,
+  collect stalls as they complete, and get the final
+  :class:`ProfileReport`.
 
 Equivalence with the batch pipeline is tested property-style in
-``tests/test_streaming.py``: for any signal and any chunking, the
-streamed result equals the batch result.
+``tests/test_streaming.py`` and differentially against frozen seed
+implementations in ``tests/test_engine_equivalence.py``: for any
+signal and any chunking, the streamed result equals the batch result.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -40,6 +47,7 @@ from ..obs import metrics as _metrics, trace as _trace
 from ..obs.events import bus as _event_bus
 from ..obs.runtime import obs_enabled
 from .detect import DetectorConfig
+from .engine import ChunkDetector, ChunkNormalizer, finite_segments
 from .events import DetectedStall, ProfileReport
 from .normalize import NormalizerConfig
 
@@ -80,11 +88,13 @@ _STREAM_LOW_CONFIDENCE = _metrics.counter(
 class OnlineNormalizer:
     """Sliding-window min/max normalization with bounded memory.
 
+    A thin adapter over :class:`repro.core.engine.ChunkNormalizer`
+    adding the observability counter and the unit-interval contract.
     Matches the batch normalizer sample-for-sample: the window for
-    output position ``i`` is ``[i - half, i + half]`` clipped to the
-    signal, which is what ``scipy.ndimage.{minimum,maximum}_filter1d``
-    with ``mode="nearest"`` computes.  Output for position ``i`` is
-    emitted once input ``i + half`` has arrived (or at :meth:`flush`).
+    output position ``i`` is the centered, edge-clamped window that
+    ``scipy.ndimage.{minimum,maximum}_filter1d`` with
+    ``mode="nearest"`` computes.  Output for position ``i`` is emitted
+    once its full right context has arrived (or at :meth:`flush`).
 
     Smoothing (``smooth_samples > 1``) is not supported online; the
     constructor rejects such configs rather than silently diverging
@@ -92,102 +102,34 @@ class OnlineNormalizer:
     """
 
     def __init__(self, config: Optional[NormalizerConfig] = None):
-        cfg = config if config is not None else NormalizerConfig()
-        if cfg.smooth_samples != 1:
-            raise ValueError(
-                "online normalization does not support pre-smoothing; "
-                "use smooth_samples=1"
-            )
-        self.config = cfg
-        self._half = cfg.window_samples // 2
-        # Raw samples kept for the trailing window: positions
-        # [emit_pos - half, last_pos].
-        self._buffer: Deque[float] = deque()
-        self._buffer_start = 0  # absolute position of buffer[0]
-        self._next_in = 0  # absolute position of the next input sample
-        self._next_out = 0  # absolute position of the next output sample
-        # Monotonic deques of (position, value) over the buffer.
-        self._min_q: Deque[tuple] = deque()
-        self._max_q: Deque[tuple] = deque()
-
-    def _admit(self, pos: int, value: float) -> None:
-        self._buffer.append(value)
-        while self._min_q and self._min_q[-1][1] >= value:
-            self._min_q.pop()
-        self._min_q.append((pos, value))
-        while self._max_q and self._max_q[-1][1] <= value:
-            self._max_q.pop()
-        self._max_q.append((pos, value))
-
-    def _evict_before(self, pos: int) -> None:
-        while self._buffer_start < pos:
-            self._buffer.popleft()
-            self._buffer_start += 1
-        while self._min_q and self._min_q[0][0] < pos:
-            self._min_q.popleft()
-        while self._max_q and self._max_q[0][0] < pos:
-            self._max_q.popleft()
-
-    def _emit_one(self) -> float:
-        i = self._next_out
-        self._evict_before(i - self._half)
-        mmin = self._min_q[0][1]
-        mmax = self._max_q[0][1]
-        x = self._buffer[i - self._buffer_start]
-        self._next_out += 1
-        span = mmax - mmin
-        if span <= self.config.min_range_ratio * mmax or span <= 0:
-            return 1.0
-        return float(np.clip((x - mmin) / span, 0.0, 1.0))
+        self._engine = ChunkNormalizer(config)
+        self.config = self._engine.config
 
     @unit_interval_result
     def push(self, chunk: np.ndarray) -> np.ndarray:
         """Feed samples; return the normalized values now determined."""
-        out: List[float] = []
         arr = np.asarray(chunk, dtype=np.float64)
-        for value in arr:
-            self._admit(self._next_in, float(value))
-            self._next_in += 1
-            # Output i is ready once input i + half exists.
-            while self._next_out + self._half < self._next_in:
-                out.append(self._emit_one())
+        out = self._engine.push(arr)
         if obs_enabled():
             _STREAM_NORM_SAMPLES.inc(len(arr))
-        return np.asarray(out)
+        return out
 
     @unit_interval_result
     def flush(self) -> np.ndarray:
         """Emit the tail (positions whose right context is the signal end)."""
-        out: List[float] = []
-        while self._next_out < self._next_in:
-            out.append(self._emit_one())
-        return np.asarray(out)
+        return self._engine.flush()
 
     @property
     def latency_samples(self) -> int:
         """Fixed emission delay (half the window)."""
-        return self._half
-
-
-@dataclass
-class _DipState:
-    """An open (not yet finalized) dip."""
-
-    start: int  # first sample below threshold
-    end: int  # one past the last sample below threshold
-    min_level: float
-    below_samples: int  # samples strictly below threshold
-    enter_prev: float  # normalized value just before `start`
-    start_value: float = 0.0  # normalized value at `start`
-    end_prev_value: float = 0.0  # normalized value at `end - 1`
-    exit_value: float = 0.0  # normalized value at `end` (set at gap start)
-    gap_start: Optional[int] = None  # first above-threshold sample after end
-    gap_max: float = -np.inf
+        return self._engine.latency_samples
 
 
 class StreamingDetector:
     """Incremental dip detection equivalent to :func:`detect_stalls`.
 
+    A thin adapter over :class:`repro.core.engine.ChunkDetector`
+    adding observability counters and the monotonic-stream contract.
     Feed normalized samples with :meth:`push`; completed stalls are
     returned as they become final (a stall is final once the signal has
     recovered above the hysteresis threshold, or at :meth:`finish`).
@@ -198,148 +140,32 @@ class StreamingDetector:
         sample_period_cycles: float,
         config: Optional[DetectorConfig] = None,
     ):
-        if sample_period_cycles <= 0:
-            raise ValueError("sample period must be positive")
-        self.period = float(sample_period_cycles)
-        self.config = config if config is not None else DetectorConfig()
-        self._pos = 0
-        self._prev = 1.0  # value of the previous sample (edge refinement)
-        self._open: Optional[_DipState] = None
-        self._samples_seen = 0
+        cfg = config if config is not None else DetectorConfig()
+        self._engine = ChunkDetector(sample_period_cycles, cfg)
+        self.period = self._engine.period
+        self.config = cfg
 
-    # -- internal -----------------------------------------------------------
-
-    def _refine(self, a: float, b: float, boundary: int) -> float:
-        """Fractional crossing between samples boundary-1 (a) and boundary (b)."""
-        if boundary <= 0:
-            return float(boundary)
-        # Exact equality is the degenerate-slope guard (see the batch
-        # detector's _refine_edge): bit-identical samples only.
-        if a == b:  # emlint: disable=float-equality
-            return float(boundary)
-        frac = (self.config.threshold - a) / (b - a)
-        if not 0.0 <= frac <= 1.0:
-            return float(boundary)
-        return boundary - 1 + frac
-
-    def _finalize(self, dip: _DipState, exit_value: float) -> Optional[DetectedStall]:
-        cfg = self.config
-        if dip.end - dip.start < cfg.min_duration_samples:
-            return None
-        # Edge refinement: entry crossing between (start-1, start) and
-        # exit crossing between (end-1, end).
-        begin = self._refine(dip.enter_prev, dip.start_value, dip.start)
-        finish = self._refine(dip.end_prev_value, exit_value, dip.end)
-        if finish <= begin:
-            return None
-        duration = (finish - begin) * self.period
-        if duration < cfg.min_duration_cycles:
-            return None
-        return DetectedStall(
-            begin_sample=begin,
-            end_sample=finish,
-            begin_cycle=begin * self.period,
-            end_cycle=finish * self.period,
-            min_level=dip.min_level,
-            is_refresh=duration >= cfg.refresh_min_cycles,
-        )
-
-    # -- public --------------------------------------------------------------
+    def _count(self, out: List[DetectedStall]) -> List[DetectedStall]:
+        _STREAM_STALLS.inc(len(out))
+        _STREAM_REFRESH.inc(sum(1 for s in out if s.is_refresh))
+        return out
 
     @monotonic_stall_stream
     def push(self, normalized: np.ndarray) -> List[DetectedStall]:
         """Consume normalized samples; return newly finalized stalls."""
-        cfg = self.config
-        out: List[DetectedStall] = []
         arr = np.asarray(normalized, dtype=np.float64)
-        for value in arr:
-            v = float(value)
-            i = self._pos
-            below = v < cfg.threshold
-            dip = self._open
-            if dip is None:
-                if below:
-                    dip = _DipState(
-                        start=i,
-                        end=i + 1,
-                        min_level=v,
-                        below_samples=1,
-                        enter_prev=self._prev,
-                    )
-                    dip.start_value = v
-                    dip.end_prev_value = v
-                    self._open = dip
-            else:
-                in_gap = dip.gap_start is not None
-                if below:
-                    if in_gap:
-                        gap_len = i - dip.gap_start
-                        if (
-                            dip.gap_max < cfg.recover_threshold
-                            or gap_len <= cfg.merge_gap_samples
-                        ):
-                            # Merge: the dip continues through the gap.
-                            dip.gap_start = None
-                            dip.gap_max = -np.inf
-                        else:
-                            # The previous dip is final; a new one starts.
-                            stall = self._finalize(dip, dip.exit_value)
-                            if stall is not None:
-                                out.append(stall)
-                            dip = _DipState(
-                                start=i,
-                                end=i + 1,
-                                min_level=v,
-                                below_samples=1,
-                                enter_prev=self._prev,
-                            )
-                            dip.start_value = v
-                            dip.end_prev_value = v
-                            self._open = dip
-                            self._prev = v
-                            self._pos += 1
-                            self._samples_seen += 1
-                            continue
-                    dip.end = i + 1
-                    dip.below_samples += 1
-                    dip.min_level = min(dip.min_level, v)
-                    dip.end_prev_value = v
-                else:
-                    if not in_gap:
-                        dip.gap_start = i
-                        dip.exit_value = v
-                    dip.gap_max = max(dip.gap_max, v)
-            self._prev = v
-            self._pos += 1
-            self._samples_seen += 1
+        out = self._engine.push(arr)
         if obs_enabled():
             _STREAM_DETECT_SAMPLES.inc(len(arr))
-            _STREAM_STALLS.inc(len(out))
-            _STREAM_REFRESH.inc(sum(1 for s in out if s.is_refresh))
+            self._count(out)
         return out
 
     @monotonic_stall_stream
     def finish(self) -> List[DetectedStall]:
         """Finalize any open dip at end of signal."""
-        out: List[DetectedStall] = []
-        dip = self._open
-        if dip is not None:
-            if dip.gap_start is None:
-                # The signal ended mid-dip: no sample exists past the
-                # boundary, so the edge cannot be interpolated (the
-                # batch detector's array-edge fallback).  Passing the
-                # end-adjacent value makes _refine return the integer
-                # boundary.
-                exit_value = dip.end_prev_value
-            else:
-                exit_value = dip.exit_value
-            stall = self._finalize(dip, exit_value)
-            if stall is not None:
-                out.append(stall)
-            self._open = None
+        out = self._engine.finish()
         if obs_enabled():
-            _STREAM_STALLS.inc(len(out))
-            _STREAM_REFRESH.inc(sum(1 for s in out if s.is_refresh))
+            self._count(out)
         return out
 
     @monotonic_stall_stream
@@ -353,26 +179,15 @@ class StreamingDetector:
         advancing and the next sample is treated like a stream start
         (neutral previous value for edge refinement).
         """
-        out: List[DetectedStall] = []
-        dip = self._open
-        if dip is not None:
-            exit_value = (
-                dip.end_prev_value if dip.gap_start is None else dip.exit_value
-            )
-            stall = self._finalize(dip, exit_value)
-            if stall is not None:
-                out.append(stall)
-            self._open = None
-        self._prev = 1.0
+        out = self._engine.resync()
         if obs_enabled():
-            _STREAM_STALLS.inc(len(out))
-            _STREAM_REFRESH.inc(sum(1 for s in out if s.is_refresh))
+            self._count(out)
         return out
 
     @property
     def samples_seen(self) -> int:
         """Total normalized samples consumed."""
-        return self._samples_seen
+        return self._engine.samples_seen
 
 
 class StreamingEmprof:
@@ -578,19 +393,7 @@ class StreamingEmprof:
 
 def _finite_segments(chunk: np.ndarray, finite: np.ndarray):
     """Split ``chunk`` into (finite_segment, preceding_bad_run) pairs."""
-    out = []
-    i = 0
-    n = len(chunk)
-    while i < n:
-        bad = 0
-        while i < n and not finite[i]:
-            bad += 1
-            i += 1
-        start = i
-        while i < n and finite[i]:
-            i += 1
-        out.append((chunk[start:i], bad))
-    return out
+    return finite_segments(chunk, finite)
 
 
 def profile_chunks(

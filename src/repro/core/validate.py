@@ -53,13 +53,21 @@ def merge_intervals(intervals: np.ndarray, max_gap: float) -> np.ndarray:
         return iv.reshape(0, 2)
     order = np.argsort(iv[:, 0])
     iv = iv[order]
-    merged = [iv[0].tolist()]
-    for begin, end in iv[1:]:
-        if begin - merged[-1][1] <= max_gap:
-            merged[-1][1] = max(merged[-1][1], end)
-        else:
-            merged.append([begin, end])
-    return np.asarray(merged)
+    begins = iv[:, 0]
+    ends = iv[:, 1]
+    # A new group starts where the begin clears the running maximum of
+    # all earlier ends by more than max_gap.  The global running max is
+    # interchangeable with the per-group one here: once a group
+    # boundary is drawn, every later (sorted) begin clears all earlier
+    # ends by construction, so the two maxima decide identically.
+    running_end = np.maximum.accumulate(ends)
+    new_group = np.empty(len(iv), dtype=bool)
+    new_group[0] = True
+    new_group[1:] = begins[1:] - running_end[:-1] > max_gap
+    group_starts = np.flatnonzero(new_group)
+    return np.column_stack(
+        (begins[group_starts], np.maximum.reduceat(ends, group_starts))
+    )
 
 
 @dataclass(frozen=True)
@@ -107,27 +115,41 @@ def match_stalls(
     order = np.argsort(truth[:, 0]) if len(truth) else np.array([], dtype=int)
     truth = truth[order]
 
-    tp = 0
-    fp = 0
-    matched_truth = np.zeros(len(truth), dtype=bool)
-    truth_detected_cycles = np.zeros(len(truth))
-    ti = 0
-    for s in det:
-        begin = s.begin_cycle - tolerance_cycles
-        end = s.end_cycle + tolerance_cycles
-        while ti < len(truth) and truth[ti, 1] <= begin:
-            ti += 1
-        j = ti
-        hit = False
-        while j < len(truth) and truth[j, 0] < end:
-            hit = True
-            if not matched_truth[j]:
-                matched_truth[j] = True
-                tp += 1
-            truth_detected_cycles[j] += s.duration_cycles
-            j += 1
-        if not hit:
-            fp += 1
+    n_truth = len(truth)
+    n_det = len(det)
+    begin = np.asarray([s.begin_cycle for s in det]) - tolerance_cycles
+    end = np.asarray([s.end_cycle for s in det]) + tolerance_cycles
+    durations = np.asarray([s.duration_cycles for s in det])
+
+    if n_truth and n_det:
+        # Detection i absorbs the contiguous truth range [lo_i, hi_i):
+        # from the first truth still alive at its (padded) begin to the
+        # first truth starting at/after its (padded) end.  Truth begins
+        # are sorted; truth ends need a scan since they are not.
+        alive = truth[:, 1][None, :] > begin[:, None]
+        lo = np.where(alive.any(axis=1), alive.argmax(axis=1), n_truth)
+        hi = np.searchsorted(truth[:, 0], end, side="left")
+    else:
+        lo = np.full(n_det, n_truth, dtype=np.intp)
+        hi = np.zeros(n_det, dtype=np.intp)
+
+    hit = hi > lo
+    fp = int(np.count_nonzero(~hit))
+    counts = np.maximum(hi - lo, 0)
+    # Expand the per-detection ranges into (detection, truth) pairs in
+    # detection order, so the per-truth duration sums accumulate in
+    # exactly the greedy sweep's float-addition order.
+    det_idx = np.repeat(np.arange(n_det), counts)
+    offsets = np.arange(int(counts.sum())) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    truth_idx = np.repeat(lo, counts) + offsets
+    truth_detected_cycles = np.bincount(
+        truth_idx, weights=durations[det_idx], minlength=n_truth
+    )
+    matched_truth = np.zeros(n_truth, dtype=bool)
+    matched_truth[truth_idx] = True
+    tp = int(np.count_nonzero(matched_truth))
     fn = int(np.count_nonzero(~matched_truth))
     n_det_groups = tp + fp
     precision = tp / n_det_groups if n_det_groups else 1.0

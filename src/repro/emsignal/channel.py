@@ -98,12 +98,19 @@ class Channel:
         mean_gap = burst_samples * (1.0 - cfg.interference_duty) / max(
             cfg.interference_duty, 1e-9
         )
+        # Draw all burst placements first (the number of draws is
+        # data-dependent, so the loop is over scalars only), then paint
+        # the bursts in one pass.  The draw order matches the historical
+        # per-burst loop exactly, keeping seeded captures bit-stable.
+        bursts = []
         pos = int(rng.exponential(mean_gap)) if mean_gap > 0 else 0
         while pos < n:
             length = max(1, int(rng.exponential(burst_samples)))
             end = min(n, pos + length)
-            out[pos:end] = cfg.interference_level * rng.uniform(0.6, 1.0)
+            bursts.append((pos, end, cfg.interference_level * rng.uniform(0.6, 1.0)))
             pos = end + (int(rng.exponential(mean_gap)) if mean_gap > 0 else 1)
+        for begin, end, level in bursts:
+            out[begin:end] = level
         return out
 
     def apply(self, envelope: np.ndarray, rate_hz: float) -> np.ndarray:

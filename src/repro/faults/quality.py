@@ -87,17 +87,12 @@ def _identical_runs(chunk: np.ndarray, min_run: int) -> List[Tuple[int, int]]:
         return []
     # Boundaries where the value changes; bit-identical comparison is
     # the point (clipped ADC codes repeat exactly, noise never does).
-    same = chunk[1:] == chunk[:-1]  # emlint: disable=float-equality
-    out: List[Tuple[int, int]] = []
-    start = 0
-    for i in range(n - 1):
-        if not same[i]:
-            if i + 1 - start >= min_run:
-                out.append((start, i + 1))
-            start = i + 1
-    if n - start >= min_run:
-        out.append((start, n))
-    return out
+    changed = chunk[1:] != chunk[:-1]  # emlint: disable=float-equality
+    change_at = np.flatnonzero(changed)
+    starts = np.concatenate(([0], change_at + 1))
+    ends = np.concatenate((change_at + 1, [n]))
+    keep = (ends - starts) >= min_run
+    return list(zip(starts[keep].tolist(), ends[keep].tolist()))
 
 
 class QualityMonitor:

@@ -1,7 +1,11 @@
-"""Shared fixtures.
+"""Shared fixtures and signal/fault/chunking generators.
 
 Expensive end-to-end runs are session-scoped so the whole suite pays
-for each simulation once.
+for each simulation once.  The module-level generators below are the
+shared vocabulary of the engine differential harness
+(``tests/test_engine_equivalence.py`` / ``tests/test_engine_chunks.py``
+/ ``benchmarks/test_engine_throughput.py``): one signal family, one
+set of adversarial chunkings, one set of fault mixes.
 """
 
 from __future__ import annotations
@@ -12,6 +16,94 @@ import pytest
 from repro import Microbenchmark, simulate
 from repro.core.profiler import Emprof
 from repro.devices import olimex, sesc
+from repro.faults import (
+    BurstFault,
+    ClippingFault,
+    DcDriftFault,
+    DropoutFault,
+    FaultInjector,
+    GainStepFault,
+)
+
+# -- engine differential-harness generators ---------------------------------
+
+#: Dip geometry of :func:`make_dip_signal` (used to build chunkings
+#: that deliberately straddle dip boundaries).
+DIP_FIRST = 200
+DIP_EVERY = 170
+DIP_LEN = 13
+
+
+def make_dip_signal(n=5000, seed=0, dip_every=DIP_EVERY, dip_len=DIP_LEN):
+    """Busy-level magnitude with periodic stall dips (noisy, clipped)."""
+    rng = np.random.default_rng(seed)
+    x = np.full(n, 0.9) + rng.normal(0, 0.02, n)
+    for s in range(DIP_FIRST, n - DIP_FIRST, dip_every):
+        x[s : s + dip_len] = 0.1 + rng.normal(0, 0.01, dip_len)
+    return np.clip(x, 0.0, None)
+
+
+#: Adversarial chunkings: degenerate (1), primes (7, 101), typical
+#: (64, 4096), the whole signal, and boundaries cut mid-dip.
+CHUNKING_NAMES = (
+    "size-1",
+    "prime-7",
+    "size-64",
+    "prime-101",
+    "size-4096",
+    "whole",
+    "dip-straddling",
+)
+
+#: Plain chunk sizes (``None`` = whole signal) for parametrizing code
+#: that feeds ``(chunk, gap_before)`` pairs via ``iter_chunks``.
+CHUNK_SIZES = (1, 7, 64, 4096, None)
+
+
+def chunk_plan(x, name):
+    """Split ``x`` into the named adversarial chunking."""
+    n = len(x)
+    if name == "whole":
+        return [x]
+    if name == "dip-straddling":
+        # A boundary 5 samples into every dip of make_dip_signal's
+        # geometry: each dip straddles two chunks.
+        bounds = [s + 5 for s in range(DIP_FIRST, n - DIP_FIRST, DIP_EVERY)]
+        return np.split(x, [b for b in bounds if 0 < b < n])
+    size = int(name.rsplit("-", 1)[1])
+    return np.array_split(x, np.arange(size, n, size))
+
+
+def make_fault_injector(family, seed=0):
+    """A seeded :class:`FaultInjector` for one named fault family."""
+    mixes = {
+        "clean": [],
+        "dropout": [DropoutFault(rate=0.01, mean_gap_samples=40)],
+        "clipping": [ClippingFault(rate=0.02)],
+        "gain_step": [GainStepFault(steps=3)],
+        "burst": [BurstFault(bursts=4, length_samples=48)],
+        "dc_drift": [DcDriftFault(max_offset_ratio=0.2)],
+        "mixed": [
+            GainStepFault(steps=2),
+            DcDriftFault(),
+            BurstFault(bursts=2),
+            ClippingFault(rate=0.01),
+            DropoutFault(rate=0.005, mean_gap_samples=64),
+        ],
+    }
+    return FaultInjector(mixes[family], seed=100 + seed)
+
+
+#: Every fault family exercised by the differential harness.
+FAULT_FAMILIES = (
+    "clean",
+    "dropout",
+    "clipping",
+    "gain_step",
+    "burst",
+    "dc_drift",
+    "mixed",
+)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,298 @@
+"""Chunk-boundary regressions and engine building-block units.
+
+The differential harness (``tests/test_engine_equivalence.py``) proves
+the engine equals the seed in bulk; this module pins the *specific*
+boundary geometries that chunked processing gets wrong when carry
+state is mishandled:
+
+* a dip spanning three chunks,
+* a sample-drop gap starting exactly on a chunk boundary,
+* a stream ending mid-dip (finish/flush semantics),
+
+each over chunk sizes {1, 7, 64, 4096, whole}.  It also unit-tests
+:class:`~repro.core.engine.SampleRing` (including its amortized
+constant-time push guarantee), :func:`~repro.core.engine.finite_segments`,
+and the picklability of mid-stream engine state (campaign workers
+ship profilers across process boundaries).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.detect import DetectorConfig
+from repro.core.engine import ChunkDetector, ChunkNormalizer, SampleRing, finite_segments
+from repro.core.normalize import NormalizerConfig, normalize
+from repro.core.streaming import StreamingEmprof
+from repro.io import report_to_dict
+
+from tests.conftest import make_dip_signal
+from tests.reference_pipeline import (
+    ReferenceStreamingEmprof,
+    reference_detect_stalls,
+)
+
+RATE_HZ = 50e6
+CLOCK_HZ = 1e9
+PERIOD = CLOCK_HZ / RATE_HZ
+
+NORM_CFG = NormalizerConfig(window_samples=301)
+DET_CFG = DetectorConfig()
+
+#: ``None`` means "one chunk holding the whole signal".
+SIZES = (1, 7, 64, 4096, None)
+
+
+def split(x, size):
+    if size is None:
+        return [x]
+    return np.array_split(x, np.arange(size, len(x), size))
+
+
+def run_detector(norm, size, config=DET_CFG):
+    engine = ChunkDetector(PERIOD, config)
+    out = []
+    for chunk in split(norm, size):
+        out.extend(engine.push(chunk))
+    out.extend(engine.finish())
+    return out
+
+
+def as_tuples(stalls):
+    return [
+        (
+            s.begin_sample,
+            s.end_sample,
+            s.begin_cycle,
+            s.end_cycle,
+            s.min_level,
+            s.is_refresh,
+            s.low_confidence,
+        )
+        for s in stalls
+    ]
+
+
+# ---------------------------------------------------------------------------
+# chunk-boundary geometries
+# ---------------------------------------------------------------------------
+
+
+class TestBoundaryGeometries:
+    @pytest.mark.parametrize("size", SIZES)
+    def test_dip_spanning_three_chunks(self, size):
+        """One 40-sample dip cut so no chunk holds it whole (size<=64)."""
+        x = make_dip_signal(n=4000, seed=21, dip_every=4000, dip_len=0)
+        x[1990:2030] = 0.05  # one long dip centred mid-signal
+        norm = normalize(x, NORM_CFG)
+        want = reference_detect_stalls(norm, PERIOD, DET_CFG)
+        assert len(want) == 1
+        got = run_detector(norm, size)
+        assert as_tuples(got) == as_tuples(want)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_gap_starting_exactly_on_boundary(self, size):
+        """A driver-reported drop aligned to the chunk grid must resync
+        identically to the seed facade."""
+        x = make_dip_signal(n=6000, seed=22)
+        chunks = split(x, size)
+        engine = StreamingEmprof(RATE_HZ, CLOCK_HZ, normalizer=NORM_CFG, detector=DET_CFG)
+        reference = ReferenceStreamingEmprof(
+            RATE_HZ, CLOCK_HZ, normalizer=NORM_CFG, detector=DET_CFG
+        )
+        mid = len(chunks) // 2
+        for i, chunk in enumerate(chunks):
+            gap = 500 if i == mid else 0  # gap begins exactly at a boundary
+            engine.process(chunk, gap_before=gap)
+            reference.process(chunk, gap_before=gap)
+        got, want = engine.finish(), reference.finish()
+        assert as_tuples(got.stalls) == as_tuples(want.stalls)
+        assert report_to_dict(got) == report_to_dict(want)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_stream_ending_mid_dip(self, size):
+        """The signal stops while below threshold: only finish() may
+        close the dip, and it must close it like the seed does."""
+        x = make_dip_signal(n=3000, seed=23, dip_every=3000, dip_len=0)
+        x[2900:] = 0.05  # dip runs off the end of the capture
+        norm = normalize(x, NORM_CFG)
+        want = reference_detect_stalls(norm, PERIOD, DET_CFG)
+        assert len(want) == 1
+
+        engine = ChunkDetector(PERIOD, DET_CFG)
+        mid_stream = []
+        for chunk in split(norm, size):
+            mid_stream.extend(engine.push(chunk))
+        # The trailing dip is still open: push() must not have emitted it.
+        assert as_tuples(mid_stream) == as_tuples(want[:-1])
+        final = engine.finish()
+        assert as_tuples(mid_stream + final) == as_tuples(want)
+
+    @pytest.mark.parametrize("size", SIZES)
+    def test_merge_gap_straddling_boundary(self, size):
+        """Two dips whose merge decision depends on samples split
+        across a chunk boundary."""
+        x = make_dip_signal(n=4000, seed=24, dip_every=4000, dip_len=0)
+        x[2000:2010] = 0.05
+        x[2010:2012] = 0.5  # gap pokes above threshold, not above recover
+        x[2012:2022] = 0.05  # ... so hysteresis merges the two dips
+        x[2060:2070] = 0.05  # separated by a genuine busy gap: distinct
+        norm = normalize(x, NORM_CFG)
+        want = reference_detect_stalls(norm, PERIOD, DET_CFG)
+        assert len(want) == 2
+        got = run_detector(norm, size)
+        assert as_tuples(got) == as_tuples(want)
+
+
+# ---------------------------------------------------------------------------
+# SampleRing
+# ---------------------------------------------------------------------------
+
+
+class TestSampleRing:
+    def test_positions_and_views(self):
+        ring = SampleRing(capacity=8)
+        ring.push(np.arange(5.0))
+        assert (ring.first_position, ring.end_position) == (0, 5)
+        np.testing.assert_array_equal(ring.view(1, 4), [1.0, 2.0, 3.0])
+        ring.drop_before(3)
+        assert ring.first_position == 3
+        np.testing.assert_array_equal(ring.view(3, 5), [3.0, 4.0])
+        with pytest.raises(IndexError):
+            ring.view(2, 4)  # dropped
+        with pytest.raises(IndexError):
+            ring.view(4, 6)  # not yet pushed
+
+    def test_growth_preserves_contents(self):
+        ring = SampleRing(capacity=4)
+        data = np.arange(100.0)
+        for chunk in np.array_split(data, 13):
+            ring.push(chunk)
+        np.testing.assert_array_equal(ring.view(0, 100), data)
+
+    def test_view_is_zero_copy(self):
+        ring = SampleRing(capacity=64)
+        ring.push(np.arange(10.0))
+        view = ring.view(2, 8)
+        assert view.base is not None  # a view, not a copy
+
+    def test_amortized_constant_time_push(self):
+        """With a bounded live window, total copying is O(pushed), not
+        O(pushed * window): the ring never degrades to per-push
+        memmove the way a naive ``np.concatenate`` window would."""
+        window = 256
+        ring = SampleRing(capacity=4 * window)
+        chunk = np.ones(32)
+        for _ in range(2000):
+            ring.push(chunk)
+            ring.drop_before(ring.end_position - window)
+        assert ring.pushed_samples == 2000 * 32
+        # Every compaction moves <= window live samples and buys at
+        # least ``capacity - window`` pushes of headroom, so copy
+        # traffic is a small constant fraction of push traffic.
+        assert ring.copied_samples <= ring.pushed_samples
+
+    def test_push_timing_budget(self):
+        """Wall-clock guard: 1M samples through a windowed ring must be
+        fast (generous bound; catches accidental O(n^2) regressions)."""
+        window = 2001
+        ring = SampleRing(capacity=4096)
+        chunk = np.random.default_rng(0).random(1024)
+        start = time.perf_counter()
+        for _ in range(1000):
+            ring.push(chunk)
+            ring.drop_before(ring.end_position - window)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0, f"1M windowed pushes took {elapsed:.2f}s"
+
+
+# ---------------------------------------------------------------------------
+# finite_segments
+# ---------------------------------------------------------------------------
+
+
+class TestFiniteSegments:
+    def test_empty_chunk(self):
+        assert finite_segments(np.empty(0)) == []
+
+    def test_all_finite(self):
+        x = np.arange(5.0)
+        [(seg, bad)] = finite_segments(x)
+        np.testing.assert_array_equal(seg, x)
+        assert bad == 0
+        assert seg.base is not None  # zero-copy view
+
+    def test_interior_and_trailing_bad_runs(self):
+        x = np.array([1.0, np.nan, np.nan, 2.0, 3.0, np.inf])
+        pairs = finite_segments(x)
+        assert [(list(s), b) for s, b in pairs] == [
+            ([1.0], 0),
+            ([2.0, 3.0], 2),
+            ([], 1),
+        ]
+        # Bad-run lengths account for every non-finite sample.
+        assert sum(b for _, b in pairs) == 3
+
+    def test_leading_bad_run(self):
+        x = np.array([np.nan, np.nan, 4.0])
+        [(seg, bad)] = finite_segments(x)
+        assert (list(seg), bad) == ([4.0], 2)
+
+    def test_all_bad(self):
+        pairs = finite_segments(np.full(4, np.nan))
+        assert [(list(s), b) for s, b in pairs] == [([], 4)]
+
+
+# ---------------------------------------------------------------------------
+# picklability: campaign workers ship engine state between processes
+# ---------------------------------------------------------------------------
+
+
+class TestPickleMidStream:
+    def test_detector_roundtrip_continues_identically(self):
+        norm = normalize(make_dip_signal(n=8000, seed=25), NORM_CFG)
+        head, tail = norm[:3105], norm[3105:]  # cut mid-signal
+
+        whole = ChunkDetector(PERIOD, DET_CFG)
+        want = whole.push(norm) + whole.finish()
+
+        first = ChunkDetector(PERIOD, DET_CFG)
+        got = first.push(head)
+        resumed = pickle.loads(pickle.dumps(first))
+        got += resumed.push(tail) + resumed.finish()
+        assert as_tuples(got) == as_tuples(want)
+
+    def test_streaming_facade_roundtrip(self):
+        x = make_dip_signal(n=8000, seed=26)
+        chunks = np.array_split(x, 10)
+
+        reference = StreamingEmprof(RATE_HZ, CLOCK_HZ, normalizer=NORM_CFG)
+        for chunk in chunks:
+            reference.process(chunk)
+        want = reference.finish()
+
+        live = StreamingEmprof(RATE_HZ, CLOCK_HZ, normalizer=NORM_CFG)
+        for chunk in chunks[:4]:
+            live.process(chunk)
+        live = pickle.loads(pickle.dumps(live))
+        for chunk in chunks[4:]:
+            live.process(chunk)
+        got = live.finish()
+        assert as_tuples(got.stalls) == as_tuples(want.stalls)
+        assert report_to_dict(got) == report_to_dict(want)
+
+    def test_normalizer_roundtrip(self):
+        x = make_dip_signal(n=5000, seed=27)
+        whole = ChunkNormalizer(NORM_CFG)
+        want = np.concatenate([whole.push(x), whole.flush()])
+
+        first = ChunkNormalizer(NORM_CFG)
+        parts = [first.push(x[:2048])]
+        resumed = pickle.loads(pickle.dumps(first))
+        parts.append(resumed.push(x[2048:]))
+        parts.append(resumed.flush())
+        np.testing.assert_array_equal(np.concatenate(parts), want)

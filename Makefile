@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-cold regress check dashboard chaos bench bench-all bench-engine trace watch-demo reproduce examples selftest clean
+.PHONY: install test lint lint-cold regress check dashboard chaos chaos-service bench bench-all bench-engine trace watch-demo reproduce examples selftest clean
 
 install:
 	pip install -e .
@@ -27,8 +27,9 @@ regress:
 
 # The default verification flow: static analysis + perf history +
 # the engine differential harness (docs/engine.md equivalence
-# contract: the vectorized engine is bit-identical to the seed).
-check: lint regress
+# contract: the vectorized engine is bit-identical to the seed) +
+# the supervised-service chaos suite (docs/service.md invariants).
+check: lint regress chaos-service
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_engine_equivalence.py tests/test_engine_chunks.py -q
 
 # Render the run observatory over the ledger history.
@@ -39,6 +40,12 @@ dashboard:
 # bounded-error chaos property test, retry and campaign resume.
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/test_faults_inject.py tests/test_faults_pipeline.py tests/test_faults_chaos.py tests/test_faults_runner.py -q
+
+# Supervisor/daemon chaos suite: kill -9 and SIGSTOP'd workers,
+# poison-spec quarantine, lease timeouts, graceful SIGTERM, and the
+# 100-run exactly-once acceptance scenario (docs/service.md).
+chaos-service:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/test_campaign_supervisor.py tests/test_service.py -q
 
 # Quick perf-tracking benches; writes BENCH_obs.json (latest session,
 # atomic) and appends per-bench history to LEDGER_obs.jsonl.

@@ -13,7 +13,10 @@ Mirrors a real measurement campaign's workflow:
 * ``faults``     - chaos demo: inject impairments into a capture and
   compare the hardened streaming profile against the clean one;
 * ``obs``        - pretty-print an observability snapshot (or run a
-  live instrumented demo); see ``docs/observability.md``.
+  live instrumented demo); see ``docs/observability.md``;
+* ``campaignd``  - the supervised campaign daemon and its protocol
+  clients (submit/status/cancel/drain/shutdown); see
+  ``docs/service.md``.
 
 Global ``--quiet`` / ``--verbose`` flags control the stdlib-logging
 bridge (:mod:`repro.obs.logbridge`); ``profile --trace-out/--metrics-out``
@@ -212,6 +215,14 @@ def cmd_obs(args: argparse.Namespace) -> int:
     from .obs.cli import main as obs_main
 
     return obs_main(list(args.args) + list(getattr(args, "extra_args", [])))
+
+
+def cmd_campaignd(args: argparse.Namespace) -> int:
+    # Same delegation shape as `obs`: the repro-campaignd entry point
+    # owns the daemon/client argument handling, this just forwards.
+    from .experiments.service import main as campaignd_main
+
+    return campaignd_main(list(args.args) + list(getattr(args, "extra_args", [])))
 
 
 def cmd_selftest(args: argparse.Namespace) -> int:
@@ -565,17 +576,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ob.set_defaults(func=cmd_obs)
 
+    cd = sub.add_parser(
+        "campaignd",
+        help="supervised campaign daemon and its protocol clients",
+        description=(
+            "Forwards to the repro-campaignd entry point.  Forms: "
+            "`repro campaignd serve --dir DIR --workers N`, "
+            "`repro campaignd submit --addr HOST:PORT --json '{...}'`, "
+            "`repro campaignd status|cancel|drain|shutdown --addr "
+            "HOST:PORT`.  See docs/service.md."
+        ),
+    )
+    cd.add_argument(
+        "args",
+        nargs="*",
+        help="campaignd subcommand (serve/submit/status/cancel/drain/"
+        "shutdown) and its arguments",
+    )
+    cd.set_defaults(func=cmd_campaignd)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
-    # `obs` forwards its whole tail (including flags like --trace or
-    # --window that only repro-obs knows) to the obs entry point, so
-    # unknown arguments are tolerated for that command alone.
+    # `obs` and `campaignd` forward their whole tail (including flags
+    # like --trace or --addr that only their own entry points know), so
+    # unknown arguments are tolerated for those commands alone.
     args, extra = parser.parse_known_args(argv)
-    if extra and args.func is not cmd_obs:
+    if extra and args.func not in (cmd_obs, cmd_campaignd):
         parser.error(f"unrecognized arguments: {' '.join(extra)}")
     args.extra_args = extra
     verbosity = -1 if args.quiet else args.verbose

@@ -20,8 +20,11 @@ Facts recorded per module:
   import-time state.
 * **per-function summaries** — ``global`` rebinds, mutations of
   module-level names (and whether they happen under a module-level
-  lock), suspicious ``multiprocessing``/executor targets, and the
-  shape of every loop over ndarray-typed values.
+  lock), suspicious ``multiprocessing``/executor targets, the shape of
+  every loop over ndarray-typed values, ``signal.signal``
+  registrations (with inline-lambda handlers scanned on the spot), and
+  curated blocking / non-reentrant calls so the signal-handler rule
+  can audit whatever ends up registered.
 * **suppressions** — the ``# emlint: disable=`` map, so cached files
   still honor their inline suppressions when cross findings land on
   them.
@@ -34,7 +37,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 #: Bump when the fact schema changes incompatibly (invalidates caches).
-FACTS_SCHEMA_VERSION = 1
+FACTS_SCHEMA_VERSION = 2
 
 # ---------------------------------------------------------------------------
 # fact records
@@ -110,6 +113,32 @@ class TargetFact:
 
 
 @dataclass(frozen=True)
+class SignalRegistrationFact:
+    """One ``signal.signal(SIG, handler)`` call inside a function.
+
+    Attributes:
+        lineno / col: the registration site.
+        signal_name: e.g. ``SIGTERM`` (best effort from the AST).
+        handler: the name used to resolve the handler — a function
+            name, the terminal attribute of a bound method
+            (``self._on_signal`` -> ``_on_signal``), or ``lambda``.
+        handler_kind: ``name`` / ``attribute`` / ``lambda`` / ``other``.
+        inline_blocking / inline_nonreentrant: curated calls found
+            inside an inline-lambda handler, as ``(callee, lineno)``;
+            empty for named handlers (their own FunctionFact carries
+            the calls).
+    """
+
+    lineno: int
+    col: int
+    signal_name: str
+    handler: str
+    handler_kind: str
+    inline_blocking: Tuple[Tuple[str, int], ...] = ()
+    inline_nonreentrant: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
 class FunctionFact:
     """Cross-module-relevant summary of one function or method."""
 
@@ -120,6 +149,13 @@ class FunctionFact:
     mutations: Tuple[MutationFact, ...] = ()
     loops: Tuple[LoopFact, ...] = ()
     process_targets: Tuple[TargetFact, ...] = ()
+    signal_registrations: Tuple[SignalRegistrationFact, ...] = ()
+    #: curated calls that can block (``sleep``, ``join``, ``acquire``,
+    #: socket ops, ...) as ``(callee, lineno)``.
+    blocking_calls: Tuple[Tuple[str, int], ...] = ()
+    #: curated non-reentrant calls (``print``, ``open``, logging
+    #: methods, stream writes) as ``(callee, lineno)``.
+    nonreentrant_calls: Tuple[Tuple[str, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -150,14 +186,21 @@ class ModuleFacts:
             d["names"] = tuple(d.get("names") or ())
             return ImportFact(**d)
 
+        def _pairs(raw) -> Tuple[Tuple[str, int], ...]:
+            return tuple((str(n), int(l)) for n, l in raw or ())
+
+        def _sig(d: dict) -> SignalRegistrationFact:
+            d = dict(d)
+            d["inline_blocking"] = _pairs(d.get("inline_blocking"))
+            d["inline_nonreentrant"] = _pairs(d.get("inline_nonreentrant"))
+            return SignalRegistrationFact(**d)
+
         def _fn(d: dict) -> FunctionFact:
             return FunctionFact(
                 qualname=d["qualname"],
                 lineno=d["lineno"],
                 col=d["col"],
-                global_rebinds=tuple(
-                    (str(n), int(l)) for n, l in d.get("global_rebinds") or ()
-                ),
+                global_rebinds=_pairs(d.get("global_rebinds")),
                 mutations=tuple(
                     MutationFact(**m) for m in d.get("mutations") or ()
                 ),
@@ -165,6 +208,11 @@ class ModuleFacts:
                 process_targets=tuple(
                     TargetFact(**t) for t in d.get("process_targets") or ()
                 ),
+                signal_registrations=tuple(
+                    _sig(s) for s in d.get("signal_registrations") or ()
+                ),
+                blocking_calls=_pairs(d.get("blocking_calls")),
+                nonreentrant_calls=_pairs(d.get("nonreentrant_calls")),
             )
 
         return cls(
@@ -255,6 +303,39 @@ _EXECUTOR_METHODS = {
     "imap_unordered",
 }
 
+#: Curated call names that can block indefinitely.  A signal handler
+#: that blocks can deadlock the very code it interrupted (the
+#: interrupted frame may hold the lock/queue the handler waits on).
+_BLOCKING_CALLS = {
+    "sleep",
+    "join",
+    "acquire",
+    "wait",
+    "wait_for",
+    "accept",
+    "select",
+    "recv",
+    "recvfrom",
+    "sendall",
+    "connect",
+}
+
+#: Curated call names that are not async-signal-safe: stdio and file
+#: I/O take internal locks the interrupted frame may already hold.
+_NONREENTRANT_CALLS = {"print", "open", "flush", "write"}
+
+#: Logger method names; flagged when invoked on a logging-ish receiver
+#: (the logging module serializes handlers with a module-level lock).
+_LOGGING_METHODS = {
+    "debug",
+    "info",
+    "warning",
+    "error",
+    "critical",
+    "exception",
+    "log",
+}
+
 _MUTATING_METHODS = {
     "append",
     "extend",
@@ -312,6 +393,42 @@ def _terminal_name(node: ast.AST) -> Optional[str]:
     if isinstance(node, ast.Name):
         return node.id
     return None
+
+
+def _classify_special_call(node: ast.Call) -> Optional[Tuple[str, str]]:
+    """("blocking"|"nonreentrant", callee) for curated calls, else None."""
+    callee = _call_name(node)
+    if callee is None:
+        return None
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Constant):
+        return None  # ", ".join(...) and friends: not the join we mean
+    if callee in _BLOCKING_CALLS:
+        return ("blocking", callee)
+    if callee in _NONREENTRANT_CALLS:
+        return ("nonreentrant", callee)
+    if callee in _LOGGING_METHODS and isinstance(func, ast.Attribute):
+        receiver = (_terminal_name(func.value) or "").lower()
+        if "log" in receiver:
+            return ("nonreentrant", callee)
+    return None
+
+
+def _lambda_special_calls(
+    handler: ast.Lambda,
+) -> Tuple[Tuple[Tuple[str, int], ...], Tuple[Tuple[str, int], ...]]:
+    """(blocking, nonreentrant) curated calls inside a lambda handler."""
+    blocking: List[Tuple[str, int]] = []
+    nonreentrant: List[Tuple[str, int]] = []
+    for sub in ast.walk(handler):
+        if isinstance(sub, ast.Call):
+            classified = _classify_special_call(sub)
+            if classified is None:
+                continue
+            kind, callee = classified
+            entry = (callee, sub.lineno)
+            (blocking if kind == "blocking" else nonreentrant).append(entry)
+    return tuple(blocking), tuple(nonreentrant)
 
 
 # ---------------------------------------------------------------------------
@@ -384,6 +501,9 @@ class _FunctionSummarizer:
         self.mutations: List[MutationFact] = []
         self.loops: List[LoopFact] = []
         self.targets: List[TargetFact] = []
+        self.signal_registrations: List[SignalRegistrationFact] = []
+        self.blocking_calls: List[Tuple[str, int]] = []
+        self.nonreentrant_calls: List[Tuple[str, int]] = []
         self._declared_global: Set[str] = set()
         self._array_names: Set[str] = set()
         self._nested_funcs: Set[str] = set()
@@ -455,6 +575,9 @@ class _FunctionSummarizer:
             mutations=tuple(self.mutations),
             loops=tuple(self.loops),
             process_targets=tuple(self.targets),
+            signal_registrations=tuple(self.signal_registrations),
+            blocking_calls=tuple(self.blocking_calls),
+            nonreentrant_calls=tuple(self.nonreentrant_calls),
         )
 
     def _walk(self, nodes: Sequence[ast.AST], lock_depth: int) -> None:
@@ -509,6 +632,8 @@ class _FunctionSummarizer:
         elif isinstance(node, ast.Call):
             self._note_mutating_call(node, locked)
             self._note_process_target(node)
+            self._note_signal_registration(node)
+            self._note_special_call(node)
 
     def _note_bind(
         self, target: ast.AST, value: ast.AST, stmt: ast.AST, locked: bool
@@ -575,6 +700,69 @@ class _FunctionSummarizer:
                 locked=locked,
             )
         )
+
+    # -- signal handlers and special calls ----------------------------------
+
+    def _note_signal_registration(self, node: ast.Call) -> None:
+        # `signal.signal(SIG, handler)` or bare `signal(SIG, handler)`
+        # (from `from signal import signal`); 2+ args, second is the
+        # handler.  SIG_IGN/SIG_DFL dispositions are not handlers.
+        func = node.func
+        is_signal_call = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "signal"
+            and _terminal_name(func.value) == "signal"
+        ) or (isinstance(func, ast.Name) and func.id == "signal")
+        if not is_signal_call or len(node.args) < 2:
+            return
+        handler = node.args[1]
+        if (
+            isinstance(handler, ast.Attribute)
+            and handler.attr in ("SIG_IGN", "SIG_DFL")
+        ):
+            return
+        sig = node.args[0]
+        if isinstance(sig, ast.Attribute):
+            signal_name = sig.attr
+        elif isinstance(sig, ast.Name):
+            signal_name = sig.id
+        else:
+            signal_name = "?"
+        inline_blocking: Tuple[Tuple[str, int], ...] = ()
+        inline_nonreentrant: Tuple[Tuple[str, int], ...] = ()
+        if isinstance(handler, ast.Lambda):
+            kind, name = "lambda", "lambda"
+            inline_blocking, inline_nonreentrant = _lambda_special_calls(
+                handler
+            )
+        elif isinstance(handler, ast.Name):
+            kind, name = "name", handler.id
+        elif isinstance(handler, ast.Attribute):
+            kind, name = "attribute", handler.attr
+        else:
+            kind, name = "other", "?"
+        self.signal_registrations.append(
+            SignalRegistrationFact(
+                lineno=node.lineno,
+                col=node.col_offset + 1,
+                signal_name=signal_name,
+                handler=name,
+                handler_kind=kind,
+                inline_blocking=inline_blocking,
+                inline_nonreentrant=inline_nonreentrant,
+            )
+        )
+
+    def _note_special_call(self, node: ast.Call) -> None:
+        classified = _classify_special_call(node)
+        if classified is None:
+            return
+        kind, callee = classified
+        entry = (callee, node.lineno)
+        if kind == "blocking":
+            self.blocking_calls.append(entry)
+        else:
+            self.nonreentrant_calls.append(entry)
 
     # -- multiprocessing targets -------------------------------------------
 

@@ -12,13 +12,16 @@ cycles are findings.  ``obs`` additionally stays stdlib-only at
 import time.
 
 **Concurrency safety** (``shared-mutable-state``, ``fork-unsafety``,
-``unpicklable-target``) — module-level mutable state mutated from
-function bodies without a module-level lock held, RNG instances and
-file/socket handles captured at import time (fork-hostile: every
-worker inherits the same stream/descriptor), and callables handed to
-``multiprocessing``/executor APIs that cannot survive pickling
-(lambdas, nested functions).  These clear the runway for the
-multi-worker campaign service.
+``unpicklable-target``, ``signal-handler``) — module-level mutable
+state mutated from function bodies without a module-level lock held,
+RNG instances and file/socket handles captured at import time
+(fork-hostile: every worker inherits the same stream/descriptor),
+callables handed to ``multiprocessing``/executor APIs that cannot
+survive pickling (lambdas, nested functions), and signal handlers
+that block or do non-reentrant work (a handler runs *inside* an
+arbitrary interrupted frame; the only safe body sets a flag).  These
+clear the runway for the multi-worker campaign service and its
+SIGTERM-drained daemon.
 
 **Hot-loop vectorization** (``hot-loop``) — per-sample Python loops
 over ndarray-typed values inside modules tagged *hot* in the layer
@@ -304,6 +307,81 @@ class UnpicklableTargetRule(CrossRule):
                     )
 
 
+class SignalHandlerRule(CrossRule):
+    name = "signal-handler"
+    description = (
+        "signal handler blocks or does non-reentrant work; a handler "
+        "interrupts an arbitrary frame, so it must only set a flag"
+    )
+
+    def check(self, program: ProgramFacts) -> Iterator[Finding]:
+        for module in sorted(program.modules):
+            facts = program.modules[module]
+            functions = list(facts.functions)
+            for function in functions:
+                for reg in function.signal_registrations:
+                    yield from self._check_registration(
+                        facts, functions, function, reg
+                    )
+
+    def _check_registration(self, facts, functions, registrar, reg):
+        where = f"{reg.signal_name} handler"
+        if reg.handler_kind == "lambda":
+            for callee, lineno in reg.inline_blocking:
+                yield self.finding(
+                    facts.path,
+                    lineno,
+                    1,
+                    f"inline lambda {where} (registered in "
+                    f"'{registrar.qualname}') calls blocking '{callee}'; "
+                    f"it can deadlock the interrupted frame — set a "
+                    f"flag/Event and act on it from normal code",
+                )
+            for callee, lineno in reg.inline_nonreentrant:
+                yield self.finding(
+                    facts.path,
+                    lineno,
+                    1,
+                    f"inline lambda {where} (registered in "
+                    f"'{registrar.qualname}') calls non-reentrant "
+                    f"'{callee}'; I/O and logging take locks the "
+                    f"interrupted frame may hold — set a flag instead",
+                )
+            return
+        if reg.handler_kind not in ("name", "attribute"):
+            return
+        # Resolve the handler within the same module: an exact
+        # qualname match, or a method whose terminal name matches
+        # (`self._on_signal` -> `CampaignService._on_signal`).
+        handlers = [
+            f
+            for f in functions
+            if f.qualname == reg.handler
+            or f.qualname.endswith("." + reg.handler)
+        ]
+        for handler in handlers:
+            for callee, lineno in handler.blocking_calls:
+                yield self.finding(
+                    facts.path,
+                    lineno,
+                    1,
+                    f"'{handler.qualname}' is a {where} (registered at "
+                    f"line {reg.lineno}) but calls blocking '{callee}'; "
+                    f"it can deadlock the interrupted frame — set a "
+                    f"flag/Event and act on it from normal code",
+                )
+            for callee, lineno in handler.nonreentrant_calls:
+                yield self.finding(
+                    facts.path,
+                    lineno,
+                    1,
+                    f"'{handler.qualname}' is a {where} (registered at "
+                    f"line {reg.lineno}) but calls non-reentrant "
+                    f"'{callee}'; I/O and logging take locks the "
+                    f"interrupted frame may hold — set a flag instead",
+                )
+
+
 # ---------------------------------------------------------------------------
 # hot-loop vectorization
 # ---------------------------------------------------------------------------
@@ -372,6 +450,7 @@ ALL_CROSS_RULES: Tuple[Type[CrossRule], ...] = (
     SharedMutableStateRule,
     ForkUnsafetyRule,
     UnpicklableTargetRule,
+    SignalHandlerRule,
     HotLoopRule,
 )
 

@@ -78,3 +78,26 @@ class CorruptCaptureError(AcquisitionError, ValueError):
 
 class CampaignError(EmprofError, RuntimeError):
     """An experiment campaign's checkpoint state is unusable."""
+
+
+class ServiceError(EmprofError, RuntimeError):
+    """The campaign daemon was misused or handed an unusable request.
+
+    Raised by :mod:`repro.experiments.service` for conditions the
+    *caller* must fix: submitting after a drain was requested, a job
+    payload naming an unknown workload or device, starting a service
+    twice.  Protocol handlers catch it and turn it into an
+    ``{"ok": false, "error": ...}`` response instead of dropping the
+    connection.
+    """
+
+
+class JobInterruptedError(EmprofError, RuntimeError):
+    """A supervised campaign job's worker died, hung, or timed out.
+
+    Never raised through user code - the supervisor synthesizes it to
+    *describe* why a lease was revoked (the message lands in the
+    manifest's ``error`` field and the requeue ledger record), keeping
+    watchdog verdicts distinguishable from in-run failures
+    (:class:`AcquisitionError`), which are terminal and not requeued.
+    """

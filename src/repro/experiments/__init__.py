@@ -4,22 +4,32 @@
   drivers (the Section V-B and V-C measurement paths) plus
   retry-with-backoff acquisition.
 * :mod:`repro.experiments.campaign` - checkpointed multi-run
-  campaigns with resume.
+  campaigns with resume, supervised across forked workers.
+* :mod:`repro.experiments.service` - the ``repro-campaignd`` daemon:
+  a fault-tolerant job queue over supervised campaigns.
 * :mod:`repro.experiments.tables` - Tables I-V row generators plus the
   perf anecdote.
 * :mod:`repro.experiments.figures` - Figs. 1-14 series generators.
 """
 
-from .campaign import Campaign, CampaignResult, RunOutcome, RunSpec
+from .campaign import (
+    Campaign,
+    CampaignExecution,
+    CampaignResult,
+    RunOutcome,
+    RunSpec,
+)
 from .runner import (
     ExperimentRun,
     RetryPolicy,
+    SimulatedCaptureSource,
     acquire_with_retry,
     microbenchmark_window,
     run_device,
     run_simulator,
     window_cycles,
 )
+from .service import CampaignService, build_specs, expand_matrix
 from .tables import (
     DEVICE_ORDER,
     MICRO_GRID,
@@ -42,11 +52,16 @@ from .tables import (
 __all__ = [
     "ExperimentRun",
     "RetryPolicy",
+    "SimulatedCaptureSource",
     "acquire_with_retry",
     "Campaign",
+    "CampaignExecution",
     "CampaignResult",
+    "CampaignService",
     "RunOutcome",
     "RunSpec",
+    "build_specs",
+    "expand_matrix",
     "run_simulator",
     "run_device",
     "microbenchmark_window",

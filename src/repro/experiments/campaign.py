@@ -27,10 +27,25 @@ makes a killed campaign cheap to restart:
   ``campaign-run``) plus a summary record (kind ``campaign``) per
   :meth:`Campaign.execute` pass - so a long bench session can be
   watched from the outside (``repro obs ledger``/``dashboard``)
-  without touching the process.
+  without touching the process;
+* multi-worker execution is **supervised** - with ``workers > 1`` the
+  parent runs a dynamic job queue (see :class:`CampaignExecution`):
+  each forked worker leases one run at a time, the supervisor watches
+  per-worker heartbeats and per-job timeouts, and a dead, hung, or
+  overdue worker is killed, respawned, and its leased run *requeued*
+  with an ``attempts`` counter persisted in the manifest (exponential
+  backoff via :class:`~repro.experiments.runner.RetryPolicy`).  A run
+  whose worker dies ``max_attempts`` times is quarantined to a
+  ``poisoned`` manifest state so one bad spec can never wedge the
+  campaign.  See ``docs/service.md`` for the state machine and the
+  lease/requeue invariants.
 
-The manifest (``manifest.json``) is deliberately human-readable: a
-campaign's state can be audited, or a run forced to re-execute by
+Manifest run states: ``done`` / ``failed`` (the run itself failed;
+not requeued) / ``running`` (leased at the time of the last
+checkpoint) / ``interrupted`` (its worker died or hung; will be
+re-leased) / ``poisoned`` (quarantined).  The manifest
+(``manifest.json``) is deliberately human-readable: a campaign's
+state can be audited, or a poisoned run forced to re-execute by
 deleting its entry, with a text editor.
 """
 
@@ -41,6 +56,7 @@ import dataclasses
 import json
 import multiprocessing
 import os
+import queue as _queue
 import threading
 import time
 from dataclasses import dataclass, field
@@ -74,6 +90,14 @@ _RUNS_FAILED = _metrics.counter(
 _RUNS_SKIPPED = _metrics.counter(
     "campaign_runs_skipped_total", "campaign runs skipped on resume (already done)"
 )
+_RUNS_REQUEUED = _metrics.counter(
+    "campaign_runs_requeued_total",
+    "supervised runs re-leased after their worker died, hung, or timed out",
+)
+_RUNS_POISONED = _metrics.counter(
+    "campaign_runs_poisoned_total",
+    "supervised runs quarantined after max_attempts interrupted attempts",
+)
 
 
 @dataclass(frozen=True)
@@ -87,22 +111,43 @@ class RunSpec:
             ``SignalSource``; called once per *attempt* so a flaky
             source is rebuilt rather than reused mid-failure.
         config: profiler configuration for this run.
+        timeout_s: supervised-execution budget for one attempt of this
+            run; overrides ``Campaign.job_timeout_s``.  A leased run
+            past its deadline gets its worker killed and is requeued.
+            None defers to the campaign-wide default (which may also
+            be None: no deadline).
     """
 
     name: str
     source_factory: Callable[[], object]
     config: Optional[EmprofConfig] = None
+    timeout_s: Optional[float] = None
 
 
 @dataclass
 class RunOutcome:
-    """What happened to one run during :meth:`Campaign.execute`."""
+    """What happened to one run during :meth:`Campaign.execute`.
+
+    Attributes:
+        status: ``done`` / ``failed`` / ``skipped``, plus the
+            supervised states ``poisoned`` (quarantined after
+            ``max_attempts``) and ``interrupted`` (cancelled while
+            leased; will be re-attempted by the next pass).
+        attempts: how many times execution of this run has *started*,
+            including interrupted starts from earlier passes.
+        interrupted: True when an earlier attempt of this run was cut
+            short by a dead/hung worker - i.e. this outcome resumes
+            (or quarantines) an interrupted run rather than a fresh
+            one.
+    """
 
     name: str
-    status: str  # "done" | "failed" | "skipped"
+    status: str
     report: Optional[ProfileReport] = None
     error: Optional[str] = None
     wall_time_s: float = 0.0
+    attempts: int = 1
+    interrupted: bool = False
 
 
 @dataclass
@@ -116,6 +161,17 @@ class CampaignResult:
         for outcome in self.outcomes:
             out[outcome.status] = out.get(outcome.status, 0) + 1
         return out
+
+    def interrupted(self) -> Dict[str, int]:
+        """Runs that resumed (or quarantined) an interrupted attempt.
+
+        Maps run name to its persisted ``attempts`` counter - the
+        supervised-execution audit trail a fleet operator reads to spot
+        specs that keep killing workers.
+        """
+        return {
+            o.name: o.attempts for o in self.outcomes if o.interrupted
+        }
 
     @property
     def completed(self) -> bool:
@@ -138,17 +194,30 @@ class Campaign:
             executed run appends a ``campaign-run`` record and each
             :meth:`execute` pass appends a ``campaign`` summary.
         workers: processes to execute runs in.  1 (default) keeps the
-            in-process serial path; more forks that many workers, each
-            writing per-run ``<name>.outcome.json`` checkpoints the
-            parent merges into the manifest at join time (workers
+            in-process serial path; more runs the supervised dynamic
+            job queue (:class:`CampaignExecution`): forked workers
+            lease one run at a time, write per-run
+            ``<name>.outcome.json`` checkpoints, and are killed,
+            respawned, and their leased run requeued when they die,
+            stop heartbeating, or blow the per-job timeout.  Workers
             never touch the manifest, so crash semantics are
             unchanged: a run without both its report and outcome file
-            is simply re-attempted).
+            is simply re-attempted.
         status_port: when given, :meth:`execute`/:meth:`start` serve
             the line-JSON status protocol (:mod:`repro.obs.statusd`)
             on this port for the duration of the pass; 0 picks an
             ephemeral port, published as :attr:`status_address`.
-        heartbeat_interval_s: cadence of worker ``heartbeat`` events.
+        heartbeat_interval_s: cadence of worker ``heartbeat`` events
+            and of the supervisor's control-channel liveness beats.
+        heartbeat_timeout_s: how long a *leased* worker may go without
+            a beat before the supervisor declares it hung, kills it,
+            and requeues its run.  None derives a default from the
+            interval (``max(10 * heartbeat_interval_s, 2.0)``).
+        job_timeout_s: campaign-wide per-attempt budget for a leased
+            run (overridable per spec via ``RunSpec.timeout_s``); None
+            means no deadline.
+        max_attempts: total execution starts a run is allowed before
+            an interrupted run is quarantined as ``poisoned``.
     """
 
     def __init__(
@@ -160,11 +229,20 @@ class Campaign:
         workers: int = 1,
         status_port: Optional[int] = None,
         heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+        heartbeat_timeout_s: Optional[float] = None,
+        job_timeout_s: Optional[float] = None,
+        max_attempts: int = 3,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if heartbeat_interval_s <= 0:
             raise ValueError("heartbeat_interval_s must be positive")
+        if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise ValueError("job_timeout_s must be positive")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
         self.directory = Path(directory)
         self.retry = retry if retry is not None else RetryPolicy()
         self._sleep = sleep
@@ -175,10 +253,24 @@ class Campaign:
         self.workers = int(workers)
         self.status_port = status_port
         self.heartbeat_interval_s = float(heartbeat_interval_s)
+        self.heartbeat_timeout_s = (
+            None if heartbeat_timeout_s is None else float(heartbeat_timeout_s)
+        )
+        self.job_timeout_s = (
+            None if job_timeout_s is None else float(job_timeout_s)
+        )
+        self.max_attempts = int(max_attempts)
         #: ``(host, port)`` of the live status server, set while a
         #: pass with ``status_port`` is executing.
         self.status_address: Optional[Tuple[str, int]] = None
         self.directory.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def effective_heartbeat_timeout_s(self) -> float:
+        """The hang deadline the supervisor actually enforces."""
+        if self.heartbeat_timeout_s is not None:
+            return self.heartbeat_timeout_s
+        return max(10.0 * self.heartbeat_interval_s, 2.0)
 
     # -- manifest ------------------------------------------------------------
 
@@ -261,8 +353,9 @@ class Campaign:
         outcome list.
 
         With ``workers > 1`` this is ``self.start(specs).join()``:
-        the specs are partitioned across forked worker processes and
-        the manifest is merged once they finish.
+        the specs flow through the supervised job queue
+        (:class:`CampaignExecution`) across forked, watchdogged
+        worker processes.
         """
         self._check_names(specs)
         if self.workers > 1:
@@ -374,15 +467,71 @@ class Campaign:
     ) -> None:
         for spec in specs:
             state = runs.get(spec.name, {})
-            if state.get("status") == "done" and self.report_path(spec.name).exists():
+            prior_status = state.get("status")
+            prior_attempts = int(state.get("attempts", 0) or 0)
+            if prior_status == "done" and self.report_path(spec.name).exists():
                 _RUNS_SKIPPED.inc()
                 result.outcomes.append(
                     RunOutcome(name=spec.name, status="skipped")
                 )
                 continue
-            outcome = self._execute_one(spec)
+            if prior_status == "poisoned":
+                # Quarantine is sticky across passes; delete the
+                # manifest entry to force a re-run.
+                result.outcomes.append(
+                    RunOutcome(
+                        name=spec.name,
+                        status="poisoned",
+                        error=state.get("error"),
+                        attempts=prior_attempts,
+                        interrupted=True,
+                    )
+                )
+                continue
+            # A run left "running" by a killed pass is an interrupted
+            # run, not a fresh one: its attempts counter carries over.
+            was_interrupted = prior_status in ("running", "interrupted")
+            if was_interrupted and prior_attempts >= self.max_attempts:
+                outcome = self._quarantine_entry(
+                    runs,
+                    spec.name,
+                    prior_attempts,
+                    reason=(
+                        f"quarantined after {prior_attempts} interrupted "
+                        "attempts"
+                    ),
+                )
+                result.outcomes.append(outcome)
+                self._save_manifest(
+                    runs,
+                    progress=self._progress(result, len(specs), spec.name),
+                )
+                self._ledger_incident(
+                    "campaign-quarantine",
+                    spec.name,
+                    prior_attempts,
+                    str(outcome.error),
+                    sink=ledger_sink,
+                )
+                continue
+            attempts = prior_attempts + 1
+            # Pre-mark the lease: a kill -9 between here and the final
+            # manifest write leaves "running" + attempts behind, which
+            # the next pass surfaces as an interrupted run.
+            runs[spec.name] = {
+                "status": "running",
+                "attempts": attempts,
+                "started_unix_s": time.time(),
+            }
+            self._save_manifest(
+                runs, progress=self._progress(result, len(specs), spec.name)
+            )
+            outcome = self._execute_one(
+                spec, attempts=attempts, interrupted=was_interrupted
+            )
             runs[spec.name] = {
                 "status": outcome.status,
+                "attempts": attempts,
                 "wall_time_s": outcome.wall_time_s,
                 "finished_unix_s": time.time(),
             }
@@ -402,6 +551,32 @@ class Campaign:
             self._ledger_run(spec, outcome, ledger_sink)
         self._ledger_summary(
             result, time.perf_counter() - pass_begin, ledger_sink
+        )
+
+    def _quarantine_entry(
+        self, runs: Dict[str, dict], name: str, attempts: int, reason: str
+    ) -> RunOutcome:
+        """Poison one manifest entry; returns the matching outcome."""
+        runs[name] = {
+            "status": "poisoned",
+            "attempts": attempts,
+            "error": reason,
+            "finished_unix_s": time.time(),
+        }
+        _RUNS_POISONED.inc()
+        _event_bus.emit(
+            "job_quarantined",
+            run=name,
+            attempts=attempts,
+            reason=reason,
+            campaign=self.directory.name,
+        )
+        return RunOutcome(
+            name=name,
+            status="poisoned",
+            error=reason,
+            attempts=attempts,
+            interrupted=True,
         )
 
     def _progress(
@@ -449,6 +624,37 @@ class Campaign:
             )
         )
 
+    def _ledger_incident(
+        self,
+        kind: str,
+        name: str,
+        attempts: int,
+        reason: str,
+        wall_time_s: float = 0.0,
+        worker: Optional[str] = None,
+        sink: Optional[obs_ledger.LedgerAppender] = None,
+    ) -> None:
+        """Append one ``campaign-requeue``/``campaign-quarantine`` record.
+
+        Written at the moment the supervisor acts (not batched to pass
+        end) so a kill -9 of the *parent* still leaves the incident on
+        record.
+        """
+        if self.ledger is None:
+            return
+        writer = sink if sink is not None else self.ledger
+        extra: Dict[str, object] = {"attempts": attempts, "reason": reason}
+        if worker is not None:
+            extra["worker"] = worker
+        writer.append(
+            obs_ledger.record(
+                kind=kind,
+                label=f"{self.directory.name}/{name}",
+                wall_time_s=wall_time_s,
+                extra=extra,
+            )
+        )
+
     def _ledger_summary(
         self,
         result: CampaignResult,
@@ -487,10 +693,12 @@ class Campaign:
             )
         )
 
-    def _execute_one(self, spec: RunSpec) -> RunOutcome:
+    def _execute_one(
+        self, spec: RunSpec, attempts: int = 1, interrupted: bool = False
+    ) -> RunOutcome:
         """Acquire, profile, and persist one run, absorbing failures."""
         begin = time.perf_counter()
-        with _trace.span("campaign_run", run=spec.name):
+        with _trace.span("campaign_run", run=spec.name, attempt=attempts):
             try:
                 capture = self._acquire(spec)
                 report = Emprof.from_capture(
@@ -503,6 +711,8 @@ class Campaign:
                     status="failed",
                     error=f"{type(exc).__name__}: {exc}",
                     wall_time_s=time.perf_counter() - begin,
+                    attempts=attempts,
+                    interrupted=interrupted,
                 )
             # Persist the report before the manifest marks the run
             # done: a crash between the two writes re-runs the run,
@@ -514,6 +724,8 @@ class Campaign:
             status="done",
             report=report,
             wall_time_s=time.perf_counter() - begin,
+            attempts=attempts,
+            interrupted=interrupted,
         )
 
     def _acquire(self, spec: RunSpec):
@@ -524,28 +736,72 @@ class Campaign:
 
 
 # ---------------------------------------------------------------------------
-# multi-process execution
+# supervised multi-process execution
 # ---------------------------------------------------------------------------
 
 
-class CampaignExecution:
-    """A launched multi-worker pass; :meth:`join` merges the result.
+@dataclass
+class _Lease:
+    """One run checked out to one worker: the supervisor's accounting unit.
 
-    Created by :meth:`Campaign.start`.  The parent holds the open
-    ``campaign`` span (workers stitch under it via the propagated
-    :class:`~repro.obs.tracectx.TraceContext`), the status server, and
-    the shared event sink; workers run their share of the specs and
-    checkpoint each run as ``<name>.outcome.json``.  Killing a worker
-    mid-pass is survivable: its finished runs keep their outcome files
-    and reports, its unfinished ones are marked failed at join and
-    re-attempted by the next pass.
+    Exactly one of these exists per in-flight run, keyed by worker
+    label, so when a worker dies the supervisor knows precisely which
+    run it was holding - the invariant that makes requeue exact
+    (docs/service.md).
+    """
+
+    index: int  # into CampaignExecution.specs
+    name: str
+    attempt: int
+    interrupted: bool  # this attempt resumes an interrupted run
+    leased_monotonic: float
+    deadline: Optional[float]  # monotonic; None = no per-job timeout
+
+
+@dataclass
+class _PendingJob:
+    """A run waiting for a worker (fresh, or requeued with backoff)."""
+
+    index: int
+    attempt: int
+    interrupted: bool
+    not_before: float  # monotonic; requeue backoff gate
+
+
+class CampaignExecution:
+    """A launched supervised pass; :meth:`join` runs the supervisor.
+
+    Created by :meth:`Campaign.start`.  The parent owns the open
+    ``campaign`` span, the status server, the shared event sink, and -
+    new with the dynamic job queue - all scheduling state: a pending
+    queue of jobs, one single-slot job queue per forked worker, and a
+    shared control queue the workers beat on.  Each worker leases one
+    run at a time; the supervisor dispatches, watches liveness, and on
+    a dead worker (``is_alive()`` false), a hung worker (no beat
+    within ``Campaign.effective_heartbeat_timeout_s``), or an overdue
+    job (``RunSpec.timeout_s`` / ``Campaign.job_timeout_s``) kills the
+    worker, requeues the leased run with backoff
+    (``Campaign.retry.delay``), and respawns a replacement.  A run
+    interrupted ``Campaign.max_attempts`` times is quarantined as
+    ``poisoned``.
+
+    The exactly-once discipline: a run's *only* commit point is its
+    ``<name>.outcome.json`` checkpoint (written atomically by the
+    worker after the report).  Before requeueing a revoked lease the
+    supervisor re-reads that checkpoint, so a worker killed after
+    committing but before reporting back still counts as finished and
+    the run is never executed twice.
 
     Attributes:
-        processes: worker label -> live :class:`multiprocessing.Process`
-            (exposed so callers - and the live-demo test - can signal
-            individual workers).
-        assignments: worker label -> the specs it was handed.
+        processes: worker label -> :class:`multiprocessing.Process`,
+            including dead/replaced workers (exposed so callers - and
+            the chaos tests - can signal individual workers).
+        assignments: worker label -> specs it was handed over its
+            lifetime (dispatch history, not a static partition).
     """
+
+    #: Supervisor wake-up cadence (control-queue poll timeout).
+    _TICK_S = 0.05
 
     def __init__(self, campaign: Campaign, specs: List[RunSpec]):
         self.campaign = campaign
@@ -553,14 +809,27 @@ class CampaignExecution:
         self.processes: Dict[str, multiprocessing.process.BaseProcess] = {}
         self.assignments: Dict[str, List[RunSpec]] = {}
         self.result: Optional[CampaignResult] = None
-        self._skipped: List[str] = []
+        self._mp = multiprocessing.get_context("fork")
+        self._pending: List[_PendingJob] = []
+        self._leases: Dict[str, _Lease] = {}
+        self._job_queues: Dict[str, multiprocessing.queues.Queue] = {}
+        self._control: Optional[multiprocessing.queues.Queue] = None
+        self._last_beat: Dict[str, float] = {}
+        self._outcomes: Dict[str, RunOutcome] = {}
+        self._runs: Dict[str, dict] = {}
+        self._next_worker = 0
+        self._stop_mode: Optional[str] = None  # None | "drain" | "cancel"
         self._pass_begin = 0.0
         self._observation = None
         self._span = None
         self._server = None
+        self._context: Optional[tracectx.TraceContext] = None
+        self._status_address: Optional[Tuple[str, int]] = None
+
+    # -- launch --------------------------------------------------------------
 
     def start(self) -> "CampaignExecution":
-        """Fork the workers; returns immediately."""
+        """Plan the queue and fork the workers; returns immediately."""
         campaign = self.campaign
         self._pass_begin = time.perf_counter()
         self._observation = campaign._observation(len(self.specs))
@@ -572,48 +841,176 @@ class CampaignExecution:
         )
         self._span.__enter__()
 
-        runs = campaign.load_manifest()
-        todo: List[RunSpec] = []
-        for spec in self.specs:
-            state = runs.get(spec.name, {})
+        self._runs = campaign.load_manifest()
+        now = time.monotonic()
+        for index, spec in enumerate(self.specs):
+            state = self._runs.get(spec.name, {})
+            status = state.get("status")
+            attempts = int(state.get("attempts", 0) or 0)
             if (
-                state.get("status") == "done"
+                status == "done"
                 and campaign.report_path(spec.name).exists()
             ):
-                self._skipped.append(spec.name)
-            else:
-                todo.append(spec)
-                # A stale outcome file from an earlier pass must not
-                # masquerade as this pass's result.
-                with contextlib.suppress(FileNotFoundError):
-                    campaign.outcome_path(spec.name).unlink()
+                _RUNS_SKIPPED.inc()
+                self._outcomes[spec.name] = RunOutcome(
+                    name=spec.name, status="skipped"
+                )
+                continue
+            if status == "poisoned":
+                self._outcomes[spec.name] = RunOutcome(
+                    name=spec.name,
+                    status="poisoned",
+                    error=state.get("error"),
+                    attempts=attempts,
+                    interrupted=True,
+                )
+                continue
+            # A stale outcome file from an earlier pass must not
+            # masquerade as this pass's result.
+            with contextlib.suppress(FileNotFoundError):
+                campaign.outcome_path(spec.name).unlink()
+            interrupted = status in ("running", "interrupted")
+            if interrupted and attempts >= campaign.max_attempts:
+                outcome = campaign._quarantine_entry(
+                    self._runs,
+                    spec.name,
+                    attempts,
+                    reason=(
+                        f"quarantined after {attempts} interrupted attempts"
+                    ),
+                )
+                self._outcomes[spec.name] = outcome
+                campaign._ledger_incident(
+                    "campaign-quarantine",
+                    spec.name,
+                    attempts,
+                    str(outcome.error),
+                    worker=state.get("worker"),
+                )
+                continue
+            self._pending.append(
+                _PendingJob(index, attempts + 1, interrupted, now)
+            )
+        self._checkpoint(last_run="")
 
-        context = tracectx.current().child(_trace.current_span_token())
-        status_address = (
+        self._context = tracectx.current().child(_trace.current_span_token())
+        self._status_address = (
             self._server.address if self._server is not None else None
         )
+        self._control = self._mp.Queue()
+        for _ in range(min(campaign.workers, len(self._pending))):
+            self._spawn_worker()
+        self._dispatch_ready()
+        return self
+
+    def _spawn_worker(self) -> str:
+        """Fork one worker with an empty job queue."""
+        campaign = self.campaign
+        label = f"worker{self._next_worker}"
+        self._next_worker += 1
+        jobs = self._mp.Queue()
         # Fork, not spawn: RunSpec factories are arbitrary callables
         # (closures, lambdas) that only survive by inheritance.
-        mp_context = multiprocessing.get_context("fork")
-        n_workers = min(campaign.workers, len(todo))
-        for index in range(n_workers):
-            label = f"worker{index}"
-            assigned = todo[index::n_workers]
-            process = mp_context.Process(
-                target=_worker_main,
-                name=label,
-                args=(
-                    campaign,
-                    assigned,
-                    label,
-                    context,
-                    status_address,
-                ),
-            )
-            process.start()
-            self.processes[label] = process
-            self.assignments[label] = assigned
-        return self
+        process = self._mp.Process(
+            target=_worker_main,
+            name=label,
+            args=(
+                campaign,
+                self.specs,
+                label,
+                jobs,
+                self._control,
+                self._context,
+                self._status_address,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self.processes[label] = process
+        self.assignments[label] = []
+        self._job_queues[label] = jobs
+        self._last_beat[label] = time.monotonic()
+        _event_bus.emit(
+            "worker_spawned",
+            worker=label,
+            pid=process.pid,
+            campaign=campaign.directory.name,
+        )
+        return label
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _idle_workers(self) -> List[str]:
+        return [
+            label
+            for label, process in self.processes.items()
+            if process.is_alive() and label not in self._leases
+        ]
+
+    def _take_ready_job(self, now: float) -> Optional[_PendingJob]:
+        for i, job in enumerate(self._pending):
+            if job.not_before <= now:
+                return self._pending.pop(i)
+        return None
+
+    def _dispatch_ready(self) -> None:
+        now = time.monotonic()
+        for label in self._idle_workers():
+            job = self._take_ready_job(now)
+            if job is None:
+                return
+            self._lease(label, job)
+
+    def _lease(self, label: str, job: _PendingJob) -> None:
+        campaign = self.campaign
+        spec = self.specs[job.index]
+        timeout = (
+            spec.timeout_s
+            if spec.timeout_s is not None
+            else campaign.job_timeout_s
+        )
+        now = time.monotonic()
+        self._leases[label] = _Lease(
+            index=job.index,
+            name=spec.name,
+            attempt=job.attempt,
+            interrupted=job.interrupted,
+            leased_monotonic=now,
+            deadline=None if timeout is None else now + float(timeout),
+        )
+        # Pre-mark the lease so a parent kill -9 leaves "running" +
+        # attempts behind for the next pass to surface as interrupted.
+        self._runs[spec.name] = {
+            "status": "running",
+            "attempts": job.attempt,
+            "worker": label,
+            "started_unix_s": time.time(),
+        }
+        self._checkpoint(spec.name)
+        self.assignments[label].append(spec)
+        self._job_queues[label].put(
+            ("run", job.index, job.attempt, job.interrupted)
+        )
+
+    def _respawn_if_needed(self) -> None:
+        want = min(
+            self.campaign.workers, len(self._pending) + len(self._leases)
+        )
+        alive = sum(
+            1 for process in self.processes.values() if process.is_alive()
+        )
+        for _ in range(max(0, want - alive)):
+            self._spawn_worker()
+
+    def _checkpoint(self, last_run: str) -> None:
+        campaign = self.campaign
+        result = CampaignResult(outcomes=list(self._outcomes.values()))
+        campaign._save_manifest(
+            self._runs,
+            progress=campaign._progress(result, len(self.specs), last_run),
+        )
+
+    # -- supervision ---------------------------------------------------------
 
     def alive(self) -> List[str]:
         """Labels of workers still running."""
@@ -623,56 +1020,65 @@ class CampaignExecution:
             if process.is_alive()
         ]
 
-    def join(self, timeout_s: Optional[float] = None) -> CampaignResult:
-        """Wait for the workers and merge their checkpoints.
+    def request_stop(self, mode: str = "drain") -> None:
+        """Ask the supervisor to wind down (thread-safe, returns fast).
 
-        Workers still alive after ``timeout_s`` (None = wait forever)
-        are terminated; their unfinished runs - like those of a worker
-        that died on its own - are recorded as failed with the worker's
-        exit code, and will be re-attempted by the next pass.
+        ``drain`` lets leased runs finish but dispatches nothing new;
+        ``cancel`` kills leased workers and marks their runs
+        ``interrupted`` (attempts persisted) for the next pass.  In
+        both cases undispatched pending runs keep their prior manifest
+        state.  Takes effect inside :meth:`join`'s supervision loop.
         """
+        if mode not in ("drain", "cancel"):
+            raise ValueError("stop mode must be 'drain' or 'cancel'")
+        self._stop_mode = mode
+
+    def snapshot(self) -> Dict[str, object]:
+        """A cheap live view of the queue for status endpoints."""
+        now = time.monotonic()
+        return {
+            "pending": len(self._pending),
+            "leases": {
+                label: {
+                    "run": lease.name,
+                    "attempt": lease.attempt,
+                    "age_s": round(now - lease.leased_monotonic, 3),
+                }
+                for label, lease in self._leases.items()
+            },
+            "workers_alive": self.alive(),
+            "finalized": len(self._outcomes),
+            "total": len(self.specs),
+            "stop_mode": self._stop_mode,
+        }
+
+    def join(self, timeout_s: Optional[float] = None) -> CampaignResult:
+        """Run the supervision loop to completion and merge the result.
+
+        ``timeout_s`` (None = no limit) bounds the whole pass: on
+        expiry every worker is killed, leased runs are recorded as
+        failed (and left ``interrupted`` in the manifest for the next
+        pass), and undispatched runs are recorded as failed without a
+        manifest change.
+        """
+        campaign = self.campaign
         deadline = (
             None if timeout_s is None else time.monotonic() + timeout_s
         )
-        for process in self.processes.values():
-            if deadline is None:
-                process.join()
-            else:
-                process.join(max(0.0, deadline - time.monotonic()))
-        for process in self.processes.values():
-            if process.is_alive():
-                process.terminate()
-                process.join(1.0)
+        try:
+            self._supervise(deadline)
+        finally:
+            self._shutdown_workers()
 
-        campaign = self.campaign
         result = CampaignResult()
-        runs = campaign.load_manifest()
         last_run = ""
-        outcome_by_name: Dict[str, RunOutcome] = {}
-        for name in self._skipped:
-            _RUNS_SKIPPED.inc()
-            outcome_by_name[name] = RunOutcome(name=name, status="skipped")
-        for label, assigned in self.assignments.items():
-            process = self.processes[label]
-            for spec in assigned:
-                outcome = self._collect(spec, label, process.exitcode)
-                outcome_by_name[spec.name] = outcome
-                runs[spec.name] = {
-                    "status": outcome.status,
-                    "wall_time_s": outcome.wall_time_s,
-                    "finished_unix_s": time.time(),
-                    "worker": label,
-                }
-                if outcome.error is not None:
-                    runs[spec.name]["error"] = outcome.error
-                last_run = spec.name
         for spec in self.specs:
-            outcome = outcome_by_name.get(spec.name)
+            outcome = self._outcomes.get(spec.name)
             if outcome is not None:
                 result.outcomes.append(outcome)
-
+                last_run = spec.name
         campaign._save_manifest(
-            runs,
+            self._runs,
             progress=campaign._progress(result, len(self.specs), last_run),
         )
         _event_bus.emit(
@@ -696,26 +1102,186 @@ class CampaignExecution:
         self.result = result
         return result
 
-    def _collect(
-        self, spec: RunSpec, label: str, exitcode: Optional[int]
-    ) -> RunOutcome:
-        """One run's outcome from its worker checkpoint (or absence)."""
+    def _supervise(self, deadline: Optional[float]) -> None:
+        while self._pending or self._leases:
+            if deadline is not None and time.monotonic() > deadline:
+                self._abort_on_timeout()
+                return
+            if self._stop_mode == "cancel":
+                self._cancel_leases()
+                return
+            if self._stop_mode == "drain" and self._pending:
+                # Undispatched runs keep their prior manifest state and
+                # get no outcome; the next pass re-attempts them.
+                self._pending.clear()
+            self._respawn_if_needed()
+            self._dispatch_ready()
+            self._pump_control()
+            self._check_liveness()
+
+    def _pump_control(self) -> None:
+        """Handle queued worker messages; block one tick for the first."""
+        try:
+            message = self._control.get(timeout=self._TICK_S)
+        except _queue.Empty:
+            return
+        while True:
+            self._handle_message(message)
+            try:
+                message = self._control.get_nowait()
+            except _queue.Empty:
+                return
+
+    def _handle_message(self, message: Tuple[str, str, Optional[str]]) -> None:
+        label, verb, name = message
+        self._last_beat[label] = time.monotonic()
+        if verb != "done":
+            return  # "beat" / "started": liveness only
+        lease = self._leases.get(label)
+        if lease is None or lease.name != name:
+            return  # stale message from a revoked lease
+        del self._leases[label]
+        if not self._finalize_from_checkpoint(lease, label):
+            # The worker claimed "done" but its checkpoint is missing
+            # or torn - treat exactly like a death while leased.
+            self._requeue_or_quarantine(
+                lease,
+                label,
+                f"worker {label} reported run {lease.name!r} finished "
+                "but left no readable outcome checkpoint",
+            )
+
+    def _check_liveness(self) -> None:
         campaign = self.campaign
+        now = time.monotonic()
+        hang_after = campaign.effective_heartbeat_timeout_s
+        for label in list(self._leases):
+            lease = self._leases[label]
+            process = self.processes[label]
+            if not process.is_alive():
+                self._revoke(
+                    label,
+                    f"worker {label} died (exit code {process.exitcode}) "
+                    f"during run {lease.name!r}",
+                )
+                continue
+            beat_age = now - self._last_beat.get(label, now)
+            if beat_age > hang_after:
+                self._revoke(
+                    label,
+                    f"worker {label} hung: no heartbeat for "
+                    f"{beat_age:.2f}s during run {lease.name!r}",
+                )
+                continue
+            if lease.deadline is not None and now > lease.deadline:
+                budget = lease.deadline - lease.leased_monotonic
+                self._revoke(
+                    label,
+                    f"run {lease.name!r} exceeded its {budget:.2f}s "
+                    f"timeout on worker {label}",
+                )
+
+    def _revoke(self, label: str, reason: str) -> None:
+        """Kill a worker and requeue (or quarantine) its leased run."""
+        campaign = self.campaign
+        lease = self._leases.pop(label)
+        process = self.processes[label]
+        if process.is_alive():
+            process.kill()
+        process.join(2.0)
+        _event_bus.emit(
+            "worker_killed",
+            worker=label,
+            run=lease.name,
+            reason=reason,
+            campaign=campaign.directory.name,
+        )
+        # The worker may have committed the run's checkpoint before it
+        # died; a committed run is finished, never re-executed.
+        if self._finalize_from_checkpoint(lease, label):
+            return
+        self._requeue_or_quarantine(lease, label, reason)
+
+    def _requeue_or_quarantine(
+        self, lease: _Lease, label: str, reason: str
+    ) -> None:
+        campaign = self.campaign
+        spec = self.specs[lease.index]
+        wall = time.monotonic() - lease.leased_monotonic
+        if lease.attempt >= campaign.max_attempts:
+            outcome = campaign._quarantine_entry(
+                self._runs,
+                spec.name,
+                lease.attempt,
+                reason=(
+                    f"quarantined after {lease.attempt} attempts; last: "
+                    f"{reason}"
+                ),
+            )
+            self._outcomes[spec.name] = outcome
+            self._checkpoint(spec.name)
+            campaign._ledger_incident(
+                "campaign-quarantine",
+                spec.name,
+                lease.attempt,
+                reason,
+                wall_time_s=wall,
+                worker=label,
+            )
+            return
+        delay = campaign.retry.delay(lease.attempt)
+        self._pending.append(
+            _PendingJob(
+                lease.index,
+                lease.attempt + 1,
+                True,
+                time.monotonic() + delay,
+            )
+        )
+        self._runs[spec.name] = {
+            "status": "interrupted",
+            "attempts": lease.attempt,
+            "error": reason,
+            "worker": label,
+            "interrupted_unix_s": time.time(),
+        }
+        self._checkpoint(spec.name)
+        _RUNS_REQUEUED.inc()
+        _event_bus.emit(
+            "job_requeued",
+            run=spec.name,
+            attempts=lease.attempt,
+            backoff_s=delay,
+            reason=reason,
+            campaign=campaign.directory.name,
+        )
+        campaign._ledger_incident(
+            "campaign-requeue",
+            spec.name,
+            lease.attempt,
+            reason,
+            wall_time_s=wall,
+            worker=label,
+        )
+
+    def _finalize_from_checkpoint(self, lease: _Lease, label: str) -> bool:
+        """Commit a lease from its run's outcome file, if one exists.
+
+        Returns False when the checkpoint is absent or unreadable (the
+        run did not finish); the caller decides requeue vs quarantine.
+        """
+        campaign = self.campaign
+        spec = self.specs[lease.index]
         path = campaign.outcome_path(spec.name)
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
-            payload = None
-        if payload is None or payload.get("status") not in ("done", "failed"):
-            _RUNS_FAILED.inc()
-            return RunOutcome(
-                name=spec.name,
-                status="failed",
-                error=(
-                    f"worker {label} (exit code {exitcode}) "
-                    "died before finishing this run"
-                ),
-            )
+            return False
+        if payload.get("name") != spec.name or payload.get("status") not in (
+            "done",
+            "failed",
+        ):
+            return False
         status = payload["status"]
         report = None
         if status == "done":
@@ -726,24 +1292,145 @@ class CampaignExecution:
                 report = None
         else:
             _RUNS_FAILED.inc()
-        return RunOutcome(
+        outcome = RunOutcome(
             name=spec.name,
             status=status,
             report=report,
             error=payload.get("error"),
             wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            attempts=lease.attempt,
+            interrupted=lease.interrupted,
         )
+        self._outcomes[spec.name] = outcome
+        entry = {
+            "status": status,
+            "attempts": lease.attempt,
+            "wall_time_s": outcome.wall_time_s,
+            "finished_unix_s": time.time(),
+            "worker": label,
+        }
+        if outcome.error is not None:
+            entry["error"] = outcome.error
+        self._runs[spec.name] = entry
+        self._checkpoint(spec.name)
+        return True
+
+    # -- shutdown paths ------------------------------------------------------
+
+    def _cancel_leases(self) -> None:
+        """Hard stop: kill leased workers, persist interrupted state."""
+        campaign = self.campaign
+        for label in list(self._leases):
+            lease = self._leases.pop(label)
+            process = self.processes[label]
+            if process.is_alive():
+                process.kill()
+            process.join(2.0)
+            _event_bus.emit(
+                "worker_killed",
+                worker=label,
+                run=lease.name,
+                reason="cancelled",
+                campaign=campaign.directory.name,
+            )
+            if self._finalize_from_checkpoint(lease, label):
+                continue
+            spec = self.specs[lease.index]
+            error = "cancelled while leased"
+            self._runs[spec.name] = {
+                "status": "interrupted",
+                "attempts": lease.attempt,
+                "error": error,
+                "worker": label,
+                "interrupted_unix_s": time.time(),
+            }
+            self._outcomes[spec.name] = RunOutcome(
+                name=spec.name,
+                status="interrupted",
+                error=error,
+                attempts=lease.attempt,
+                interrupted=True,
+            )
+            self._checkpoint(spec.name)
+        self._pending.clear()
+
+    def _abort_on_timeout(self) -> None:
+        """join(timeout_s) expired: kill everything, record failures."""
+        for label in list(self._leases):
+            lease = self._leases.pop(label)
+            process = self.processes[label]
+            if process.is_alive():
+                process.kill()
+            process.join(1.0)
+            if self._finalize_from_checkpoint(lease, label):
+                continue
+            spec = self.specs[lease.index]
+            error = (
+                f"worker {label} (exit code {process.exitcode}) did not "
+                "finish this run before the campaign timeout"
+            )
+            _RUNS_FAILED.inc()
+            self._outcomes[spec.name] = RunOutcome(
+                name=spec.name,
+                status="failed",
+                error=error,
+                attempts=lease.attempt,
+                interrupted=lease.interrupted,
+            )
+            self._runs[spec.name] = {
+                "status": "interrupted",
+                "attempts": lease.attempt,
+                "error": error,
+                "worker": label,
+                "interrupted_unix_s": time.time(),
+            }
+        for job in self._pending:
+            spec = self.specs[job.index]
+            _RUNS_FAILED.inc()
+            self._outcomes[spec.name] = RunOutcome(
+                name=spec.name,
+                status="failed",
+                error="campaign timed out before this run started",
+                attempts=max(1, job.attempt - (0 if job.interrupted else 1)),
+                interrupted=job.interrupted,
+            )
+        self._pending.clear()
+
+    def _shutdown_workers(self) -> None:
+        for label, process in self.processes.items():
+            if process.is_alive():
+                with contextlib.suppress(Exception):
+                    self._job_queues[label].put_nowait(("stop",))
+        deadline = time.monotonic() + 5.0
+        for process in self.processes.values():
+            process.join(max(0.0, deadline - time.monotonic()))
+        for process in self.processes.values():
+            if process.is_alive():
+                process.kill()
+                process.join(1.0)
+        if self._control is not None:
+            with contextlib.suppress(Exception):
+                self._control.close()
+                self._control.cancel_join_thread()
+        for jobs in self._job_queues.values():
+            with contextlib.suppress(Exception):
+                jobs.close()
+                jobs.cancel_join_thread()
 
     def _ledger(self, result: CampaignResult) -> None:
         campaign = self.campaign
         if campaign.ledger is None:
             return
-        outcomes = {o.name: o for o in result.outcomes}
         with campaign.ledger.appender(fsync_each=False) as sink:
-            for spec in self.specs:
-                outcome = outcomes.get(spec.name)
-                if outcome is not None and outcome.status != "skipped":
-                    campaign._ledger_run(spec, outcome, sink)
+            for outcome in result.outcomes:
+                # skipped: nothing ran; poisoned: the quarantine
+                # incident record already covers it.
+                if outcome.status in ("skipped", "poisoned"):
+                    continue
+                spec = next(
+                    s for s in self.specs if s.name == outcome.name
+                )
+                campaign._ledger_run(spec, outcome, sink)
             campaign._ledger_summary(
                 result, time.perf_counter() - self._pass_begin, sink
             )
@@ -761,19 +1448,27 @@ def _worker_main(
     campaign: Campaign,
     specs: List[RunSpec],
     label: str,
+    jobs,
+    control,
     context: tracectx.TraceContext,
     status_address: Optional[Tuple[str, int]],
 ) -> None:
-    """A forked campaign worker's whole life.
+    """A forked supervised worker's whole life.
 
     Runs in the child process.  The forked copies of the global
     tracer/bus still hold the parent's spans, sinks, and counters, so
     the first job is to shed that inherited state (without closing the
-    parent's file descriptors); then events flow to the shared NDJSON
-    file and - when the parent is serving status - over a socket sink,
-    a heartbeat thread ticks, and the assigned specs execute exactly
-    like the serial path, checkpointing each run as an outcome file
-    instead of touching the shared manifest.
+    parent's file descriptors).  Then the worker loops on its job
+    queue: one ``("run", index, attempt, interrupted)`` lease at a
+    time, executed exactly like the serial path and committed as an
+    atomic ``<name>.outcome.json`` checkpoint before the ``done``
+    control message - the manifest is never touched from here.  A
+    daemon heartbeat thread beats on the control queue at
+    ``heartbeat_interval_s`` (always, independent of ``EMPROF_OBS``)
+    so the supervisor can tell a long-running job from a hung worker;
+    with observability on the same beat also lands on the event bus
+    (socket sink to the parent's status server when it has one, the
+    shared NDJSON file otherwise).
     """
     tracectx.activate(context)
     _trace.reset()
@@ -794,17 +1489,33 @@ def _worker_main(
             _event_bus.add_sink(NDJSONFileSink(campaign.events_path))
         _event_bus.emit("heartbeat", worker=label, phase="start")
 
-        def _beat() -> None:
-            while not stop.wait(campaign.heartbeat_interval_s):
-                _event_bus.emit("heartbeat", worker=label)
+    def _beat() -> None:
+        while not stop.wait(campaign.heartbeat_interval_s):
+            with contextlib.suppress(Exception):
+                control.put_nowait((label, "beat", None))
+            _event_bus.emit("heartbeat", worker=label)
 
-        threading.Thread(
-            target=_beat, name=f"{label}-heartbeat", daemon=True
-        ).start()
+    threading.Thread(
+        target=_beat, name=f"{label}-heartbeat", daemon=True
+    ).start()
     try:
-        with _trace.span("campaign_worker", worker=label, runs=len(specs)):
-            for spec in specs:
-                outcome = campaign._execute_one(spec)
+        with _trace.span("campaign_worker", worker=label):
+            while True:
+                try:
+                    message = jobs.get(timeout=0.5)
+                except _queue.Empty:
+                    continue  # the parent owns this worker's lifetime
+                if message[0] != "run":
+                    break
+                _, index, attempt, interrupted = message
+                spec = specs[index]
+                with contextlib.suppress(Exception):
+                    control.put_nowait((label, "started", spec.name))
+                outcome = campaign._execute_one(
+                    spec, attempts=attempt, interrupted=interrupted
+                )
+                # The commit point: after this atomic write the run is
+                # finished no matter what happens to this process.
                 obs_ledger.atomic_write_json(
                     campaign.outcome_path(spec.name),
                     {
@@ -812,6 +1523,7 @@ def _worker_main(
                         "status": outcome.status,
                         "error": outcome.error,
                         "wall_time_s": outcome.wall_time_s,
+                        "attempts": attempt,
                         "finished_unix_s": time.time(),
                         "worker": label,
                     },
@@ -822,6 +1534,8 @@ def _worker_main(
                     run=spec.name,
                     status=outcome.status,
                 )
+                with contextlib.suppress(Exception):
+                    control.put_nowait((label, "done", spec.name))
     finally:
         stop.set()
         if obs_enabled():

@@ -110,6 +110,83 @@ def acquire_with_retry(
             attempt += 1
 
 
+@dataclass(frozen=True)
+class SimulatedCaptureSource:
+    """A picklable ``SignalSource``: simulate a workload, measure it.
+
+    The campaign daemon (:mod:`repro.experiments.service`) builds
+    these from line-JSON ``submit`` payloads, so - unlike the ad-hoc
+    lambdas tests use - every field is a plain scalar and the object
+    survives pickling into any worker, not just fork-inherited ones.
+    Mirrors the ``repro capture`` CLI path: workload -> simulator ->
+    EM apparatus -> :class:`~repro.emsignal.receiver.Capture`.
+
+    Attributes:
+        workload: ``micro``, ``boot``, or a SPEC benchmark name.
+        device: a :data:`repro.devices.DEVICE_NAMES` entry
+            (``alcatel`` / ``samsung`` / ``olimex``).
+        tm / cm: total / consecutive misses (micro workload only).
+        scale: workload scale factor (boot / SPEC workloads).
+        seed: simulation + channel seed.
+        bandwidth_mhz: receiver bandwidth.
+
+    Raises:
+        ValueError: unknown workload or device name (at
+            :meth:`capture` time, where the registries are consulted).
+    """
+
+    workload: str = "micro"
+    device: str = "olimex"
+    tm: int = 16
+    cm: int = 16
+    scale: float = 1.0
+    seed: int = 0
+    bandwidth_mhz: float = 40.0
+
+    def _build_workload(self) -> Workload:
+        from ..workloads import (
+            BootWorkload,
+            Microbenchmark,
+            SPEC_BENCHMARKS,
+            spec_workload,
+        )
+
+        if self.workload == "micro":
+            return Microbenchmark(
+                total_misses=self.tm,
+                consecutive_misses=self.cm,
+                seed=self.seed,
+            )
+        if self.workload == "boot":
+            return BootWorkload(seed=self.seed, scale=self.scale)
+        if self.workload in SPEC_BENCHMARKS:
+            return spec_workload(
+                self.workload, seed=self.seed or 11, scale=self.scale
+            )
+        raise ValueError(
+            f"unknown workload {self.workload!r}; expected 'micro', "
+            f"'boot' or one of {', '.join(SPEC_BENCHMARKS)}"
+        )
+
+    def capture(self) -> Capture:
+        from ..devices import DEVICE_NAMES, by_name
+        from ..emsignal import measure
+        from ..sim.machine import simulate
+
+        if self.device not in DEVICE_NAMES:
+            raise ValueError(
+                f"unknown device {self.device!r}; expected one of "
+                f"{', '.join(DEVICE_NAMES)}"
+            )
+        device = by_name(self.device)
+        result = simulate(self._build_workload(), device, seed=self.seed)
+        return measure(
+            result,
+            bandwidth_hz=self.bandwidth_mhz * MHZ,
+            channel=default_channel(device.name, seed=self.seed),
+        )
+
+
 @dataclass
 class ExperimentRun:
     """Everything one measurement produced.

@@ -23,12 +23,14 @@ from .inject import (
     BurstFault,
     ChunkResequencer,
     ClippingFault,
+    CrashingSource,
     DcDriftFault,
     DropoutFault,
     FaultInjector,
     FaultySource,
     FlakySource,
     GainStepFault,
+    StallingSource,
     ImpairedSignal,
     ImpairmentEvent,
     ImpairmentLog,
@@ -43,6 +45,7 @@ __all__ = [
     "applied_clip_level",
     "ChunkResequencer",
     "ClippingFault",
+    "CrashingSource",
     "DcDriftFault",
     "DropoutFault",
     "FaultInjector",
@@ -53,6 +56,7 @@ __all__ = [
     "ImpairmentEvent",
     "ImpairmentLog",
     "NumberedChunk",
+    "StallingSource",
     "QualityConfig",
     "QualityMonitor",
     "iter_chunks",

@@ -580,3 +580,59 @@ class FlakySource:
                 f"injected transient failure {self.attempts}/{self.failures}"
             )
         return self.source.capture()
+
+
+@dataclass(frozen=True)
+class CrashingSource:
+    """A poison source: kills its own process mid-capture.
+
+    ``os._exit`` (not ``sys.exit``) so no ``finally`` blocks, atexit
+    hooks, or buffered writes run - the closest a test can get to a
+    segfault or an OOM kill inside a campaign worker.  The supervisor
+    must observe only the vanished process, requeue the run, and
+    quarantine it once the spec has burned ``max_attempts`` workers.
+    Picklable (plain scalars only) so it survives any start method.
+
+    Attributes:
+        exit_code: the status the dying process reports.
+        delay_s: how long the capture pretends to work first, so the
+            ``started`` control message and a heartbeat or two get out
+            before the lights go off.
+    """
+
+    exit_code: int = 13
+    delay_s: float = 0.05
+
+    def capture(self):
+        import os
+        import time as _time
+
+        _time.sleep(self.delay_s)
+        os._exit(self.exit_code)
+
+
+@dataclass(frozen=True)
+class StallingSource:
+    """A hung source: the process stays alive but stops making progress.
+
+    Models a wedged SDR driver ioctl - the worker's acquisition call
+    never returns, but the process is healthy as far as the OS is
+    concerned (it even keeps heartbeating, since the worker's beat
+    thread is independent of the capture).  Only the per-job lease
+    deadline (``RunSpec.timeout_s`` / ``Campaign.job_timeout_s``) can
+    catch it; heartbeat silence is the *SIGSTOP* failure mode, which
+    the chaos tests drive directly.  Picklable.
+
+    Attributes:
+        hang_s: how long the capture sleeps; pick it far beyond the
+            campaign's heartbeat/job timeout so the watchdog always
+            fires first.
+    """
+
+    hang_s: float = 3600.0
+
+    def capture(self):
+        import time as _time
+
+        _time.sleep(self.hang_s)
+        raise TransientAcquisitionError("stalling source woke up")

@@ -400,10 +400,27 @@ def _watch_line(previous: Dict[str, Any], stats: Dict[str, Any], dt: float) -> s
     )
 
 
+#: Ceiling on the watch client's reconnect backoff between probes.
+_RECONNECT_CAP_S = 2.0
+
+
 def _watch_loop(
-    host: str, port: int, interval_s: float, duration_s: Optional[float]
+    host: str,
+    port: int,
+    interval_s: float,
+    duration_s: Optional[float],
+    reconnect_timeout_s: float = 10.0,
 ) -> int:
-    """Poll ``status`` and render progress until duration (or error)."""
+    """Poll ``status`` and render progress until duration (or error).
+
+    A server that was *never* reachable is a bad address: fail fast
+    with :data:`EXIT_BAD_INPUT`.  A server that drops mid-stream (a
+    campaign pass ended, ``repro-campaignd`` restarted) is retried
+    with capped exponential backoff for up to ``reconnect_timeout_s``
+    before the watcher gives up; on reconnect the rate baseline is
+    reset, since a restarted server's counters restart from zero.
+    ``reconnect_timeout_s=0`` disables retrying (one strike and out).
+    """
     from . import statusd
 
     previous: Optional[Dict[str, Any]] = None
@@ -411,18 +428,47 @@ def _watch_loop(
     deadline = (
         None if duration_s is None else time.monotonic() + duration_s
     )
+    ever_connected = False
+    lost_at: Optional[float] = None
+    backoff_s = 0.0
     while True:
         try:
             response = statusd.query(host, port, {"req": "status"})
         except (OSError, ValueError) as exc:
-            if previous is None:
+            if not ever_connected:
                 print(
                     f"repro-obs: cannot query {host}:{port}: {exc}",
                     file=sys.stderr,
                 )
                 return EXIT_BAD_INPUT
-            print("(server went away)")
-            return EXIT_OK
+            now = time.monotonic()
+            if lost_at is None:
+                lost_at = now
+                backoff_s = min(max(interval_s, 0.05), _RECONNECT_CAP_S)
+                if reconnect_timeout_s > 0:
+                    print(
+                        f"(connection lost; retrying for up to "
+                        f"{reconnect_timeout_s:.0f}s)"
+                    )
+            if (
+                reconnect_timeout_s <= 0
+                or now - lost_at >= reconnect_timeout_s
+            ):
+                print("(server went away)")
+                return EXIT_OK
+            if deadline is not None and now >= deadline:
+                return EXIT_OK
+            try:
+                time.sleep(backoff_s)
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                return EXIT_OK
+            backoff_s = min(backoff_s * 2.0, _RECONNECT_CAP_S)
+            continue
+        ever_connected = True
+        if lost_at is not None:
+            lost_at = None
+            previous = None  # restarted counters: drop the baseline
+            print("(reconnected; rate baseline reset)")
         stats = response.get("events", {})
         now = time.monotonic()
         if previous is not None:
@@ -507,7 +553,13 @@ def cmd_watch(args: argparse.Namespace) -> int:
     if isinstance(target, int):
         return target
     host, port = target
-    return _watch_loop(host, port, args.interval, args.duration)
+    return _watch_loop(
+        host,
+        port,
+        args.interval,
+        args.duration,
+        reconnect_timeout_s=args.reconnect_timeout,
+    )
 
 
 def cmd_stitch(args: argparse.Namespace) -> int:
@@ -654,6 +706,12 @@ def _build_sub_parser() -> argparse.ArgumentParser:
     watch.add_argument(
         "--demo", action="store_true",
         help="run a self-contained producer+server+watcher demo",
+    )
+    watch.add_argument(
+        "--reconnect-timeout", type=float, default=10.0, metavar="S",
+        help="keep retrying a dropped server for this long with capped "
+        "exponential backoff; 0 gives up on the first miss "
+        "(default: 10)",
     )
     watch.set_defaults(func=cmd_watch)
 

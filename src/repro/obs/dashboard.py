@@ -354,24 +354,46 @@ def _metric_section(groups: Dict[str, List[RunRecord]]) -> List[str]:
     return parts
 
 
+#: Supervisor incident records surfaced alongside quality trouble.
+_INCIDENT_KINDS = {
+    "campaign-requeue": "requeued",
+    "campaign-quarantine": "quarantined",
+}
+
+#: Run statuses that belong on the fault table even without quality
+#: accounting: the run failed, its worker died/hung mid-lease, or the
+#: supervisor quarantined it as a poison spec.
+_TROUBLE_STATUSES = ("failed", "interrupted", "poisoned")
+
+
 def _quality_section(records: Sequence[RunRecord]) -> str:
     rows: List[str] = []
     for entry in records:
         status = str(entry.extra.get("status", ""))
-        if entry.quality is None and status not in ("failed",):
+        incident = _INCIDENT_KINDS.get(entry.kind)
+        if (
+            entry.quality is None
+            and status not in _TROUBLE_STATUSES
+            and incident is None
+        ):
             continue
         quality = entry.quality or {}
+        shown = incident or status or "done"
+        detail = str(entry.extra.get("reason", "") or "")
+        attempts = entry.extra.get("attempts", "")
         rows.append(
             "<tr>"
             f'<td class="name">{_esc(entry.group)}</td>'
             f"<td>{_fmt_when(entry.created_unix_s)}</td>"
-            f"<td>{_esc(status or 'done')}</td>"
+            f'<td>{_esc(shown)}</td>'
+            f"<td>{_esc(str(attempts))}</td>"
             f"<td>{quality.get('gap_count', 0)}</td>"
             f"<td>{quality.get('dropped_samples', 0)}</td>"
             f"<td>{quality.get('clipped_samples', 0)}</td>"
             f"<td>{quality.get('gain_steps', 0)}</td>"
             f"<td>{quality.get('impaired_sample_spans', 0)}</td>"
             f"<td>{entry.extra.get('low_confidence_count', 0)}</td>"
+            f'<td class="name">{_esc(detail)}</td>'
             "</tr>"
         )
     if not rows:
@@ -380,8 +402,10 @@ def _quality_section(records: Sequence[RunRecord]) -> str:
         "<h2>quality &amp; faults</h2>"
         '<table class="quality"><thead><tr>'
         '<th class="name">run</th><th>when</th><th>status</th>'
+        "<th>attempts</th>"
         "<th>gaps</th><th>dropped</th><th>clipped</th>"
         "<th>gain steps</th><th>impaired spans</th><th>low-conf</th>"
+        '<th class="name">detail</th>'
         "</tr></thead><tbody>"
         + "".join(rows)
         + "</tbody></table>"

@@ -58,6 +58,10 @@ EVENT_KINDS = (
     "quality_flag",
     "checkpoint_written",
     "heartbeat",
+    "worker_spawned",
+    "worker_killed",
+    "job_requeued",
+    "job_quarantined",
 )
 
 #: Default bound on the sink-delivery queue.

@@ -46,8 +46,18 @@ DEFAULT_LEDGER_NAME = "LEDGER_obs.jsonl"
 
 #: The run kinds the observatory understands.  ``profile`` is one CLI
 #: profiling run, ``bench`` one benchmark node, ``campaign-run`` one
-#: item of a measurement campaign, ``campaign`` the campaign summary.
-RUN_KINDS = ("profile", "bench", "campaign-run", "campaign")
+#: item of a measurement campaign, ``campaign`` the campaign summary,
+#: ``campaign-requeue`` a supervised run re-leased after its worker
+#: died or hung, and ``campaign-quarantine`` a run poisoned after
+#: exhausting its attempts.
+RUN_KINDS = (
+    "profile",
+    "bench",
+    "campaign-run",
+    "campaign",
+    "campaign-requeue",
+    "campaign-quarantine",
+)
 
 PathLike = Union[str, Path]
 

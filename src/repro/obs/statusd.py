@@ -163,6 +163,13 @@ class StatusServer:
         extra_status: optional zero-argument callable whose dict is
             merged into the ``status`` response under ``"extra"`` -
             the campaign wires its manifest progress heartbeat here.
+        extra_requests: optional map of extra request verbs to
+            handlers (``request dict -> response dict``); consulted
+            after the built-in verbs miss, so a producer can extend
+            the protocol (the campaign daemon adds ``submit`` /
+            ``cancel`` / ``drain`` / ``shutdown`` this way) without
+            subclassing.  A handler that raises becomes an
+            ``{"ok": false, "error": ...}`` response.
         stall_after_s: silence threshold for the ``health`` verdict.
 
     Use as a context manager, or call :meth:`start` / :meth:`close`.
@@ -175,6 +182,9 @@ class StatusServer:
         host: str = "127.0.0.1",
         port: int = 0,
         extra_status: Optional[Callable[[], Dict[str, Any]]] = None,
+        extra_requests: Optional[
+            Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]]
+        ] = None,
         stall_after_s: float = DEFAULT_STALL_AFTER_S,
     ):
         self.bus = bus
@@ -182,6 +192,7 @@ class StatusServer:
         self.host = host
         self._requested_port = int(port)
         self.extra_status = extra_status
+        self.extra_requests = dict(extra_requests or {})
         self.stall_after_s = float(stall_after_s)
         self.started_unix_s = 0.0
         self.rejected_events = 0
@@ -258,12 +269,21 @@ class StatusServer:
             return {"ok": True, "events": [e.to_dict() for e in events]}
         if req == "health":
             return self._health()
+        handler = self.extra_requests.get(req)
+        if handler is not None:
+            try:
+                return handler(request)
+            except Exception as exc:
+                # A producer-supplied verb must not be able to take
+                # down the server thread or drop the connection.
+                return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        verbs = ", ".join(
+            ["status", "metrics", "tail", "health", "watch", "emit"]
+            + sorted(self.extra_requests)
+        )
         return {
             "ok": False,
-            "error": (
-                f"unknown request {req!r}; expected status, metrics, "
-                "tail, health, watch, or emit"
-            ),
+            "error": f"unknown request {req!r}; expected one of: {verbs}",
         }
 
     def _status(self) -> Dict[str, Any]:

@@ -192,17 +192,81 @@ def test_plain_map_builtin_not_flagged():
     assert facts.functions[0].process_targets == ()
 
 
+# -- signal registrations and special calls ---------------------------------
+
+
+def test_signal_registration_facts_extracted():
+    facts = facts_of(
+        "import signal, time\n"
+        "def handler(s, f):\n"
+        "    time.sleep(1)\n"
+        "    print('bye')\n"
+        "def install(svc):\n"
+        "    signal.signal(signal.SIGTERM, handler)\n"
+        "    signal.signal(signal.SIGINT, svc.on_signal)\n"
+        "    signal.signal(signal.SIGHUP, signal.SIG_IGN)\n"
+    )
+    fns = {f.qualname: f for f in facts.functions}
+    regs = fns["install"].signal_registrations
+    # SIG_IGN is a disposition, not a handler: two registrations only.
+    assert [(r.signal_name, r.handler, r.handler_kind) for r in regs] == [
+        ("SIGTERM", "handler", "name"),
+        ("SIGINT", "on_signal", "attribute"),
+    ]
+    assert ("sleep", 3) in fns["handler"].blocking_calls
+    assert ("print", 4) in fns["handler"].nonreentrant_calls
+
+
+def test_inline_lambda_handler_scanned_at_registration():
+    facts = facts_of(
+        "import signal, time\n"
+        "def install():\n"
+        "    signal.signal(signal.SIGTERM, lambda s, f: time.sleep(9))\n"
+    )
+    (reg,) = facts.functions[0].signal_registrations
+    assert reg.handler_kind == "lambda"
+    assert reg.inline_blocking == (("sleep", 3),)
+    assert reg.inline_nonreentrant == ()
+
+
+def test_str_join_is_not_a_blocking_call():
+    facts = facts_of(
+        "def fmt(parts):\n"
+        "    return ', '.join(parts)\n"
+    )
+    assert facts.functions[0].blocking_calls == ()
+
+
+def test_logging_calls_are_nonreentrant_only_on_logging_receivers():
+    facts = facts_of(
+        "def f(logger, cursor):\n"
+        "    logger.warning('x')\n"
+        "    cursor.execute('y')\n"
+        "    info = cursor.info('z')\n"
+    )
+    calls = facts.functions[0].nonreentrant_calls
+    assert ("warning", 2) in calls
+    # `cursor.info` is not a logger; receiver-name heuristic holds.
+    assert all(name != "info" for name, _ in calls)
+
+
 # -- serialization ----------------------------------------------------------
 
 
 def test_facts_round_trip_through_json_dict():
     facts = facts_of(
         "import numpy as np\n"
+        "import signal\n"
+        "import time\n"
         "CACHE = {}\n"
         "def f(sig: np.ndarray):\n"
         "    CACHE['k'] = 1\n"
         "    for v in np.asarray(sig):\n"
-        "        pass\n",
+        "        pass\n"
+        "def install(h):\n"
+        "    signal.signal(signal.SIGTERM, h)\n"
+        "    signal.signal(signal.SIGINT, lambda s, f: time.sleep(1))\n"
+        "    time.sleep(0.1)\n",
         suppressions={3: {"hot-loop"}},
     )
     import json

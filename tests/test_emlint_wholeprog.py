@@ -354,6 +354,7 @@ def test_cross_rule_registry_complete():
         "shared-mutable-state",
         "fork-unsafety",
         "unpicklable-target",
+        "signal-handler",
         "hot-loop",
     }
     assert len(ALL_CROSS_RULES) == len(names)

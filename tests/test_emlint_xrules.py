@@ -252,6 +252,112 @@ def test_unpicklable_target_flagged(tmp_path):
     assert "pickled" in finding.message
 
 
+# -- signal handlers --------------------------------------------------------
+
+
+def test_signal_handler_blocking_call_flagged(tmp_path):
+    result = analyze(
+        tmp_path,
+        {
+            "pkg/cli/daemon.py": (
+                "import signal\n"
+                "import time\n"
+                "def handler(signum, frame):\n"
+                "    time.sleep(1)\n"
+                "def install():\n"
+                "    signal.signal(signal.SIGTERM, handler)\n"
+            )
+        },
+    )
+    (finding,) = rule_hits(result, "signal-handler")
+    assert "blocking 'sleep'" in finding.message
+    assert "SIGTERM" in finding.message
+    assert finding.line == 4
+
+
+def test_signal_handler_nonreentrant_method_handler_flagged(tmp_path):
+    result = analyze(
+        tmp_path,
+        {
+            "pkg/cli/daemon.py": (
+                "import signal\n"
+                "import logging\n"
+                "logger = logging.getLogger(__name__)\n"
+                "class Svc:\n"
+                "    def _on_signal(self, signum, frame):\n"
+                "        print('caught')\n"
+                "        logger.info('caught')\n"
+                "    def install(self):\n"
+                "        signal.signal(signal.SIGTERM, self._on_signal)\n"
+            )
+        },
+    )
+    hits = rule_hits(result, "signal-handler")
+    messages = " | ".join(f.message for f in hits)
+    assert "non-reentrant 'print'" in messages
+    assert "non-reentrant 'info'" in messages
+    assert all("Svc._on_signal" in f.message for f in hits)
+
+
+def test_signal_handler_inline_lambda_flagged(tmp_path):
+    result = analyze(
+        tmp_path,
+        {
+            "pkg/cli/daemon.py": (
+                "import signal\n"
+                "import time\n"
+                "def install():\n"
+                "    signal.signal(signal.SIGINT, "
+                "lambda s, f: time.sleep(5))\n"
+            )
+        },
+    )
+    (finding,) = rule_hits(result, "signal-handler")
+    assert "inline lambda" in finding.message
+    assert "blocking 'sleep'" in finding.message
+
+
+def test_signal_handler_flag_setter_is_clean(tmp_path):
+    # The sanctioned shape: the handler only sets an Event; join/sleep
+    # elsewhere in the module (and str.join anywhere) must not trip it.
+    result = analyze(
+        tmp_path,
+        {
+            "pkg/cli/daemon.py": (
+                "import signal\n"
+                "import threading\n"
+                "class Svc:\n"
+                "    def __init__(self):\n"
+                "        self._stop = threading.Event()\n"
+                "    def _on_signal(self, signum, frame):\n"
+                "        self._stop.set()\n"
+                "    def install(self):\n"
+                "        signal.signal(signal.SIGTERM, self._on_signal)\n"
+                "    def banner(self):\n"
+                "        return ', '.join(['a', 'b'])\n"
+                "    def run(self, worker):\n"
+                "        worker.join()\n"
+            )
+        },
+    )
+    assert rule_hits(result, "signal-handler") == []
+
+
+def test_signal_handler_dispositions_ignored(tmp_path):
+    result = analyze(
+        tmp_path,
+        {
+            "pkg/cli/daemon.py": (
+                "import signal\n"
+                "def install():\n"
+                "    signal.signal(signal.SIGINT, signal.SIG_IGN)\n"
+                "    signal.signal(signal.SIGTERM, signal.SIG_DFL)\n"
+            )
+        },
+    )
+    assert rule_hits(result, "signal-handler") == []
+
+
 # -- hot loops --------------------------------------------------------------
 
 HOT_LOOP_SRC = (

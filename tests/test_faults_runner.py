@@ -224,16 +224,22 @@ class TestKillAndResume:
                 for n in "abcd"
             ]
 
-        # first pass dies while starting run "c": a and b are durable
+        # first pass dies while starting run "c": a and b are durable,
+        # and c's pre-marked lease survives as "running" + attempts so
+        # the next pass can tell it apart from a fresh run
         first = Campaign(directory, sleep=lambda _: None)
         with pytest.raises(Killed):
             first.execute(specs(die_on="c"))
         manifest = json.loads((directory / "manifest.json").read_text())
-        assert set(manifest["runs"]) == {"a", "b"}
-        assert all(v["status"] == "done" for v in manifest["runs"].values())
+        assert set(manifest["runs"]) == {"a", "b", "c"}
+        assert manifest["runs"]["a"]["status"] == "done"
+        assert manifest["runs"]["b"]["status"] == "done"
+        assert manifest["runs"]["c"]["status"] == "running"
+        assert manifest["runs"]["c"]["attempts"] == 1
 
         # a fresh process resumes: a and b are skipped (their sources
-        # are not even constructed), c and d run to completion
+        # are not even constructed), c and d run to completion - and c
+        # is surfaced as a resumed interruption with its attempt count
         resumed = Campaign(directory, sleep=lambda _: None)
         result = resumed.execute(specs())
         statuses = {o.name: o.status for o in result.outcomes}
@@ -241,6 +247,7 @@ class TestKillAndResume:
             "a": "skipped", "b": "skipped", "c": "done", "d": "done"
         }
         assert result.completed
+        assert result.interrupted() == {"c": 2}
         assert sources["a"].captures == 1  # not re-acquired
         assert sources["c"].captures == 1
         for name in "abcd":

@@ -67,6 +67,10 @@ class TestEventSchema:
             "quality_flag",
             "checkpoint_written",
             "heartbeat",
+            "worker_spawned",
+            "worker_killed",
+            "job_requeued",
+            "job_quarantined",
         )
 
 

@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint lint-cold regress check dashboard chaos chaos-service bench bench-all bench-engine trace watch-demo reproduce examples selftest clean
+.PHONY: install test lint lint-cold regress check dashboard chaos chaos-service bench bench-all bench-engine trace watch-demo explain-demo reproduce examples selftest clean
 
 install:
 	pip install -e .
@@ -74,6 +74,13 @@ trace:
 # process.  No hardware, no prior state; exits on its own.
 watch-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.cli watch --demo
+
+# Flight-recorder demo: build a faulted microbenchmark capture, then
+# `repro explain` it — provenance cards on stdout, a self-contained
+# HTML report at results/explain_demo.html, and the raw NDJSON
+# decision log at results/explain_demo.flight.
+explain-demo:
+	PYTHONPATH=src $(PYTHON) examples/explain_demo.py
 
 reproduce:
 	$(PYTHON) -m repro reproduce -o results/

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Flight-recorder walkthrough: a faulted capture through `repro explain`.
+
+Builds the paper's TM/CM microbenchmark capture, impairs it with
+sample dropouts and an AGC gain step (the fault families from
+`repro.faults`), and then asks the engine to *explain itself*:
+
+1. `repro explain` re-profiles the capture with the flight recorder
+   attached and prints one provenance card per stall — the exact
+   trigger sample, threshold margin, hysteresis merge chain, carry
+   provenance, and quality overlaps;
+2. the same evidence is rendered as a self-contained HTML page
+   (`results/explain_demo.html`, no scripts, no network);
+3. the raw decision log is kept as an NDJSON sidecar
+   (`results/explain_demo.flight`) for grepping and diffing.
+
+This is the script behind `make explain-demo`.
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro import Microbenchmark, simulate
+from repro.cli import main as repro_main
+from repro.devices import default_channel, olimex
+from repro.emsignal import measure
+from repro.faults import DropoutFault, FaultInjector, GainStepFault
+from repro.io import save_capture
+
+RESULTS = Path("results")
+
+
+def main() -> int:
+    RESULTS.mkdir(exist_ok=True)
+
+    # 1. A clean capture of the engineered workload.
+    workload = Microbenchmark(total_misses=256, consecutive_misses=5)
+    device = olimex()
+    result = simulate(workload, device)
+    capture = measure(
+        result, bandwidth_hz=40e6, channel=default_channel(device.name)
+    )
+    print(f"capture  : {len(capture.magnitude)} samples @ "
+          f"{capture.sample_rate_hz / 1e6:.0f} MS/s")
+
+    # 2. Impair it: receiver dropouts plus one AGC gain step, so the
+    #    explanation has quality events and near misses to talk about.
+    injector = FaultInjector(
+        [DropoutFault(rate=0.002), GainStepFault(steps=1)], seed=7
+    )
+    impaired = injector.apply(capture.magnitude)
+    print(f"faults   : {impaired.log.summary()}")
+    faulted = replace(capture, magnitude=impaired.signal)
+    capture_path = RESULTS / "explain_demo_capture.npz"
+    save_capture(capture_path, faulted)
+
+    # 3. Ask why.  This is exactly `repro explain <capture> --html ...
+    #    --flight-out ...` from the shell.
+    print()
+    return repro_main([
+        "explain",
+        str(capture_path),
+        "--html", str(RESULTS / "explain_demo.html"),
+        "--flight-out", str(RESULTS / "explain_demo.flight"),
+    ])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,10 @@ Mirrors a real measurement campaign's workflow:
   apparatus and save the capture (.npz);
 * ``profile``    - run EMPROF over a saved capture and save/print the
   report (.json);
+* ``explain``    - decision-level provenance: why was each stall
+  reported (and why was nothing reported elsewhere)?  Re-profiles a
+  capture with the engine flight recorder attached; renders text or
+  self-contained HTML cards, diffs two runs;
 * ``selftest``   - engineered-microbenchmark accuracy check (the
   Table II experiment at one grid point);
 * ``table``      - regenerate one of the paper's tables;
@@ -145,13 +149,29 @@ def cmd_profile(args: argparse.Namespace) -> int:
         if args.span_memory
         else _contextlib.nullcontext()
     )
+    flight = None
+    if args.flight_out:
+        if args.isolate_window:
+            raise SystemExit(
+                "--flight-out is not supported with --isolate-window "
+                "(windowed stalls are shifted away from their decision "
+                "positions); use `repro explain` on the full capture"
+            )
+        from .obs.flight import FlightRecorder
+
+        flight = FlightRecorder()
     with profilehooks.profiled(args.profile_out), memory_ctx:
         if args.isolate_window:
             window = find_marker_window(profiler.signal, marker_min_samples=200)
             report = profiler.profile_window(window.begin_sample, window.end_sample)
             print(f"marker window: samples [{window.begin_sample}, {window.end_sample})")
         else:
-            report = profiler.profile()
+            report = profiler.profile(flight=flight)
+    if flight is not None:
+        count = repro_io.save_flight(
+            args.flight_out, flight, capture=str(args.capture)
+        )
+        print(f"flight recording ({count} events) -> {args.flight_out}")
     if args.profile_out:
         print(f"cProfile stats -> {args.profile_out} (+ .txt table)")
     if args.plot:
@@ -170,6 +190,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
     if args.output:
         repro_io.save_report(args.output, report)
         print(f"report -> {args.output}")
+    if args.metrics_out or args.ledger:
+        # Stamp the event bus's health gauges (drops, queue depth) into
+        # the registry so they land in the exported snapshot.
+        from .obs import events as obs_events
+
+        obs_events.export_gauges()
     if args.trace_out:
         obs.trace.write(args.trace_out, fmt=args.trace_format)
         print(f"trace ({len(obs.trace.records())} spans) -> {args.trace_out}")
@@ -200,10 +226,112 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 "miss_count": report.miss_count,
                 "low_confidence_count": report.low_confidence_count,
                 "stall_fraction": report.stall_fraction,
+                **(
+                    {"flight": str(args.flight_out)}
+                    if args.flight_out
+                    else {}
+                ),
             },
         )
         obs_ledger.RunLedger(args.ledger).append(entry)
         print(f"ledger +1 ({entry.group}) -> {args.ledger}")
+    return 0
+
+
+def _explained_report(path: str, args: argparse.Namespace):
+    """Load a report (.json, must carry evidence) or re-profile a capture.
+
+    Returns ``(report, recorder)``; ``recorder`` is ``None`` when the
+    evidence came from a saved report rather than a fresh run.
+    """
+    from .obs.flight import FlightRecorder
+
+    if str(path).endswith(".json"):
+        report = repro_io.load_report(path)
+        if report.evidence is None:
+            raise SystemExit(
+                f"{path}: report carries no evidence; run "
+                f"`repro explain` on the capture instead (it re-profiles "
+                f"with a flight recorder), or profile with --flight-out"
+            )
+        return report, None
+    capture = repro_io.load_capture(path)
+    config = EmprofConfig(
+        normalizer=NormalizerConfig(window_samples=args.window),
+        detector=DetectorConfig(
+            threshold=args.threshold,
+            min_duration_cycles=args.min_duration,
+        ),
+    )
+    recorder = FlightRecorder(capacity=args.flight_capacity)
+    report = Emprof.from_capture(capture, config=config).profile(flight=recorder)
+    return report, recorder
+
+
+def _parse_sample_range(spec: str) -> tuple:
+    """Parse the ``--at BEGIN:END`` sample-range syntax."""
+    try:
+        begin_s, _, end_s = spec.partition(":")
+        begin, end = float(begin_s), float(end_s)
+    except ValueError:
+        raise SystemExit(f"--at expects BEGIN:END sample range, got {spec!r}")
+    if end < begin:
+        raise SystemExit(f"--at range is inverted: {spec!r}")
+    return begin, end
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .obs.explain import diff_reports, near_miss_line, near_misses_between
+    from .render import diff_text, explain_html, explain_text
+
+    report, recorder = _explained_report(args.capture, args)
+    diff = None
+    if args.diff:
+        other, _ = _explained_report(args.diff, args)
+        diff = diff_reports(report, other)
+
+    print(explain_text(report))
+    if args.at:
+        begin, end = _parse_sample_range(args.at)
+        print()
+        print(f"window [{begin:g}, {end:g}):")
+        overlapping = [
+            e
+            for e in report.evidence.stalls
+            if e.begin_sample <= end and e.end_sample >= begin
+        ]
+        for e in overlapping:
+            print(f"  - stall #{e.index} reported "
+                  f"[{e.begin_sample:.3f}, {e.end_sample:.3f})")
+        misses = near_misses_between(report.evidence, begin, end)
+        for m in misses:
+            print(f"  - {near_miss_line(m)}")
+        if not overlapping and not misses:
+            print("  - nothing reported and no candidate rejected: the "
+                  "signal never crossed the threshold here")
+    if diff is not None:
+        print()
+        print(f"diff vs {args.diff}:")
+        print(diff_text(diff))
+    if args.html:
+        html = explain_html(
+            report,
+            title=f"EMPROF stall provenance — {args.capture}",
+            diff=diff,
+        )
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(html)
+        print(f"\nprovenance report -> {args.html}")
+    if args.flight_out:
+        if recorder is None:
+            raise SystemExit(
+                "--flight-out needs a capture input (saved reports carry "
+                "evidence but not the raw event stream)"
+            )
+        count = repro_io.save_flight(
+            args.flight_out, recorder, capture=str(args.capture)
+        )
+        print(f"flight recording ({count} events) -> {args.flight_out}")
     return 0
 
 
@@ -481,6 +609,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(implies observability on)",
     )
     prof.add_argument(
+        "--flight-out",
+        metavar="FLIGHT",
+        help="record engine decisions and spill them as an NDJSON "
+        ".flight sidecar; the saved report then carries per-stall "
+        "evidence (see `repro explain`)",
+    )
+    prof.add_argument(
         "--trace-id",
         metavar="HEX",
         help="join an existing cross-process trace (see repro-obs stitch)",
@@ -491,6 +626,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="globalized parent span id this run hangs under",
     )
     prof.set_defaults(func=cmd_profile)
+
+    exp = sub.add_parser(
+        "explain",
+        help="per-stall provenance: why was each stall reported (or not)?",
+        description=(
+            "Re-profiles a capture with the engine flight recorder "
+            "attached (or reads a report .json that already carries "
+            "evidence) and renders one provenance card per stall: "
+            "trigger sample, depth margin vs threshold, hysteresis "
+            "merge chain, carry provenance, quality overlaps — plus "
+            "the near-miss log of rejected dip candidates.  "
+            "See docs/observability.md."
+        ),
+    )
+    exp.add_argument("capture", help="capture .npz (re-profiled) or report .json")
+    exp.add_argument("--threshold", type=float, default=0.45)
+    exp.add_argument("--window", type=int, default=2001)
+    exp.add_argument("--min-duration", type=float, default=70.0)
+    exp.add_argument(
+        "--diff",
+        metavar="OTHER",
+        help="second capture/report: align stall sets and attribute every "
+        "difference to the first diverging decision",
+    )
+    exp.add_argument(
+        "--at",
+        metavar="BEGIN:END",
+        help="sample range to interrogate: what was reported or rejected "
+        "there, and why?",
+    )
+    exp.add_argument("--html", metavar="OUT_HTML", help="write a self-contained HTML report")
+    exp.add_argument(
+        "--flight-out",
+        metavar="FLIGHT",
+        help="spill the raw decision events as an NDJSON .flight sidecar",
+    )
+    exp.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=16384,
+        help="flight-ring capacity (oldest events overwritten beyond this)",
+    )
+    exp.set_defaults(func=cmd_explain)
 
     st = sub.add_parser("selftest", help="engineered-miss accuracy check")
     st.add_argument("--device", default="olimex", choices=list(DEVICE_NAMES))

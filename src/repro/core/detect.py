@@ -130,6 +130,7 @@ def detect_stalls(
     sample_period_cycles: float,
     config: DetectorConfig = None,
     quality_intervals: Optional[Sequence[Tuple[float, float]]] = None,
+    flight=None,
 ) -> List[DetectedStall]:
     """Find LLC-miss-induced stalls in a normalized signal.
 
@@ -141,6 +142,10 @@ def detect_stalls(
         quality_intervals: optional impaired sample intervals; stalls
             overlapping one are returned with ``low_confidence=True``
             (see :func:`flag_low_confidence`).
+        flight: optional :class:`repro.obs.flight.FlightRecorder`;
+            when given, every engine decision (threshold runs,
+            hysteresis verdicts, finalize/reject) is recorded into it.
+            Detection output is bit-identical either way.
 
     Returns:
         Detected stalls in time order, with fractional boundaries and
@@ -148,13 +153,17 @@ def detect_stalls(
     """
     cfg = config if config is not None else DetectorConfig()
     if not obs_enabled():
-        stalls = _detect_stalls_impl(normalized, sample_period_cycles, cfg)
+        stalls = _detect_stalls_impl(
+            normalized, sample_period_cycles, cfg, flight=flight
+        )
         if quality_intervals:
             stalls = flag_low_confidence(stalls, quality_intervals)
         return stalls
     t0 = time.perf_counter()
     with _trace.span("detect", samples=len(normalized)) as span:
-        stalls = _detect_stalls_impl(normalized, sample_period_cycles, cfg)
+        stalls = _detect_stalls_impl(
+            normalized, sample_period_cycles, cfg, flight=flight
+        )
         span.set_attr(stalls=len(stalls))
     if quality_intervals:
         stalls = flag_low_confidence(stalls, quality_intervals)
@@ -168,6 +177,7 @@ def _detect_stalls_impl(
     normalized: np.ndarray,
     sample_period_cycles: float,
     cfg: DetectorConfig,
+    flight=None,
 ) -> List[DetectedStall]:
     """The uninstrumented detection pipeline (see :func:`detect_stalls`).
 
@@ -178,4 +188,4 @@ def _detect_stalls_impl(
     x = np.asarray(normalized, dtype=np.float64)
     if x.ndim != 1:
         raise ValueError("signal must be one-dimensional")
-    return detect_all(x, sample_period_cycles, cfg)
+    return detect_all(x, sample_period_cycles, cfg, flight=flight)

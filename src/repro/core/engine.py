@@ -39,7 +39,17 @@ Carry-state invariants (see ``docs/engine.md`` for the full contract):
 The engine is deliberately instrumentation-free: the adapters in
 :mod:`repro.core.detect` and :mod:`repro.core.streaming` carry the
 observability counters and runtime contracts so the hot path here
-stays pure.
+stays pure.  The one sanctioned exception is the *flight recorder*
+(:mod:`repro.obs.flight`): both :class:`ChunkNormalizer` and
+:class:`ChunkDetector` accept an optional
+:class:`~repro.obs.flight.FlightRecorder` and, when one is attached,
+record every decision (window settles, threshold runs, hysteresis
+merges/splits, carry handoffs, finalize/reject verdicts) as
+schema-versioned events.  With no recorder — the default — each hook
+is a single ``is not None`` check and the numerical path is
+bit-identical to the uninstrumented engine; with a recorder the hooks
+only *read* state, so the outputs are bit-identical either way (both
+facts are pinned by tests).
 """
 
 from __future__ import annotations
@@ -50,6 +60,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 from scipy.ndimage import maximum_filter1d, minimum_filter1d
 
+from ..obs.flight import FLIGHT_SCHEMA_VERSION, FlightEvent, FlightRecorder
 from .events import DetectedStall
 from .normalize import NormalizerConfig
 
@@ -204,7 +215,11 @@ class ChunkNormalizer:
     diverging from the batch result.
     """
 
-    def __init__(self, config: Optional[NormalizerConfig] = None):
+    def __init__(
+        self,
+        config: Optional[NormalizerConfig] = None,
+        flight: Optional[FlightRecorder] = None,
+    ):
         cfg = config if config is not None else NormalizerConfig()
         if cfg.smooth_samples != 1:
             raise ValueError(
@@ -217,6 +232,7 @@ class ChunkNormalizer:
         self._right = (window - 1) // 2  # right context (emission latency)
         self._ring = SampleRing(capacity=2 * window + 4096)
         self._next_out = 0  # absolute position of the next output sample
+        self._flight = flight
 
     @property
     def latency_samples(self) -> int:
@@ -265,6 +281,20 @@ class ChunkNormalizer:
         out = np.ones_like(x)
         np.divide(x - mmin, span, out=out, where=engaged & (span > 0))
         out = np.clip(out, 0.0, 1.0)
+        if self._flight is not None:
+            self._flight.record(
+                FlightEvent(
+                    schema_version=FLIGHT_SCHEMA_VERSION,
+                    kind="normalizer_emit",
+                    pos=float(self._next_out),
+                    attrs={
+                        "until": int(until),
+                        "n": int(until - self._next_out),
+                        "window_base": int(base),
+                        "engaged": int(np.count_nonzero(engaged)),
+                    },
+                )
+            )
         self._next_out = until
         self._ring.drop_before(max(0, until - self._left))
         return out
@@ -317,7 +347,12 @@ class ChunkDetector:
     stalls are bit-identical either way; only their latency differs.
     """
 
-    def __init__(self, sample_period_cycles: float, config):
+    def __init__(
+        self,
+        sample_period_cycles: float,
+        config,
+        flight: Optional[FlightRecorder] = None,
+    ):
         if sample_period_cycles <= 0:
             raise ValueError("sample period must be positive")
         self.period = float(sample_period_cycles)
@@ -326,6 +361,79 @@ class ChunkDetector:
         self._prev = 1.0  # previous sample value (edge refinement)
         self._carry: Optional[DipCarry] = None
         self._samples_seen = 0
+        self._flight = flight
+
+    # -- flight recording (every hook is behind one `is not None`) -----------
+
+    def _record_emit(
+        self,
+        trigger: int,
+        begin: float,
+        finish: float,
+        min_level: float,
+        duration: float,
+        refresh: bool,
+        carried: bool,
+        merged_runs: int = 1,
+    ) -> None:
+        self._flight.record(
+            FlightEvent(
+                schema_version=FLIGHT_SCHEMA_VERSION,
+                kind="stall_emitted",
+                pos=begin,
+                attrs={
+                    "trigger": trigger,
+                    "begin": begin,
+                    "end": finish,
+                    "min_level": min_level,
+                    "margin": float(self.config.threshold) - min_level,
+                    "duration_cycles": duration,
+                    "refresh": refresh,
+                    "carried": carried,
+                    "merged_runs": merged_runs,
+                },
+            )
+        )
+
+    def _record_reject(
+        self,
+        trigger: int,
+        begin: float,
+        finish: float,
+        min_level: float,
+        reason: str,
+        measured: float,
+        limit: float,
+        carried: bool,
+    ) -> None:
+        self._flight.record(
+            FlightEvent(
+                schema_version=FLIGHT_SCHEMA_VERSION,
+                kind="stall_rejected",
+                pos=begin,
+                attrs={
+                    "trigger": trigger,
+                    "begin": begin,
+                    "end": finish,
+                    "reason": reason,
+                    "measured": measured,
+                    "limit": limit,
+                    "min_level": min_level,
+                    "margin": float(self.config.threshold) - min_level,
+                    "carried": carried,
+                },
+            )
+        )
+
+    def _record_event(self, kind: str, pos: float, **attrs) -> None:
+        self._flight.record(
+            FlightEvent(
+                schema_version=FLIGHT_SCHEMA_VERSION,
+                kind=kind,
+                pos=pos,
+                attrs=attrs,
+            )
+        )
 
     # -- scalar paths (chunk boundaries and stream edges) -------------------
 
@@ -344,15 +452,59 @@ class ChunkDetector:
 
     def _finalize(self, dip: DipCarry, exit_value: float) -> Optional[DetectedStall]:
         cfg = self.config
+        fl = self._flight
         if dip.end - dip.start < cfg.min_duration_samples:
+            if fl is not None:
+                self._record_reject(
+                    trigger=dip.start,
+                    begin=self._refine(dip.enter_prev, dip.start_value, dip.start),
+                    finish=self._refine(dip.end_prev_value, exit_value, dip.end),
+                    min_level=dip.min_level,
+                    reason="too_few_samples",
+                    measured=float(dip.end - dip.start),
+                    limit=float(cfg.min_duration_samples),
+                    carried=True,
+                )
             return None
         begin = self._refine(dip.enter_prev, dip.start_value, dip.start)
         finish = self._refine(dip.end_prev_value, exit_value, dip.end)
         if finish <= begin:
+            if fl is not None:
+                self._record_reject(
+                    trigger=dip.start,
+                    begin=begin,
+                    finish=finish,
+                    min_level=dip.min_level,
+                    reason="inverted_edges",
+                    measured=finish - begin,
+                    limit=0.0,
+                    carried=True,
+                )
             return None
         duration = (finish - begin) * self.period
         if duration < cfg.min_duration_cycles:
+            if fl is not None:
+                self._record_reject(
+                    trigger=dip.start,
+                    begin=begin,
+                    finish=finish,
+                    min_level=dip.min_level,
+                    reason="below_min_duration",
+                    measured=duration,
+                    limit=float(cfg.min_duration_cycles),
+                    carried=True,
+                )
             return None
+        if fl is not None:
+            self._record_emit(
+                trigger=dip.start,
+                begin=begin,
+                finish=finish,
+                min_level=dip.min_level,
+                duration=duration,
+                refresh=duration >= cfg.refresh_min_cycles,
+                carried=True,
+            )
         return DetectedStall(
             begin_sample=begin,
             end_sample=finish,
@@ -421,6 +573,13 @@ class ChunkDetector:
         out: List[DetectedStall] = []
 
         starts, ends = bool_runs(arr < cfg.threshold)
+        if self._flight is not None:
+            self._record_event(
+                "threshold_runs",
+                float(pos0),
+                runs=int(starts.size),
+                carry_open=self._carry is not None,
+            )
         if starts.size == 0:
             self._no_runs(arr, pos0, out)
             self._advance(arr, n)
@@ -429,8 +588,8 @@ class ChunkDetector:
         first_start = int(starts[0])
         carry_merged = self._junction(arr, pos0, first_start, out)
 
-        group_start, group_end, group_min, merged_tail = self._group_runs(
-            arr, starts, ends
+        group_start, group_end, group_min, merged_tail, runs_per_group = (
+            self._group_runs(arr, starts, ends, pos0)
         )
         n_groups = len(group_start)
 
@@ -478,6 +637,20 @@ class ChunkDetector:
                 & (duration >= cfg.min_duration_cycles)
             )
             refresh = duration >= cfg.refresh_min_cycles
+            if self._flight is not None:
+                self._record_group_verdicts(
+                    abs_start,
+                    abs_end,
+                    begin,
+                    finish,
+                    duration,
+                    keep,
+                    refresh,
+                    group_min,
+                    runs_per_group,
+                    n_final,
+                    carry_merged,
+                )
             for s_begin, s_finish, s_min, s_refresh in zip(
                 begin[keep].tolist(),
                 finish[keep].tolist(),
@@ -519,6 +692,15 @@ class ChunkDetector:
                 dip.exit_value = float(arr[last_end])
                 dip.gap_max = float(merged_tail)
             self._carry = dip
+            if self._flight is not None:
+                self._record_event(
+                    "carry_open",
+                    float(pos0 + n),
+                    start=int(dip.start),
+                    end=int(dip.end),
+                    min_level=float(dip.min_level),
+                    gap_open=dip.gap_start is not None,
+                )
         else:
             self._carry = None
 
@@ -527,6 +709,10 @@ class ChunkDetector:
 
     def finish(self) -> List[DetectedStall]:
         """Finalize any open dip at end of signal."""
+        if self._flight is not None:
+            self._record_event(
+                "finish", float(self._pos), samples_seen=self._samples_seen
+            )
         out = self._close_carry()
         return out
 
@@ -540,6 +726,10 @@ class ChunkDetector:
         keep advancing and the next sample is treated like a stream
         start (neutral previous value for edge refinement).
         """
+        if self._flight is not None:
+            self._record_event(
+                "resync", float(self._pos), carry_open=self._carry is not None
+            )
         out = self._close_carry()
         self._prev = 1.0
         return out
@@ -567,6 +757,17 @@ class ChunkDetector:
             if stall is not None:
                 out.append(stall)
             self._carry = None
+        elif self._flight is not None:
+            # The dip's fate is still pending; it crosses this chunk
+            # boundary too.
+            self._record_event(
+                "carry_open",
+                float(pos0 + arr.size),
+                start=int(dip.start),
+                end=int(dip.end),
+                min_level=float(dip.min_level),
+                gap_open=True,
+            )
 
     def _junction(
         self,
@@ -593,10 +794,23 @@ class ChunkDetector:
         if dip.gap_start is None:
             # The chunk opens below threshold and the dip never saw a
             # gap: it simply continues.
+            if self._flight is not None:
+                self._record_event(
+                    "carry_merge", float(pos0), start=int(dip.start), continued=True
+                )
             return True
         gap_len = pos0 + first_start - dip.gap_start
         if dip.gap_max < cfg.recover_threshold or gap_len <= cfg.merge_gap_samples:
             # Merge: the dip continues through the gap.
+            if self._flight is not None:
+                self._record_event(
+                    "carry_merge",
+                    float(dip.gap_start),
+                    start=int(dip.start),
+                    gap_len=int(gap_len),
+                    gap_max=float(dip.gap_max),
+                    continued=False,
+                )
             dip.gap_start = None
             dip.gap_max = -np.inf
             return True
@@ -607,15 +821,16 @@ class ChunkDetector:
         return False
 
     def _group_runs(
-        self, arr: np.ndarray, starts: np.ndarray, ends: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        self, arr: np.ndarray, starts: np.ndarray, ends: np.ndarray, pos0: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float, np.ndarray]:
         """Merge below-threshold runs into dip groups, vectorized.
 
-        Returns (group_start, group_end, group_min, trailing_max):
-        chunk-local [start, end) per merged group, the minimum level
-        inside each group, and the signal maximum over the trailing
-        above-threshold region (``-inf`` when the chunk ends below
-        threshold).
+        Returns (group_start, group_end, group_min, trailing_max,
+        runs_per_group): chunk-local [start, end) per merged group,
+        the minimum level inside each group, the signal maximum over
+        the trailing above-threshold region (``-inf`` when the chunk
+        ends below threshold), and how many raw runs each group
+        merged.
 
         A gap merges its neighbours when it is short
         (``<= merge_gap_samples``) or never recovers above the
@@ -640,6 +855,8 @@ class ChunkDetector:
             merge = (gap_max < self.config.recover_threshold) | (
                 gap_len <= self.config.merge_gap_samples
             )
+            if self._flight is not None:
+                self._record_gap_decisions(ends, gap_len, gap_max, merge, pos0)
         breaks = np.flatnonzero(~merge)
         first_run = np.concatenate(([0], breaks + 1))
         last_run = np.concatenate((breaks, [n_runs - 1]))
@@ -653,7 +870,97 @@ class ChunkDetector:
         group_bounds[1::2] = group_end
         reduce_bounds = group_bounds[:-1] if last_is_end else group_bounds
         group_min = np.minimum.reduceat(arr, reduce_bounds)[0::2]
-        return group_start, group_end, group_min, trailing_max
+        runs_per_group = last_run - first_run + 1
+        return group_start, group_end, group_min, trailing_max, runs_per_group
+
+    def _record_gap_decisions(
+        self,
+        ends: np.ndarray,
+        gap_len: np.ndarray,
+        gap_max: np.ndarray,
+        merge: np.ndarray,
+        pos0: int,
+    ) -> None:
+        """Flight-record every hysteresis merge/split verdict of a chunk."""
+        recover = self.config.recover_threshold
+        # Iterates gap *decisions* (a handful per chunk), and only when
+        # a flight recorder is attached - not a per-sample hot path.
+        # emlint: disable=hot-loop
+        for gi in range(len(merge)):
+            length = int(gap_len[gi])
+            top = float(gap_max[gi])
+            if merge[gi]:
+                self._record_event(
+                    "hysteresis_merge",
+                    float(pos0 + int(ends[gi])),
+                    gap_len=length,
+                    gap_max=top,
+                    reason="no_recovery" if top < recover else "short_gap",
+                )
+            else:
+                self._record_event(
+                    "hysteresis_split",
+                    float(pos0 + int(ends[gi])),
+                    gap_len=length,
+                    gap_max=top,
+                )
+
+    def _record_group_verdicts(
+        self,
+        abs_start: np.ndarray,
+        abs_end: np.ndarray,
+        begin: np.ndarray,
+        finish: np.ndarray,
+        duration: np.ndarray,
+        keep: np.ndarray,
+        refresh: np.ndarray,
+        group_min: np.ndarray,
+        runs_per_group: np.ndarray,
+        n_final: int,
+        carry_merged: bool,
+    ) -> None:
+        """Flight-record the finalize verdict of every sealed group."""
+        cfg = self.config
+        samples = abs_end[:n_final] - abs_start[:n_final]
+        # Iterates sealed *groups* (few per chunk), recorder-on only -
+        # not a per-sample hot path.
+        # emlint: disable=hot-loop
+        for gi in range(n_final):
+            carried = bool(carry_merged and gi == 0)
+            if keep[gi]:
+                self._record_emit(
+                    trigger=int(abs_start[gi]),
+                    begin=float(begin[gi]),
+                    finish=float(finish[gi]),
+                    min_level=float(group_min[gi]),
+                    duration=float(duration[gi]),
+                    refresh=bool(refresh[gi]),
+                    carried=carried,
+                    merged_runs=int(runs_per_group[gi]),
+                )
+                continue
+            if samples[gi] < cfg.min_duration_samples:
+                reason = "too_few_samples"
+                measured = float(samples[gi])
+                limit = float(cfg.min_duration_samples)
+            elif finish[gi] <= begin[gi]:
+                reason = "inverted_edges"
+                measured = float(finish[gi] - begin[gi])
+                limit = 0.0
+            else:
+                reason = "below_min_duration"
+                measured = float(duration[gi])
+                limit = float(cfg.min_duration_cycles)
+            self._record_reject(
+                trigger=int(abs_start[gi]),
+                begin=float(begin[gi]),
+                finish=float(finish[gi]),
+                min_level=float(group_min[gi]),
+                reason=reason,
+                measured=measured,
+                limit=limit,
+                carried=carried,
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -662,10 +969,13 @@ class ChunkDetector:
 
 
 def detect_all(
-    normalized: np.ndarray, sample_period_cycles: float, config
+    normalized: np.ndarray,
+    sample_period_cycles: float,
+    config,
+    flight: Optional[FlightRecorder] = None,
 ) -> List[DetectedStall]:
     """Whole-signal detection: one chunk through the engine plus flush."""
-    detector = ChunkDetector(sample_period_cycles, config)
+    detector = ChunkDetector(sample_period_cycles, config, flight=flight)
     stalls = detector.push(normalized)
     stalls.extend(detector.finish())
     return stalls

@@ -131,6 +131,25 @@ class ProfileReport:
     sample_period_cycles: float
     region_names: Dict[int, str] = field(default_factory=dict)
     quality: Optional[QualitySummary] = None
+    #: Per-stall provenance (:class:`repro.obs.flight.ReportEvidence`)
+    #: when the run was profiled with a flight recorder attached;
+    #: ``None`` means no recording ran, not that evidence was empty.
+    #: Typed loosely so the core event types stay importable without
+    #: the obs layer.
+    evidence: Optional[object] = None
+
+    def stall_evidence(self, index: int):
+        """Evidence record for ``stalls[index]``.
+
+        Raises ``ValueError`` when the report was profiled without a
+        flight recorder (``evidence is None``).
+        """
+        if self.evidence is None:
+            raise ValueError(
+                "report has no evidence; profile with a FlightRecorder "
+                "(e.g. Emprof.profile(flight=...)) to collect it"
+            )
+        return self.evidence.for_stall(index)
 
     @property
     def miss_count(self) -> int:

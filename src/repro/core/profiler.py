@@ -17,6 +17,7 @@ import numpy as np
 
 from ..obs import metrics as _metrics, trace as _trace
 from ..obs.events import bus as _event_bus
+from ..obs.flight import FlightRecorder, build_evidence
 from ..obs.runtime import obs_enabled
 from .detect import DetectorConfig, detect_stalls
 from .engine import ChunkDetector, ChunkNormalizer
@@ -114,13 +115,21 @@ class Emprof:
             self._normalized = normalize(self.signal, self.config.normalizer)
         return self._normalized
 
-    def profile(self) -> ProfileReport:
-        """Run detection over the whole signal and build the report."""
+    def profile(
+        self, flight: Optional[FlightRecorder] = None
+    ) -> ProfileReport:
+        """Run detection over the whole signal and build the report.
+
+        With a :class:`~repro.obs.flight.FlightRecorder` attached, the
+        engine's decisions are recorded and the returned report carries
+        a :class:`~repro.obs.flight.ReportEvidence` in
+        ``report.evidence``; stalls are bit-identical either way.
+        """
         if not obs_enabled():
-            return self._profile_impl()
+            return self._profile_impl(flight)
         _event_bus.emit("run_started", op="profile", samples=len(self.signal))
         with _trace.span("profile", samples=len(self.signal)):
-            report = self._profile_impl()
+            report = self._profile_impl(flight)
         _PROFILE_RUNS.inc()
         _event_bus.emit(
             "run_finished",
@@ -130,10 +139,15 @@ class Emprof:
         )
         return report
 
-    def _profile_impl(self) -> ProfileReport:
+    def _profile_impl(
+        self, flight: Optional[FlightRecorder] = None
+    ) -> ProfileReport:
         """Whole-signal profiling (instrumentation-free entry)."""
         stalls = detect_stalls(
-            self.normalized(), self.sample_period_cycles, self.config.detector
+            self.normalized(),
+            self.sample_period_cycles,
+            self.config.detector,
+            flight=flight,
         )
         total_cycles = len(self.signal) * self.sample_period_cycles
         with _trace.span("report", stalls=len(stalls)):
@@ -143,9 +157,23 @@ class Emprof:
                 clock_hz=self.clock_hz,
                 sample_period_cycles=self.sample_period_cycles,
                 region_names=dict(self.region_names),
+                evidence=(
+                    None
+                    if flight is None
+                    else build_evidence(
+                        stalls,
+                        flight.events(),
+                        self.config.detector,
+                        recorder=flight,
+                    )
+                ),
             )
 
-    def profile_chunked(self, chunk_samples: int = 65536) -> ProfileReport:
+    def profile_chunked(
+        self,
+        chunk_samples: int = 65536,
+        flight: Optional[FlightRecorder] = None,
+    ) -> ProfileReport:
         """Profile via the chunked engine in bounded-memory pieces.
 
         Feeds the signal through the same
@@ -159,14 +187,14 @@ class Emprof:
         if chunk_samples < 1:
             raise ValueError("chunk_samples must be at least 1")
         if not obs_enabled():
-            return self._profile_chunked_impl(chunk_samples)
+            return self._profile_chunked_impl(chunk_samples, flight)
         _event_bus.emit(
             "run_started", op="profile_chunked", samples=len(self.signal)
         )
         with _trace.span(
             "profile_chunked", samples=len(self.signal), chunk=chunk_samples
         ):
-            report = self._profile_chunked_impl(chunk_samples)
+            report = self._profile_chunked_impl(chunk_samples, flight)
         _PROFILE_RUNS.inc()
         _event_bus.emit(
             "run_finished",
@@ -176,7 +204,9 @@ class Emprof:
         )
         return report
 
-    def _profile_chunked_impl(self, chunk_samples: int) -> ProfileReport:
+    def _profile_chunked_impl(
+        self, chunk_samples: int, flight: Optional[FlightRecorder] = None
+    ) -> ProfileReport:
         """Chunked profiling (instrumentation-free entry)."""
         norm_cfg = self.config.normalizer
         x = self.signal
@@ -185,8 +215,10 @@ class Emprof:
             # identical moving average once, then stream unsmoothed.
             x = moving_average(x, norm_cfg.smooth_samples)
             norm_cfg = replace(norm_cfg, smooth_samples=1)
-        normalizer = ChunkNormalizer(norm_cfg)
-        detector = ChunkDetector(self.sample_period_cycles, self.config.detector)
+        normalizer = ChunkNormalizer(norm_cfg, flight=flight)
+        detector = ChunkDetector(
+            self.sample_period_cycles, self.config.detector, flight=flight
+        )
         stalls = []
         for chunk in np.array_split(
             x, np.arange(chunk_samples, len(x), chunk_samples)
@@ -201,6 +233,16 @@ class Emprof:
             clock_hz=self.clock_hz,
             sample_period_cycles=self.sample_period_cycles,
             region_names=dict(self.region_names),
+            evidence=(
+                None
+                if flight is None
+                else build_evidence(
+                    stalls,
+                    flight.events(),
+                    self.config.detector,
+                    recorder=flight,
+                )
+            ),
         )
 
     def profile_window(self, begin_sample: int, end_sample: int) -> ProfileReport:

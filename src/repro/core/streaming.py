@@ -45,6 +45,12 @@ from ..devtools.contracts import (
 from ..faults.quality import QualityConfig, QualityMonitor
 from ..obs import metrics as _metrics, trace as _trace
 from ..obs.events import bus as _event_bus
+from ..obs.flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightEvent,
+    FlightRecorder,
+    build_evidence,
+)
 from ..obs.runtime import obs_enabled
 from .detect import DetectorConfig
 from .engine import ChunkDetector, ChunkNormalizer, finite_segments
@@ -101,8 +107,12 @@ class OnlineNormalizer:
     from the batch result.
     """
 
-    def __init__(self, config: Optional[NormalizerConfig] = None):
-        self._engine = ChunkNormalizer(config)
+    def __init__(
+        self,
+        config: Optional[NormalizerConfig] = None,
+        flight: Optional[FlightRecorder] = None,
+    ):
+        self._engine = ChunkNormalizer(config, flight=flight)
         self.config = self._engine.config
 
     @unit_interval_result
@@ -139,9 +149,10 @@ class StreamingDetector:
         self,
         sample_period_cycles: float,
         config: Optional[DetectorConfig] = None,
+        flight: Optional[FlightRecorder] = None,
     ):
         cfg = config if config is not None else DetectorConfig()
-        self._engine = ChunkDetector(sample_period_cycles, cfg)
+        self._engine = ChunkDetector(sample_period_cycles, cfg, flight=flight)
         self.period = self._engine.period
         self.config = cfg
 
@@ -218,6 +229,11 @@ class StreamingEmprof:
             be 1 for the online path).
         detector: detection parameters.
         quality: quality-monitor parameters (defaults on).
+        flight: optional :class:`repro.obs.flight.FlightRecorder`;
+            when given, every engine decision plus the streaming
+            layer's gap/veto events are recorded, and the final report
+            carries per-stall evidence (``report.evidence``).
+            Detection output is bit-identical either way.
     """
 
     def __init__(
@@ -228,17 +244,19 @@ class StreamingEmprof:
         detector: Optional[DetectorConfig] = None,
         region_names: Optional[Dict[int, str]] = None,
         quality: Optional[QualityConfig] = None,
+        flight: Optional[FlightRecorder] = None,
     ):
         if sample_rate_hz <= 0 or clock_hz <= 0:
             raise ValueError("rates must be positive")
         self.sample_rate_hz = float(sample_rate_hz)
         self.clock_hz = float(clock_hz)
         self.period = clock_hz / sample_rate_hz
+        self._flight = flight
         self._normalizer_config = (
             normalizer if normalizer is not None else NormalizerConfig()
         )
-        self._normalizer = OnlineNormalizer(self._normalizer_config)
-        self._detector = StreamingDetector(self.period, detector)
+        self._normalizer = OnlineNormalizer(self._normalizer_config, flight=flight)
+        self._detector = StreamingDetector(self.period, detector, flight=flight)
         self.quality_monitor = QualityMonitor(
             quality, gain_guard_samples=self._normalizer_config.window_samples
         )
@@ -331,11 +349,22 @@ class StreamingEmprof:
         # detector, close the open dip (it cannot bridge the gap), and
         # re-prime the min/max state: stale extrema from before the
         # discontinuity must not normalize what follows it.
+        if self._flight is not None:
+            self._flight.record(
+                FlightEvent(
+                    schema_version=FLIGHT_SCHEMA_VERSION,
+                    kind="gap",
+                    pos=float(self._n_samples),
+                    attrs={"dropped": int(dropped)},
+                )
+            )
         tail = self._normalizer.flush()
         new = list(self._detector.push(tail))
         new.extend(self._detector.resync())
         self._stalls.extend(new)
-        self._normalizer = OnlineNormalizer(self._normalizer_config)
+        self._normalizer = OnlineNormalizer(
+            self._normalizer_config, flight=self._flight
+        )
         self.quality_monitor.mark_gap(self._n_samples, dropped)
         self._n_dropped += dropped
         if obs_enabled():
@@ -357,6 +386,20 @@ class StreamingEmprof:
         # impairment found late (e.g. a gap guard reaching backwards)
         # must still flag a stall that was finalized before it.
         stalls = [self.quality_monitor.flag(s) for s in self._stalls]
+        if self._flight is not None:
+            for stall in stalls:
+                if stall.low_confidence:
+                    self._flight.record(
+                        FlightEvent(
+                            schema_version=FLIGHT_SCHEMA_VERSION,
+                            kind="quality_veto",
+                            pos=float(stall.begin_sample),
+                            attrs={
+                                "begin": float(stall.begin_sample),
+                                "end": float(stall.end_sample),
+                            },
+                        )
+                    )
         if obs_enabled():
             low_confidence = sum(1 for s in stalls if s.low_confidence)
             _STREAM_LOW_CONFIDENCE.inc(low_confidence)
@@ -374,6 +417,17 @@ class StreamingEmprof:
             sample_period_cycles=self.period,
             region_names=dict(self.region_names),
             quality=quality if quality.any_impairment else None,
+            evidence=(
+                None
+                if self._flight is None
+                else build_evidence(
+                    stalls,
+                    self._flight.events(),
+                    self._detector.config,
+                    quality_intervals=self.quality_monitor.intervals(),
+                    recorder=self._flight,
+                )
+            ),
         )
 
     @property
@@ -403,6 +457,7 @@ def profile_chunks(
     normalizer: Optional[NormalizerConfig] = None,
     detector: Optional[DetectorConfig] = None,
     quality: Optional[QualityConfig] = None,
+    flight: Optional[FlightRecorder] = None,
 ) -> ProfileReport:
     """One-shot convenience: profile an iterable of magnitude chunks.
 
@@ -416,6 +471,7 @@ def profile_chunks(
         normalizer=normalizer,
         detector=detector,
         quality=quality,
+        flight=flight,
     )
     for item in chunks:
         if isinstance(item, tuple):

@@ -99,6 +99,7 @@ DEFAULT_LAYER_CONFIG = LayerConfig(
             "repro.obs.runtime",
             "repro.obs.events",
             "repro.obs.tracectx",
+            "repro.obs.flight",
         ),
         "obs-internal": ("repro.obs",),
         "experiments": ("repro.experiments",),

@@ -1,7 +1,7 @@
 """emlint rules: the project's domain invariants as AST checks.
 
-Six rules ship with the tool (see ``docs/static-analysis.md`` for the
-full catalogue with examples):
+Seven rules ship with the tool (see ``docs/static-analysis.md`` for
+the full catalogue with examples):
 
 ``unit-safety``
     EMPROF juggles processor cycles, receiver samples, seconds, and
@@ -38,6 +38,14 @@ full catalogue with examples):
     broad ``except Exception:`` / ``except BaseException:`` whose body
     does nothing (``pass`` / ``...``) is flagged as swallowing errors.
     Handlers that log, transform, or re-raise are fine.
+
+``obs-event-schema``
+    Flight-recorder events (:class:`repro.obs.flight.FlightEvent`)
+    are schema-versioned records that outlive the process that wrote
+    them.  Every constructor site must pass an explicit
+    ``schema_version=`` keyword (``FLIGHT_SCHEMA_VERSION``) so a
+    recorded log can never silently change meaning across versions;
+    positional or omitted versions are flagged.
 """
 
 from __future__ import annotations
@@ -544,6 +552,57 @@ class SilentExceptRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# obs-event-schema
+# ---------------------------------------------------------------------------
+
+#: Class names of schema-versioned observability event records.  The
+#: match is by name, not import resolution: a ``FlightEvent`` call is
+#: a flight-recorder event wherever it appears.
+SCHEMA_VERSIONED_EVENTS: Tuple[str, ...] = ("FlightEvent",)
+
+
+class ObsEventSchemaRule(Rule):
+    name = "obs-event-schema"
+    description = (
+        "schema-versioned obs event constructed without an explicit "
+        "schema_version= keyword; recorded logs must stay versioned"
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            # Direct calls only: FlightEvent(...).  Attribute access
+            # (flight.FlightEvent(...)) resolves by the final segment;
+            # classmethod alternates (FlightEvent.from_dict) end in
+            # the method name and are never matched.
+            if isinstance(callee, ast.Name):
+                name = callee.id
+            elif isinstance(callee, ast.Attribute):
+                name = callee.attr
+            else:
+                continue
+            if name not in SCHEMA_VERSIONED_EVENTS:
+                continue
+            explicit = any(
+                keyword.arg == "schema_version" for keyword in node.keywords
+            )
+            # A **kwargs expansion cannot be checked statically; give
+            # it the benefit of the doubt rather than false-positive.
+            splatted = any(keyword.arg is None for keyword in node.keywords)
+            if explicit or splatted:
+                continue
+            yield self.finding(
+                context,
+                node,
+                f"{name}(...) without an explicit schema_version= keyword; "
+                f"pass schema_version=FLIGHT_SCHEMA_VERSION so recorded "
+                f"flight logs never silently change meaning",
+            )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -554,6 +613,7 @@ ALL_RULES: Tuple[Type[Rule], ...] = (
     FloatEqualityRule,
     MutableDefaultArgRule,
     SilentExceptRule,
+    ObsEventSchemaRule,
 )
 
 

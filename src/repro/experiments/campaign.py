@@ -218,6 +218,15 @@ class Campaign:
             means no deadline.
         max_attempts: total execution starts a run is allowed before
             an interrupted run is quarantined as ``poisoned``.
+        flight: when True, every run is profiled with an engine flight
+            recorder attached: the persisted report carries per-stall
+            evidence (``repro explain <run>.report.json`` works on it)
+            and the raw decision events are spilled next to it as
+            ``<run>.flight``.
+        flight_retain: cap on how many ``.flight`` sidecars the
+            campaign directory keeps (oldest deleted first); None
+            keeps all.  Reports always keep their evidence — only the
+            raw event sidecars are pruned.
     """
 
     def __init__(
@@ -232,9 +241,13 @@ class Campaign:
         heartbeat_timeout_s: Optional[float] = None,
         job_timeout_s: Optional[float] = None,
         max_attempts: int = 3,
+        flight: bool = False,
+        flight_retain: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if flight_retain is not None and flight_retain < 1:
+            raise ValueError("flight_retain must be at least 1")
         if heartbeat_interval_s <= 0:
             raise ValueError("heartbeat_interval_s must be positive")
         if heartbeat_timeout_s is not None and heartbeat_timeout_s <= 0:
@@ -260,6 +273,10 @@ class Campaign:
             None if job_timeout_s is None else float(job_timeout_s)
         )
         self.max_attempts = int(max_attempts)
+        self.flight = bool(flight)
+        self.flight_retain = (
+            None if flight_retain is None else int(flight_retain)
+        )
         #: ``(host, port)`` of the live status server, set while a
         #: pass with ``status_port`` is executing.
         self.status_address: Optional[Tuple[str, int]] = None
@@ -336,6 +353,29 @@ class Campaign:
 
     def report_path(self, name: str) -> Path:
         return self.directory / f"{name}.report.json"
+
+    def flight_path(self, name: str) -> Path:
+        """A run's spilled flight-recording sidecar (``flight=True``)."""
+        return self.directory / f"{name}.flight"
+
+    def _prune_flights(self) -> None:
+        """Enforce ``flight_retain``: drop the oldest ``.flight`` files.
+
+        Best-effort: concurrent workers may race to delete the same
+        file, so a vanished path is not an error.
+        """
+        if self.flight_retain is None:
+            return
+        sidecars = sorted(
+            self.directory.glob("*.flight"),
+            key=lambda p: p.stat().st_mtime,
+            reverse=True,
+        )
+        for stale in sidecars[self.flight_retain:]:
+            try:
+                stale.unlink()
+            except FileNotFoundError:
+                pass
 
     def load_report(self, name: str) -> ProfileReport:
         """Load the persisted report of a completed run."""
@@ -701,9 +741,14 @@ class Campaign:
         with _trace.span("campaign_run", run=spec.name, attempt=attempts):
             try:
                 capture = self._acquire(spec)
+                recorder = None
+                if self.flight:
+                    from ..obs.flight import FlightRecorder
+
+                    recorder = FlightRecorder()
                 report = Emprof.from_capture(
                     capture, config=spec.config
-                ).profile()
+                ).profile(flight=recorder)
             except AcquisitionError as exc:
                 _RUNS_FAILED.inc()
                 return RunOutcome(
@@ -718,6 +763,11 @@ class Campaign:
             # done: a crash between the two writes re-runs the run,
             # never trusts a missing report.
             repro_io.save_report(self.report_path(spec.name), report)
+            if recorder is not None:
+                repro_io.save_flight(
+                    self.flight_path(spec.name), recorder, run=spec.name
+                )
+                self._prune_flights()
         _RUNS_COMPLETED.inc()
         return RunOutcome(
             name=spec.name,

@@ -218,6 +218,8 @@ class CampaignService:
             every :class:`Campaign` (see its docstring).
         ledger: run-ledger path; defaults to ``LEDGER_obs.jsonl``
             inside ``directory``.
+        flight / flight_retain: per-run flight recording and sidecar
+            retention cap, passed through to every :class:`Campaign`.
     """
 
     def __init__(
@@ -232,6 +234,8 @@ class CampaignService:
         heartbeat_interval_s: float = 0.25,
         heartbeat_timeout_s: Optional[float] = None,
         ledger: Optional[Union[str, Path]] = None,
+        flight: bool = False,
+        flight_retain: Optional[int] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -245,6 +249,8 @@ class CampaignService:
         self.job_timeout_s = job_timeout_s
         self.heartbeat_interval_s = float(heartbeat_interval_s)
         self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.flight = bool(flight)
+        self.flight_retain = flight_retain
         self.ledger_path = Path(
             ledger
             if ledger is not None
@@ -403,6 +409,8 @@ class CampaignService:
             heartbeat_timeout_s=self.heartbeat_timeout_s,
             job_timeout_s=self.job_timeout_s,
             max_attempts=self.max_attempts,
+            flight=self.flight,
+            flight_retain=self.flight_retain,
         )
         cancelled = False
         try:
@@ -569,6 +577,8 @@ def _serve(args: argparse.Namespace) -> int:
         heartbeat_interval_s=args.heartbeat_interval_s,
         heartbeat_timeout_s=args.heartbeat_timeout_s,
         ledger=args.ledger,
+        flight=args.flight,
+        flight_retain=args.flight_retain,
     )
     service.start()
     service.install_signal_handlers()
@@ -646,6 +656,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--retry-backoff-s", type=float, default=0.05)
     serve.add_argument("--ledger", default=None,
                        help="run-ledger path (default: <dir>/LEDGER_obs.jsonl)")
+    serve.add_argument("--flight", action="store_true",
+                       help="flight-record every run: reports carry "
+                       "per-stall evidence and a <run>.flight sidecar is "
+                       "spilled (see `repro explain`)")
+    serve.add_argument("--flight-retain", type=int, default=None,
+                       help="keep at most N .flight sidecars per campaign "
+                       "directory (oldest pruned; default: keep all)")
     serve.set_defaults(func=_serve)
 
     for verb, description in (

@@ -4,8 +4,11 @@ A measurement campaign records captures once and analyzes them many
 times; these helpers give the repository a stable on-disk format:
 
 * captures -> ``.npz`` (magnitude array + acquisition metadata),
-* profile reports -> ``.json`` (stall list + accounting),
-* ground-truth traces -> ``.npz`` (columnar miss/stall records).
+* profile reports -> ``.json`` (stall list + accounting, plus the
+  per-stall ``evidence`` block when the run was flight-recorded),
+* ground-truth traces -> ``.npz`` (columnar miss/stall records),
+* flight recordings -> ``.flight`` (NDJSON decision-event sidecars,
+  see :mod:`repro.obs.flight`).
 
 All formats are versioned with a ``format`` field so future layouts
 can be detected rather than mis-parsed.  The current (v2) ``.npz``
@@ -32,6 +35,7 @@ import numpy as np
 from .core.events import DetectedStall, ProfileReport, QualitySummary
 from .emsignal.receiver import Capture
 from .errors import CorruptCaptureError
+from .obs.flight import FlightRecorder, ReportEvidence, read_flight
 from .sim.trace import GroundTruth, MissRecord, StallRecord
 
 _CAPTURE_FORMAT = "emprof-capture-v2"
@@ -202,6 +206,10 @@ def report_to_dict(report: ProfileReport) -> dict:
             "impaired_sample_spans": q.impaired_sample_spans,
             "impaired_samples": q.impaired_samples,
         }
+    if report.evidence is not None:
+        # Only present on flight-recorded runs, so reports profiled
+        # without a recorder serialize byte-identically to before.
+        payload["evidence"] = report.evidence.to_dict()
     return payload
 
 
@@ -226,6 +234,9 @@ def report_from_dict(payload: dict) -> ProfileReport:
     quality = None
     if payload.get("quality"):
         quality = QualitySummary(**payload["quality"])
+    evidence = None
+    if payload.get("evidence"):
+        evidence = ReportEvidence.from_dict(payload["evidence"])
     return ProfileReport(
         stalls=stalls,
         total_cycles=payload["total_cycles"],
@@ -233,6 +244,7 @@ def report_from_dict(payload: dict) -> ProfileReport:
         sample_period_cycles=payload["sample_period_cycles"],
         region_names={int(k): v for k, v in payload.get("region_names", {}).items()},
         quality=quality,
+        evidence=evidence,
     )
 
 
@@ -244,6 +256,39 @@ def save_report(path: PathLike, report: ProfileReport) -> None:
 def load_report(path: PathLike) -> ProfileReport:
     """Read a report written by :func:`save_report`."""
     return report_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- flight sidecars ----------------------------------------------------------
+
+
+def save_flight(path: PathLike, recorder: FlightRecorder, **meta) -> int:
+    """Spill a flight recorder's events to ``path`` (NDJSON sidecar).
+
+    ``meta`` key/values land in the sidecar header (capture path,
+    campaign run name, ...).  Returns the number of events written.
+    """
+    return recorder.spill(path, meta=meta or None)
+
+
+def load_flight(path: PathLike):
+    """Read a ``.flight`` sidecar written by :func:`save_flight`.
+
+    Returns ``(header, events)`` where ``events`` is a list of
+    :class:`repro.obs.flight.FlightEvent`.
+
+    Raises:
+        CorruptCaptureError: empty file, foreign/malformed header, or
+            a malformed event line.
+        FileNotFoundError: the path does not exist.
+    """
+    try:
+        return read_flight(path)
+    except FileNotFoundError:
+        raise
+    except _READ_ERRORS as exc:
+        raise CorruptCaptureError(
+            f"unreadable flight sidecar: {exc}", path=path
+        ) from exc
 
 
 # -- ground truth ------------------------------------------------------------------

@@ -225,11 +225,18 @@ def cmd_ledger(args: argparse.Namespace) -> int:
     records, bad_lines = loaded
     if args.kind:
         records = [r for r in records if r.kind == args.kind]
+    selected = len(records)
     if args.tail > 0:
         records = records[-args.tail:]
     if not records:
         print("(empty ledger)")
         return EXIT_OK
+    hidden = selected - len(records)
+    if hidden > 0:
+        print(
+            f"(showing last {len(records)} of {selected} entries; "
+            f"--tail 0 for all)"
+        )
     group_width = max(len(r.group) for r in records)
     print(
         f"{'run':<{group_width}}  {'wall':>10}  {'rev':>9}  "
@@ -616,7 +623,11 @@ def _build_sub_parser() -> argparse.ArgumentParser:
     led.add_argument("ledger", help="ledger .jsonl path")
     led.add_argument("--kind", help="only entries of this run kind")
     led.add_argument(
-        "--tail", type=int, default=0, help="only the last N entries"
+        "--tail",
+        type=int,
+        default=20,
+        help="only the last N entries (default 20, so campaign-scale "
+        "ledgers stay readable; 0 lists everything)",
     )
     led.set_defaults(func=cmd_ledger)
 

@@ -536,6 +536,24 @@ class EventBus:
         with self._cond:
             return self._sink_errors
 
+    @property
+    def queue_depth(self) -> int:
+        """Events admitted but not yet delivered to the sinks.
+
+        The delivery queue is shared by every sink (one drainer fans
+        each batch out to all of them), so this is the bus's single
+        backlog figure — a depth stuck near ``capacity`` means some
+        sink is too slow and drops are imminent.
+        """
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def sink_count(self) -> int:
+        """Sinks currently attached."""
+        with self._cond:
+            return len(self._sinks)
+
     def tail(self, n: int = 20) -> List[Event]:
         """The most recent ``n`` events (oldest first)."""
         if n < 0:
@@ -558,6 +576,8 @@ class EventBus:
                 "total": sum(counts.values()),
                 "dropped_events": self._dropped,
                 "sink_errors": self._sink_errors,
+                "queue_depth": len(self._pending),
+                "sinks": len(self._sinks),
                 "samples_total": self._samples_total,
                 "stalls_total": self._stalls_total,
                 "quality_flags_total": counts.get("quality_flag", 0),
@@ -595,6 +615,41 @@ class EventBus:
             self._drainer = None
             self._draining = False
             self._closed = False
+
+
+def export_gauges(registry=None, source: Optional[EventBus] = None) -> None:
+    """Publish the bus's health counters as metrics gauges.
+
+    Called at export time (``repro profile --metrics-out``/``--ledger``,
+    the obs snapshot commands) rather than on every emit, so the hot
+    path never touches the metrics registry.  The gauges land in both
+    exporters (Prometheus text and JSON snapshots) and from there in
+    the dashboard's bus-health tiles:
+
+    * ``eventbus_dropped_events`` — events discarded because the
+      delivery queue was full (producers are never blocked).
+    * ``eventbus_queue_depth`` — current sink-delivery backlog (the
+      queue is shared by all sinks; see :attr:`EventBus.queue_depth`).
+    * ``eventbus_sink_errors`` — exceptions swallowed from sink writes.
+    * ``eventbus_sinks`` — sinks currently attached.
+    """
+    if registry is None:
+        from . import metrics as registry  # the process-global registry
+    b = source if source is not None else bus
+    registry.gauge(
+        "eventbus_dropped_events",
+        "events discarded because the sink-delivery queue was full",
+    ).set(float(b.dropped_events))
+    registry.gauge(
+        "eventbus_queue_depth",
+        "events admitted but not yet delivered to sinks (shared queue)",
+    ).set(float(b.queue_depth))
+    registry.gauge(
+        "eventbus_sink_errors", "exceptions swallowed from sink writes"
+    ).set(float(b.sink_errors))
+    registry.gauge(
+        "eventbus_sinks", "sinks currently attached to the bus"
+    ).set(float(b.sink_count))
 
 
 def _current_trace_id() -> Optional[str]:

@@ -1,0 +1,359 @@
+"""Decision-level explanation of profiling runs.
+
+Built on the flight recorder's evidence (:mod:`repro.obs.flight`),
+this module answers the three questions ``repro explain`` exists for:
+
+* **"why was this stall reported?"** — :func:`explain_report` turns a
+  flight-recorded :class:`~repro.core.events.ProfileReport` into one
+  :class:`StallCard` per stall: the exact trigger sample, the depth
+  margin against the threshold, the hysteresis merge chain, carry
+  provenance, and any overlapping impaired intervals.
+* **"why was nothing reported here?"** — :func:`near_misses_between`
+  queries the rejected-candidate log for a sample window.
+* **"why do these two runs differ?"** — :func:`diff_reports` aligns
+  the stall sets of two runs by interval overlap and attributes every
+  unmatched stall to the first diverging decision it can find in the
+  other run's evidence (a near-miss covering the same window, a
+  quality veto, or no candidate dip at all);
+  :func:`first_divergence` pinpoints where two raw event streams part
+  ways.
+
+Everything here is read-side interpretation: stdlib-only, pure
+functions over evidence/report objects (duck-typed so the module
+never imports the core layer), no engine interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .flight import FlightEvent, NearMiss, ReportEvidence, StallEvidence
+
+#: Human explanations for the rejection-reason taxonomy of
+#: ``stall_rejected`` events (see :mod:`repro.core.engine`).
+REJECT_REASONS = {
+    "too_few_samples": (
+        "too few whole samples below threshold (indistinguishable "
+        "from noise at this sample rate)"
+    ),
+    "inverted_edges": (
+        "boundary refinement inverted the edges (the dip was "
+        "shallower than one sample of threshold crossing)"
+    ),
+    "below_min_duration": "refined duration under the minimum stall length",
+}
+
+
+# ---------------------------------------------------------------------------
+# per-stall provenance cards
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StallCard:
+    """One stall's provenance, ready for rendering.
+
+    ``evidence`` carries the numbers; ``lines`` is the prose trail —
+    one string per decision, in the order the engine took them.
+    """
+
+    index: int
+    evidence: StallEvidence
+    lines: Tuple[str, ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "evidence": self.evidence.to_dict(),
+            "lines": list(self.lines),
+        }
+
+
+def _fmt_pos(value: float) -> str:
+    """Compact sample-position formatting (drop trailing zeros)."""
+    return f"{value:.3f}".rstrip("0").rstrip(".")
+
+
+def stall_card(evidence: StallEvidence) -> StallCard:
+    """Build the provenance card for one stall's evidence record."""
+    e = evidence
+    lines: List[str] = []
+    if not e.complete:
+        lines.append(
+            "decision trail overwritten (flight ring wrapped); "
+            "reconstructed from the report alone"
+        )
+    lines.append(
+        f"triggered at sample {e.trigger_sample}: first whole sample "
+        f"below threshold {e.threshold:g}"
+    )
+    lines.append(
+        f"deepest level {e.min_level:.4f} — margin "
+        f"{e.depth_margin:.4f} below the threshold"
+    )
+    for merge in e.merge_chain:
+        reason = merge.get("reason")
+        if reason == "no_recovery":
+            why = (
+                f"never recovered above the hysteresis level "
+                f"(gap peak {merge.get('gap_max'):.4f})"
+            )
+        else:
+            why = f"gap of {merge.get('gap_len')} sample(s) under the merge limit"
+        lines.append(
+            f"merged across a gap at sample {_fmt_pos(float(merge['pos']))}: {why}"
+        )
+    if e.carried:
+        lines.append(
+            f"carried across {e.carry_chunks} chunk boundar"
+            f"{'y' if e.carry_chunks == 1 else 'ies'} as scalar state"
+        )
+    lines.append(
+        f"refined to [{_fmt_pos(e.begin_sample)}, {_fmt_pos(e.end_sample)}) "
+        f"samples = {e.duration_cycles:.1f} cycles"
+    )
+    if e.is_refresh:
+        lines.append("classified refresh-coincident (duration over refresh limit)")
+    for begin, end in e.quality_overlaps:
+        lines.append(
+            f"overlaps impaired interval [{_fmt_pos(begin)}, {_fmt_pos(end)})"
+        )
+    if e.low_confidence:
+        lines.append("flagged low-confidence (impairment overlap)")
+    return StallCard(index=e.index, evidence=e, lines=tuple(lines))
+
+
+def explain_report(report) -> List[StallCard]:
+    """Provenance cards for every stall of a flight-recorded report.
+
+    Raises ``ValueError`` when the report carries no evidence (it was
+    profiled without a flight recorder).
+    """
+    if report.evidence is None:
+        raise ValueError(
+            "report has no evidence; re-profile with a flight recorder "
+            "(repro explain does this automatically for captures)"
+        )
+    return [stall_card(e) for e in report.evidence.stalls]
+
+
+def near_misses_between(
+    evidence: ReportEvidence, begin_sample: float, end_sample: float
+) -> List[NearMiss]:
+    """Rejected candidates overlapping ``[begin_sample, end_sample)``.
+
+    The "why was nothing reported here?" query: a rejected candidate in
+    the window names the exact limit the dip fell short of; an empty
+    result means the signal never even produced a candidate there.
+    """
+    return [
+        m
+        for m in evidence.near_misses
+        if m.begin_sample <= end_sample and m.end_sample >= begin_sample
+    ]
+
+
+def near_miss_line(miss: NearMiss) -> str:
+    """One-line human rendering of a rejected candidate."""
+    why = REJECT_REASONS.get(miss.reason, miss.reason)
+    return (
+        f"candidate at sample {miss.trigger_sample} "
+        f"[{_fmt_pos(miss.begin_sample)}, {_fmt_pos(miss.end_sample)}) "
+        f"rejected: {why} (measured {miss.measured:g}, limit {miss.limit:g})"
+    )
+
+
+# ---------------------------------------------------------------------------
+# run diffing
+# ---------------------------------------------------------------------------
+
+
+def align_stalls(
+    stalls_a: Sequence, stalls_b: Sequence
+) -> Tuple[List[Tuple[int, int]], List[int], List[int]]:
+    """Align two stall lists by sample-interval overlap.
+
+    Returns ``(pairs, only_a, only_b)``: matched index pairs plus the
+    unmatched indices on each side.  Both lists are in time order, so
+    a single merge-style sweep suffices; a stall matches the first
+    not-yet-taken stall on the other side whose interval overlaps it.
+    """
+    pairs: List[Tuple[int, int]] = []
+    only_a: List[int] = []
+    only_b: List[int] = []
+    j = 0
+    for i, sa in enumerate(stalls_a):
+        matched = False
+        while j < len(stalls_b):
+            sb = stalls_b[j]
+            if sb.end_sample < sa.begin_sample:
+                only_b.append(j)
+                j += 1
+                continue
+            if sb.begin_sample > sa.end_sample:
+                break
+            pairs.append((i, j))
+            j += 1
+            matched = True
+            break
+        if not matched:
+            only_a.append(i)
+    only_b.extend(range(j, len(stalls_b)))
+    return pairs, only_a, only_b
+
+
+@dataclass(frozen=True)
+class StallDelta:
+    """One stall present in exactly one of two compared runs.
+
+    Attributes:
+        side: ``"a"`` or ``"b"`` — which run reported it.
+        index: its position in that run's stall list.
+        begin_sample / end_sample: its interval.
+        cause: machine-readable attribution (``rejected:<reason>``,
+            ``quality_veto``, ``no_candidate``, or ``unknown`` when the
+            other run carries no evidence).
+        detail: human sentence naming the first diverging decision.
+    """
+
+    side: str
+    index: int
+    begin_sample: float
+    end_sample: float
+    cause: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "side": self.side,
+            "index": self.index,
+            "begin_sample": self.begin_sample,
+            "end_sample": self.end_sample,
+            "cause": self.cause,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class ReportDiff:
+    """The aligned difference between two profiled runs."""
+
+    pairs: Tuple[Tuple[int, int], ...]
+    deltas: Tuple[StallDelta, ...] = ()
+    identical: bool = field(default=False)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "pairs": [list(p) for p in self.pairs],
+            "deltas": [d.to_dict() for d in self.deltas],
+            "identical": self.identical,
+        }
+
+
+def _attribute_missing(
+    stall, other_evidence: Optional[ReportEvidence], other_name: str
+) -> Tuple[str, str]:
+    """Why does ``other_name`` not report ``stall``?  -> (cause, detail)."""
+    begin = float(stall.begin_sample)
+    end = float(stall.end_sample)
+    if other_evidence is None:
+        return "unknown", f"run {other_name} carries no flight evidence"
+    misses = near_misses_between(other_evidence, begin, end)
+    if misses:
+        m = misses[0]
+        why = REJECT_REASONS.get(m.reason, m.reason)
+        return (
+            f"rejected:{m.reason}",
+            f"run {other_name} saw the dip (trigger sample "
+            f"{m.trigger_sample}) but rejected it: {why} "
+            f"(measured {m.measured:g}, limit {m.limit:g})",
+        )
+    vetoed = [
+        e
+        for e in other_evidence.stalls
+        if e.low_confidence and e.begin_sample <= end and e.end_sample >= begin
+    ]
+    if vetoed:
+        return (
+            "quality_veto",
+            f"run {other_name} reports an overlapping stall but flags it "
+            f"low-confidence (impairment overlap)",
+        )
+    return (
+        "no_candidate",
+        f"run {other_name} produced no dip candidate in "
+        f"[{_fmt_pos(begin)}, {_fmt_pos(end)}): its signal never "
+        f"crossed the threshold there",
+    )
+
+
+def diff_reports(report_a, report_b) -> ReportDiff:
+    """Align two runs' stall sets and attribute every difference.
+
+    For each stall reported by exactly one run, the other run's
+    evidence is searched for the first diverging decision: a rejected
+    candidate covering the same window (names the limit that killed
+    it), a quality veto, or — absent both — the conclusion that the
+    other signal never produced a candidate there.
+    """
+    pairs, only_a, only_b = align_stalls(report_a.stalls, report_b.stalls)
+    deltas: List[StallDelta] = []
+    for i in only_a:
+        stall = report_a.stalls[i]
+        cause, detail = _attribute_missing(stall, report_b.evidence, "B")
+        deltas.append(
+            StallDelta(
+                side="a",
+                index=i,
+                begin_sample=float(stall.begin_sample),
+                end_sample=float(stall.end_sample),
+                cause=cause,
+                detail=detail,
+            )
+        )
+    for j in only_b:
+        stall = report_b.stalls[j]
+        cause, detail = _attribute_missing(stall, report_a.evidence, "A")
+        deltas.append(
+            StallDelta(
+                side="b",
+                index=j,
+                begin_sample=float(stall.begin_sample),
+                end_sample=float(stall.end_sample),
+                cause=cause,
+                detail=detail,
+            )
+        )
+    deltas.sort(key=lambda d: d.begin_sample)
+    return ReportDiff(
+        pairs=tuple(pairs),
+        deltas=tuple(deltas),
+        identical=not deltas and len(pairs) == len(report_a.stalls),
+    )
+
+
+def first_divergence(
+    events_a: Sequence[FlightEvent],
+    events_b: Sequence[FlightEvent],
+    pos_tolerance: float = 1e-9,
+) -> Optional[Tuple[int, Optional[FlightEvent], Optional[FlightEvent]]]:
+    """First index where two decision-event streams part ways.
+
+    Returns ``(index, event_a, event_b)`` — either event is ``None``
+    when its stream ended early — or ``None`` when the streams agree
+    end to end.  Events diverge on kind, on position (beyond
+    ``pos_tolerance``), or on attrs.
+    """
+    for idx in range(max(len(events_a), len(events_b))):
+        ea = events_a[idx] if idx < len(events_a) else None
+        eb = events_b[idx] if idx < len(events_b) else None
+        if ea is None or eb is None:
+            return idx, ea, eb
+        if (
+            ea.kind != eb.kind
+            or abs(ea.pos - eb.pos) > pos_tolerance
+            or dict(ea.attrs) != dict(eb.attrs)
+        ):
+            return idx, ea, eb
+    return None

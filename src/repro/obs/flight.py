@@ -1,0 +1,591 @@
+"""The engine flight recorder: decision-level introspection.
+
+A reported (or missed) stall used to be a black box: the vectorized
+engine (:mod:`repro.core.engine`) collapses thousands of threshold,
+hysteresis and carry decisions into a tuple, and the rest of the obs
+stack only sees wall-times and counts.  This module records the
+*decisions themselves* — schema-versioned :class:`FlightEvent` records
+in a preallocated bounded ring (:class:`FlightRecorder`) — so that
+``repro explain`` can answer "why was this stall reported?" and, via
+the near-miss log of rejected candidates, "why was nothing reported
+here?".
+
+Design constraints, in order:
+
+1. **Zero cost when off.**  The engine holds an ``Optional``
+   recorder; with ``None`` (the default) every hook is a single
+   ``is not None`` check and the hot path is bit-identical to the
+   uninstrumented engine (proven by ``tests/test_engine_equivalence``
+   and guarded by ``tests/test_obs_overhead``).
+2. **Bounded.**  The ring is preallocated; once full, the oldest
+   events are overwritten (classic flight-recorder semantics) and
+   ``overwritten`` counts what was lost — evidence built from a
+   wrapped ring says so instead of silently pretending completeness.
+3. **Schema-versioned.**  Every event carries an explicit
+   ``schema_version`` (enforced by the ``obs-event-schema`` emlint
+   rule at every constructor site), so spilled ``.flight`` sidecars
+   remain interpretable across engine versions.
+4. **Stdlib only.**  This module sits in the ``obs-api`` layer so the
+   engine may import it; like the rest of that surface it must not
+   import numpy or any higher layer.
+
+The on-disk sidecar format (NDJSON, one event per line under a header
+line) is written by :meth:`FlightRecorder.spill` and read back by
+:func:`read_flight`; :mod:`repro.io` wraps both with the repository's
+typed :class:`~repro.errors.CorruptCaptureError` contract.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Version of the event schema below.  Bump when an event kind's
+#: attrs change meaning; readers use it to interpret old sidecars.
+FLIGHT_SCHEMA_VERSION = 1
+
+#: Header ``format`` field of a spilled ``.flight`` sidecar.
+FLIGHT_FORMAT = "emprof-flight-v1"
+
+#: The closed set of decision-event kinds the engine emits.
+#:
+#: * ``normalizer_emit``   - a normalizer window settled; samples
+#:   ``[pos, attrs.until)`` now have their final normalized values.
+#: * ``threshold_runs``    - raw below-threshold run count of a chunk.
+#: * ``hysteresis_merge``  - a gap between two dips merged them
+#:   (short gap, or never recovered above the hysteresis level).
+#: * ``hysteresis_split``  - a gap kept two dips separate.
+#: * ``carry_open``        - a dip was still open at a chunk boundary
+#:   and was carried as scalar state.
+#: * ``carry_merge``       - a carried dip merged with (or continued
+#:   into) the next chunk's first run.
+#: * ``stall_emitted``     - a dip was finalized and reported.
+#: * ``stall_rejected``    - a dip was finalized and rejected
+#:   (the near-miss log: too few samples, inverted refined edges, or
+#:   below the minimum duration).
+#: * ``gap``               - the stream announced a discontinuity
+#:   (driver drop or non-finite run).
+#: * ``resync``            - the detector resynchronized at a gap.
+#: * ``quality_veto``      - a reported stall was flagged
+#:   low-confidence because it overlaps an impaired interval.
+#: * ``finish``            - end of stream.
+FLIGHT_KINDS = (
+    "normalizer_emit",
+    "threshold_runs",
+    "hysteresis_merge",
+    "hysteresis_split",
+    "carry_open",
+    "carry_merge",
+    "stall_emitted",
+    "stall_rejected",
+    "gap",
+    "resync",
+    "quality_veto",
+    "finish",
+)
+
+_KIND_SET = frozenset(FLIGHT_KINDS)
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One engine decision.
+
+    ``schema_version`` has no default on purpose: every constructor
+    site must state which schema it writes (the ``obs-event-schema``
+    lint rule enforces this), so a spilled sidecar is always
+    self-describing.
+
+    Attributes:
+        schema_version: event-schema version (:data:`FLIGHT_SCHEMA_VERSION`).
+        kind: one of :data:`FLIGHT_KINDS`.
+        pos: absolute stream sample position the decision anchors to
+            (fractional where boundaries were refined).
+        attrs: kind-specific detail; JSON-safe scalars only.
+    """
+
+    schema_version: int
+    kind: str
+    pos: float
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KIND_SET:
+            raise ValueError(
+                f"unknown flight event kind {self.kind!r}; "
+                f"expected one of {', '.join(FLIGHT_KINDS)}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (one sidecar line)."""
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "pos": self.pos,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FlightEvent":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` if malformed."""
+        try:
+            return cls(
+                schema_version=int(payload["schema_version"]),
+                kind=str(payload["kind"]),
+                pos=float(payload["pos"]),
+                attrs=dict(payload.get("attrs", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed flight event: {exc}") from exc
+
+
+class FlightRecorder:
+    """Preallocated bounded ring of :class:`FlightEvent` records.
+
+    The ring never grows: once ``capacity`` events are held, each new
+    event overwrites the oldest and :attr:`overwritten` increments.
+    Recording is append-only and cheap (one list assignment); all
+    interpretation happens at read time.
+
+    The engine treats an attached recorder as enabled — gating lives
+    in the *caller* holding ``Optional[FlightRecorder]``, so the
+    off-path cost is exactly one ``is not None`` test per decision
+    point.
+    """
+
+    def __init__(self, capacity: int = 16384):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._ring: List[Optional[FlightEvent]] = [None] * int(capacity)
+        self._total = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum events retained."""
+        return len(self._ring)
+
+    @property
+    def total_recorded(self) -> int:
+        """Events ever recorded (including overwritten ones)."""
+        return self._total
+
+    @property
+    def overwritten(self) -> int:
+        """Events lost to ring wrap-around."""
+        return max(0, self._total - len(self._ring))
+
+    def __len__(self) -> int:
+        return min(self._total, len(self._ring))
+
+    def record(self, event: FlightEvent) -> None:
+        """Append one event (overwrites the oldest when full)."""
+        self._ring[self._total % len(self._ring)] = event
+        self._total += 1
+
+    def events(self) -> List[FlightEvent]:
+        """Retained events, oldest first."""
+        n = len(self)
+        if n < len(self._ring):
+            return list(self._ring[:n])
+        head = self._total % len(self._ring)
+        return list(self._ring[head:]) + list(self._ring[:head])
+
+    def tail(self, n: int) -> List[FlightEvent]:
+        """The most recent ``n`` retained events, oldest first."""
+        n = max(0, int(n))
+        if n == 0:
+            return []
+        return self.events()[-n:]
+
+    def clear(self) -> None:
+        """Drop every retained event and reset the counters."""
+        self._ring = [None] * len(self._ring)
+        self._total = 0
+
+    def spill(
+        self, path, meta: Optional[Mapping[str, Any]] = None
+    ) -> int:
+        """Write the retained events to ``path`` as an NDJSON sidecar.
+
+        The first line is a header record (``format``, counters, and
+        any ``meta`` the caller adds — capture path, config, …); each
+        following line is one event.  Returns the number of events
+        written.
+        """
+        events = self.events()
+        header: Dict[str, Any] = {
+            "format": FLIGHT_FORMAT,
+            "schema_version": FLIGHT_SCHEMA_VERSION,
+            "events": len(events),
+            "total_recorded": self._total,
+            "overwritten": self.overwritten,
+        }
+        if meta:
+            header.update({str(k): v for k, v in meta.items()})
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for event in events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+        return len(events)
+
+
+def read_flight(path) -> Tuple[Dict[str, Any], List[FlightEvent]]:
+    """Read a sidecar written by :meth:`FlightRecorder.spill`.
+
+    Returns ``(header, events)``.  Raises ``ValueError`` on a missing
+    or foreign header and on malformed event lines; callers wanting
+    the repository's typed-error contract use
+    :func:`repro.io.load_flight`, which wraps this.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline()
+        if not first.strip():
+            raise ValueError("empty flight sidecar")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"malformed flight header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("format") != FLIGHT_FORMAT:
+            raise ValueError(
+                f"not an EMPROF flight sidecar "
+                f"(format={header.get('format') if isinstance(header, dict) else None!r})"
+            )
+        events: List[FlightEvent] = []
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                events.append(FlightEvent.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, ValueError) as exc:
+                raise ValueError(f"bad flight event at line {lineno}: {exc}") from exc
+    return header, events
+
+
+# ---------------------------------------------------------------------------
+# evidence: from decisions to per-stall provenance
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StallEvidence:
+    """Why one reported stall was reported.
+
+    Attributes:
+        index: position in ``ProfileReport.stalls``.
+        trigger_sample: the first whole sample strictly below the
+            detection threshold — the exact sample that opened the dip.
+        begin_sample / end_sample: the refined (fractional) interval.
+        threshold: detection threshold in force.
+        min_level: deepest normalized level inside the dip.
+        depth_margin: ``threshold - min_level`` — how far below the
+            line the dip went.
+        duration_cycles: refined duration in processor cycles.
+        merge_chain: per merged hysteresis gap inside this stall:
+            ``{"pos", "gap_len", "gap_max", "reason"}`` in time order.
+        carried: the dip straddled at least one chunk boundary.
+        carry_chunks: how many boundaries it was carried across.
+        quality_overlaps: impaired ``[begin, end)`` sample intervals
+            overlapping this stall (empty when none / no monitoring).
+        low_confidence: the report's confidence flag.
+        is_refresh: refresh-coincident classification.
+        complete: False when the ring wrapped and the decision trail
+            for this stall was overwritten (fields above fall back to
+            the report's own values).
+    """
+
+    index: int
+    trigger_sample: int
+    begin_sample: float
+    end_sample: float
+    threshold: float
+    min_level: float
+    depth_margin: float
+    duration_cycles: float
+    merge_chain: Tuple[Dict[str, Any], ...] = ()
+    carried: bool = False
+    carry_chunks: int = 0
+    quality_overlaps: Tuple[Tuple[float, float], ...] = ()
+    low_confidence: bool = False
+    is_refresh: bool = False
+    complete: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "trigger_sample": self.trigger_sample,
+            "begin_sample": self.begin_sample,
+            "end_sample": self.end_sample,
+            "threshold": self.threshold,
+            "min_level": self.min_level,
+            "depth_margin": self.depth_margin,
+            "duration_cycles": self.duration_cycles,
+            "merge_chain": [dict(m) for m in self.merge_chain],
+            "carried": self.carried,
+            "carry_chunks": self.carry_chunks,
+            "quality_overlaps": [list(iv) for iv in self.quality_overlaps],
+            "low_confidence": self.low_confidence,
+            "is_refresh": self.is_refresh,
+            "complete": self.complete,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StallEvidence":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            index=int(payload["index"]),
+            trigger_sample=int(payload["trigger_sample"]),
+            begin_sample=float(payload["begin_sample"]),
+            end_sample=float(payload["end_sample"]),
+            threshold=float(payload["threshold"]),
+            min_level=float(payload["min_level"]),
+            depth_margin=float(payload["depth_margin"]),
+            duration_cycles=float(payload["duration_cycles"]),
+            merge_chain=tuple(dict(m) for m in payload.get("merge_chain", [])),
+            carried=bool(payload.get("carried", False)),
+            carry_chunks=int(payload.get("carry_chunks", 0)),
+            quality_overlaps=tuple(
+                (float(iv[0]), float(iv[1]))
+                for iv in payload.get("quality_overlaps", [])
+            ),
+            low_confidence=bool(payload.get("low_confidence", False)),
+            is_refresh=bool(payload.get("is_refresh", False)),
+            complete=bool(payload.get("complete", True)),
+        )
+
+
+@dataclass(frozen=True)
+class NearMiss:
+    """A dip candidate the detector rejected (the "why not here?" log).
+
+    Attributes:
+        trigger_sample: first whole sample below threshold.
+        begin_sample / end_sample: refined candidate interval.
+        reason: ``too_few_samples`` / ``inverted_edges`` /
+            ``below_min_duration``.
+        measured: the measured quantity the limit was applied to
+            (whole samples, refined samples, or cycles respectively).
+        limit: the configured limit it fell short of.
+        min_level: deepest level inside the candidate.
+        depth_margin: ``threshold - min_level``.
+    """
+
+    trigger_sample: int
+    begin_sample: float
+    end_sample: float
+    reason: str
+    measured: float
+    limit: float
+    min_level: float
+    depth_margin: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trigger_sample": self.trigger_sample,
+            "begin_sample": self.begin_sample,
+            "end_sample": self.end_sample,
+            "reason": self.reason,
+            "measured": self.measured,
+            "limit": self.limit,
+            "min_level": self.min_level,
+            "depth_margin": self.depth_margin,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "NearMiss":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            trigger_sample=int(payload["trigger_sample"]),
+            begin_sample=float(payload["begin_sample"]),
+            end_sample=float(payload["end_sample"]),
+            reason=str(payload["reason"]),
+            measured=float(payload["measured"]),
+            limit=float(payload["limit"]),
+            min_level=float(payload["min_level"]),
+            depth_margin=float(payload["depth_margin"]),
+        )
+
+
+@dataclass(frozen=True)
+class ReportEvidence:
+    """The provenance record attached to a flight-recorded report.
+
+    ``stalls[i]`` explains ``report.stalls[i]``; ``near_misses`` are
+    the rejected candidates in time order.  ``overwritten_events``
+    warns when the ring wrapped and early decisions were lost.
+    """
+
+    schema_version: int
+    threshold: float
+    recover_threshold: float
+    min_duration_cycles: float
+    min_duration_samples: int
+    stalls: Tuple[StallEvidence, ...] = ()
+    near_misses: Tuple[NearMiss, ...] = ()
+    total_events: int = 0
+    overwritten_events: int = 0
+
+    def for_stall(self, index: int) -> StallEvidence:
+        """Evidence for ``report.stalls[index]``."""
+        return self.stalls[index]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "threshold": self.threshold,
+            "recover_threshold": self.recover_threshold,
+            "min_duration_cycles": self.min_duration_cycles,
+            "min_duration_samples": self.min_duration_samples,
+            "stalls": [s.to_dict() for s in self.stalls],
+            "near_misses": [m.to_dict() for m in self.near_misses],
+            "total_events": self.total_events,
+            "overwritten_events": self.overwritten_events,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ReportEvidence":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` if malformed."""
+        try:
+            return cls(
+                schema_version=int(payload["schema_version"]),
+                threshold=float(payload["threshold"]),
+                recover_threshold=float(payload["recover_threshold"]),
+                min_duration_cycles=float(payload["min_duration_cycles"]),
+                min_duration_samples=int(payload["min_duration_samples"]),
+                stalls=tuple(
+                    StallEvidence.from_dict(s) for s in payload.get("stalls", [])
+                ),
+                near_misses=tuple(
+                    NearMiss.from_dict(m) for m in payload.get("near_misses", [])
+                ),
+                total_events=int(payload.get("total_events", 0)),
+                overwritten_events=int(payload.get("overwritten_events", 0)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed report evidence: {exc}") from exc
+
+
+def _overlapping(
+    begin: float, end: float, intervals: Sequence[Tuple[float, float]]
+) -> Tuple[Tuple[float, float], ...]:
+    """Intervals from ``intervals`` overlapping ``[begin, end]``."""
+    return tuple(
+        (float(b), float(e))
+        for b, e in intervals
+        if begin <= e and end >= b
+    )
+
+
+def build_evidence(
+    stalls: Sequence,
+    events: Iterable[FlightEvent],
+    config,
+    quality_intervals: Sequence[Tuple[float, float]] = (),
+    recorder: Optional[FlightRecorder] = None,
+) -> ReportEvidence:
+    """Assemble per-stall provenance from a run's decision events.
+
+    Args:
+        stalls: the report's stall list (duck-typed: ``begin_sample``,
+            ``end_sample``, ``min_level``, ``is_refresh``,
+            ``low_confidence``).
+        events: the run's flight events, in record order.
+        config: the detector configuration in force (duck-typed:
+            ``threshold``, ``recover_threshold``,
+            ``min_duration_cycles``, ``min_duration_samples``).
+        quality_intervals: impaired sample intervals from the quality
+            monitor (empty when no monitoring ran).
+        recorder: when given, its counters annotate completeness.
+    """
+    events = list(events)
+    emitted = [e for e in events if e.kind == "stall_emitted"]
+    merges = [e for e in events if e.kind == "hysteresis_merge"]
+    carries = [e for e in events if e.kind in ("carry_open", "carry_merge")]
+    rejected = [e for e in events if e.kind == "stall_rejected"]
+    threshold = float(config.threshold)
+
+    # stall_emitted events arrive in the same order stalls are
+    # reported; verify by position and fall back to a degraded record
+    # when the ring wrapped over this stall's trail.
+    evidence: List[StallEvidence] = []
+    cursor = 0
+    for index, stall in enumerate(stalls):
+        begin = float(stall.begin_sample)
+        end = float(stall.end_sample)
+        match: Optional[FlightEvent] = None
+        while cursor < len(emitted):
+            event = emitted[cursor]
+            cursor += 1
+            if abs(float(event.attrs.get("begin", -1.0)) - begin) < 1e-9:
+                match = event
+                break
+        min_level = float(stall.min_level)
+        if match is not None:
+            trigger = int(match.attrs["trigger"])
+            chain = tuple(
+                {
+                    "pos": m.pos,
+                    "gap_len": m.attrs.get("gap_len"),
+                    "gap_max": m.attrs.get("gap_max"),
+                    "reason": m.attrs.get("reason"),
+                }
+                for m in merges
+                if begin <= m.pos <= end
+            )
+            carry_chunks = sum(
+                1
+                for c in carries
+                if begin - 1.0 <= float(c.attrs.get("start", -1)) <= end
+            )
+        else:
+            # The decision trail was overwritten: reconstruct what the
+            # report itself still tells us and say so.
+            trigger = math.ceil(begin)
+            chain = ()
+            carry_chunks = 0
+        evidence.append(
+            StallEvidence(
+                index=index,
+                trigger_sample=trigger,
+                begin_sample=begin,
+                end_sample=end,
+                threshold=threshold,
+                min_level=min_level,
+                depth_margin=threshold - min_level,
+                duration_cycles=float(stall.end_cycle - stall.begin_cycle),
+                merge_chain=chain,
+                carried=carry_chunks > 0,
+                carry_chunks=carry_chunks,
+                quality_overlaps=_overlapping(begin, end, quality_intervals),
+                low_confidence=bool(stall.low_confidence),
+                is_refresh=bool(stall.is_refresh),
+                complete=match is not None,
+            )
+        )
+
+    near_misses = tuple(
+        NearMiss(
+            trigger_sample=int(e.attrs["trigger"]),
+            begin_sample=float(e.attrs["begin"]),
+            end_sample=float(e.attrs["end"]),
+            reason=str(e.attrs["reason"]),
+            measured=float(e.attrs["measured"]),
+            limit=float(e.attrs["limit"]),
+            min_level=float(e.attrs["min_level"]),
+            depth_margin=threshold - float(e.attrs["min_level"]),
+        )
+        for e in rejected
+    )
+
+    return ReportEvidence(
+        schema_version=FLIGHT_SCHEMA_VERSION,
+        threshold=threshold,
+        recover_threshold=float(config.recover_threshold),
+        min_duration_cycles=float(config.min_duration_cycles),
+        min_duration_samples=int(config.min_duration_samples),
+        stalls=tuple(evidence),
+        near_misses=near_misses,
+        total_events=recorder.total_recorded if recorder is not None else len(events),
+        overwritten_events=recorder.overwritten if recorder is not None else 0,
+    )

@@ -229,8 +229,15 @@ def heartbeat_gaps(events: Iterable[Any]) -> Dict[str, Dict[str, Any]]:
     of any kind), and ``stalled`` - True when the end gap exceeds
     :data:`STALL_INTERVALS` times the source's typical interval, the
     signature of a killed or wedged worker.
+
+    A worker that was announced by a ``worker_spawned`` event but
+    never heartbeated at all - killed before its first beat - gets a
+    ``count == 0`` row with ``stalled == True`` and ``end_gap_s``
+    measured from the spawn announcement, so it cannot silently
+    vanish from the liveness table.
     """
     beats: Dict[str, List[float]] = {}
+    spawned: Dict[str, float] = {}
     horizon = 0.0
     for item in events:
         kind = getattr(item, "kind", None)
@@ -238,14 +245,33 @@ def heartbeat_gaps(events: Iterable[Any]) -> Dict[str, Dict[str, Any]]:
             kind = item.get("kind")
             t = float(item.get("t_unix_s", 0.0))
             source = str(item.get("source", "main"))
+            attrs = item.get("attrs") or {}
         else:
             t = float(getattr(item, "t_unix_s", 0.0))
             source = str(getattr(item, "source", "main"))
+            attrs = getattr(item, "attrs", None) or {}
         horizon = max(horizon, t)
         if kind == "heartbeat":
             beats.setdefault(source, []).append(t)
+        elif kind == "worker_spawned":
+            # The supervisor emits this on the worker's behalf; the
+            # worker label lives in the attrs, not in the source.
+            label = str(attrs.get("worker", source))
+            spawned.setdefault(label, t)
 
     table: Dict[str, Dict[str, Any]] = {}
+    for label, spawn_t in spawned.items():
+        if label in beats:
+            continue
+        table[label] = {
+            "count": 0,
+            "first_unix_s": None,
+            "last_unix_s": None,
+            "max_gap_s": 0.0,
+            "end_gap_s": max(0.0, horizon - spawn_t),
+            "expected_interval_s": 0.0,
+            "stalled": True,
+        }
     for source, times in beats.items():
         times.sort()
         gaps = [b - a for a, b in zip(times, times[1:])]

@@ -4,16 +4,25 @@ The library deliberately avoids a plotting dependency; these helpers
 give the CLI and examples quick visual summaries - a signal strip
 chart (the Fig. 1/7 shapes), latency histograms (Fig. 11), and
 miss-rate timelines (Fig. 13) - rendered with block characters in a
-terminal.
+terminal.  The ``repro explain`` provenance cards (text and
+self-contained HTML) also live here, on top of
+:mod:`repro.obs.explain`.
 """
 
 from __future__ import annotations
 
+import html as _html
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .core.events import ProfileReport
+from .obs.explain import (
+    ReportDiff,
+    StallCard,
+    explain_report,
+    near_miss_line,
+)
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 _ASCII_BLOCKS = " .:-=+*#%@"
@@ -124,4 +133,165 @@ def report_panel(
         parts.append("")
         parts.append("stall-latency histogram:")
         parts.append(histogram_bars(edges, counts, ascii_only=ascii_only))
+    return "\n".join(parts)
+
+
+# -- provenance cards (repro explain) -----------------------------------------
+
+
+def _card_header(card: StallCard) -> str:
+    e = card.evidence
+    flags = []
+    if e.is_refresh:
+        flags.append("refresh")
+    if e.low_confidence:
+        flags.append("low-confidence")
+    if not e.complete:
+        flags.append("incomplete evidence")
+    suffix = f"  [{', '.join(flags)}]" if flags else ""
+    return (
+        f"stall #{card.index}: samples {e.begin_sample:.3f}-{e.end_sample:.3f}"
+        f", {e.duration_cycles:.1f} cycles{suffix}"
+    )
+
+
+def explain_text(report: ProfileReport, show_near_misses: bool = True) -> str:
+    """Text provenance cards for a flight-recorded report.
+
+    One card per stall — the exact decision trail that produced it —
+    followed by the near-miss log (rejected dip candidates), which
+    answers "why was nothing reported here?".  Raises ``ValueError``
+    when the report carries no evidence.
+    """
+    cards = explain_report(report)
+    ev = report.evidence
+    lines: List[str] = [
+        f"{len(cards)} stall(s), {len(ev.near_misses)} near miss(es); "
+        f"threshold {ev.threshold:g}, recover {ev.recover_threshold:g}, "
+        f"min duration {ev.min_duration_cycles:g} cycles / "
+        f"{ev.min_duration_samples} samples",
+    ]
+    if ev.overwritten_events:
+        lines.append(
+            f"warning: flight ring wrapped — {ev.overwritten_events} of "
+            f"{ev.total_events} events lost; early cards may be incomplete"
+        )
+    for card in cards:
+        lines.append("")
+        lines.append(_card_header(card))
+        lines.extend(f"  - {line}" for line in card.lines)
+    if show_near_misses:
+        lines.append("")
+        if ev.near_misses:
+            lines.append("near misses (dips seen but rejected):")
+            lines.extend(f"  - {near_miss_line(m)}" for m in ev.near_misses)
+        else:
+            lines.append("near misses: none (no dip candidate was rejected)")
+    return "\n".join(lines)
+
+
+def diff_text(diff: ReportDiff) -> str:
+    """Text rendering of a two-run diff (:func:`repro.obs.explain.diff_reports`)."""
+    if diff.identical:
+        return (
+            f"runs are identical: {len(diff.pairs)} stall(s) aligned, "
+            f"no differences"
+        )
+    lines = [
+        f"{len(diff.pairs)} stall(s) aligned, "
+        f"{len(diff.deltas)} difference(s):"
+    ]
+    for d in diff.deltas:
+        run = "A" if d.side == "a" else "B"
+        lines.append(
+            f"  - only in {run}: stall #{d.index} "
+            f"[{d.begin_sample:.3f}, {d.end_sample:.3f}) — {d.detail}"
+        )
+    return "\n".join(lines)
+
+
+_EXPLAIN_CSS = (
+    "body{font:14px/1.5 -apple-system,'Segoe UI',sans-serif;margin:2em auto;"
+    "max-width:60em;color:#1a1a2e;background:#fafafa}"
+    "h1{font-size:1.3em}h2{font-size:1.1em;margin-top:2em}"
+    ".card{background:#fff;border:1px solid #ddd;border-left:4px solid #4361ee;"
+    "border-radius:4px;padding:.8em 1.2em;margin:1em 0}"
+    ".card.flagged{border-left-color:#e07a00}"
+    ".card h3{margin:0 0 .4em;font-size:1em}"
+    ".card ol{margin:.2em 0 .2em 1.2em;padding:0}"
+    ".card li{margin:.15em 0}"
+    ".meta{color:#667;font-size:.92em}"
+    ".warn{background:#fff3e0;border:1px solid #e07a00;border-radius:4px;"
+    "padding:.6em 1em}"
+    ".miss{color:#884;font-size:.95em;margin:.3em 0}"
+    ".delta{background:#fde8e8;border-left:4px solid #c0392b;border-radius:4px;"
+    "padding:.6em 1em;margin:.6em 0}"
+)
+
+
+def explain_html(
+    report: ProfileReport,
+    title: str = "EMPROF stall provenance",
+    diff: Optional[ReportDiff] = None,
+) -> str:
+    """Self-contained HTML provenance report (no external assets).
+
+    The HTML mirrors :func:`explain_text`: one card per stall with its
+    decision trail, the near-miss log, and — when ``diff`` is given —
+    the attributed differences against the compared run.
+    """
+    cards = explain_report(report)
+    ev = report.evidence
+    esc = _html.escape
+    parts: List[str] = [
+        "<!doctype html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{esc(title)}</title>",
+        f"<style>{_EXPLAIN_CSS}</style></head><body>",
+        f"<h1>{esc(title)}</h1>",
+        f'<p class="meta">{len(cards)} stall(s), '
+        f"{len(ev.near_misses)} near miss(es) &middot; threshold "
+        f"{ev.threshold:g}, recover {ev.recover_threshold:g}, min duration "
+        f"{ev.min_duration_cycles:g} cycles / {ev.min_duration_samples} "
+        f"samples</p>",
+    ]
+    if ev.overwritten_events:
+        parts.append(
+            f'<p class="warn">flight ring wrapped: {ev.overwritten_events} '
+            f"of {ev.total_events} events lost; early cards may be "
+            f"incomplete</p>"
+        )
+    if diff is not None:
+        parts.append("<h2>Differences vs compared run</h2>")
+        if diff.identical:
+            parts.append(
+                f'<p class="meta">runs are identical '
+                f"({len(diff.pairs)} stall(s) aligned)</p>"
+            )
+        for d in diff.deltas:
+            run = "A" if d.side == "a" else "B"
+            parts.append(
+                f'<div class="delta">only in {run}: stall #{d.index} '
+                f"[{d.begin_sample:.3f}, {d.end_sample:.3f}) &mdash; "
+                f"{esc(d.detail)}</div>"
+            )
+    parts.append("<h2>Reported stalls</h2>")
+    for card in cards:
+        e = card.evidence
+        flagged = e.low_confidence or not e.complete
+        parts.append(f'<div class="card{" flagged" if flagged else ""}">')
+        parts.append(f"<h3>{esc(_card_header(card))}</h3><ol>")
+        parts.extend(f"<li>{esc(line)}</li>" for line in card.lines)
+        parts.append("</ol></div>")
+    parts.append("<h2>Near misses</h2>")
+    if ev.near_misses:
+        parts.extend(
+            f'<p class="miss">{esc(near_miss_line(m))}</p>'
+            for m in ev.near_misses
+        )
+    else:
+        parts.append(
+            '<p class="meta">none — no dip candidate was rejected</p>'
+        )
+    parts.append("</body></html>")
     return "\n".join(parts)

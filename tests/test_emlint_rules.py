@@ -13,6 +13,7 @@ from repro.devtools.rules import (
     DeterminismRule,
     FloatEqualityRule,
     MutableDefaultArgRule,
+    ObsEventSchemaRule,
     SilentExceptRule,
     UnitSafetyRule,
     rules_by_name,
@@ -295,6 +296,59 @@ class TestSilentExcept:
             "    pass\n"
         )
         assert not names(src, SilentExceptRule)
+
+
+# -- obs-event-schema --------------------------------------------------------
+
+
+class TestObsEventSchema:
+    def test_flags_constructor_without_schema_version(self):
+        src = "e = FlightEvent(kind='gap', pos=1.0)\n"
+        found = findings(src, ObsEventSchemaRule)
+        assert [f.rule for f in found] == ["obs-event-schema"]
+        assert "schema_version" in found[0].message
+
+    def test_flags_qualified_constructor(self):
+        src = (
+            "from repro.obs import flight\n"
+            "e = flight.FlightEvent(kind='gap', pos=1.0)\n"
+        )
+        assert names(src, ObsEventSchemaRule) == ["obs-event-schema"]
+
+    def test_flags_positional_schema_version(self):
+        # Positional passing is implicit ordering, not a pinned schema.
+        src = "e = FlightEvent(1, 'gap', 2.0)\n"
+        assert names(src, ObsEventSchemaRule) == ["obs-event-schema"]
+
+    def test_allows_explicit_keyword(self):
+        src = (
+            "e = FlightEvent(schema_version=FLIGHT_SCHEMA_VERSION,\n"
+            "                kind='gap', pos=1.0)\n"
+        )
+        assert not names(src, ObsEventSchemaRule)
+
+    def test_allows_kwargs_expansion(self):
+        src = "e = FlightEvent(**payload)\n"
+        assert not names(src, ObsEventSchemaRule)
+
+    def test_ignores_classmethod_alternates(self):
+        src = "e = FlightEvent.from_dict(payload)\n"
+        assert not names(src, ObsEventSchemaRule)
+
+    def test_ignores_unrelated_calls(self):
+        src = "e = Event(kind='heartbeat')\n"
+        assert not names(src, ObsEventSchemaRule)
+
+    def test_repo_sources_are_clean(self):
+        # Every real constructor site in the repo pins its version.
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1] / "src"
+        for path in sorted(root.rglob("*.py")):
+            result = lint_source(
+                path.read_text(), rules=[ObsEventSchemaRule()], path=str(path)
+            )
+            assert not result.findings, result.findings
 
 
 # -- suppression -------------------------------------------------------------

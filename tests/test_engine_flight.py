@@ -1,0 +1,198 @@
+"""The flight recorder against the real engine: bit-identity with
+recording on, decision events for every reported stall, near misses,
+and carry/merge provenance across adversarial chunkings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.normalize import NormalizerConfig
+from repro.core.profiler import Emprof, EmprofConfig
+from repro.core.streaming import StreamingEmprof
+from repro.obs.flight import FlightRecorder, build_evidence
+
+from tests.conftest import CHUNKING_NAMES, chunk_plan, make_dip_signal
+
+RATE_HZ = 50e6
+CLOCK_HZ = 1e9
+
+CFG = EmprofConfig(normalizer=NormalizerConfig(window_samples=301))
+
+
+def _profiler(x):
+    return Emprof(x, RATE_HZ, CLOCK_HZ, config=CFG)
+
+
+def _stall_tuple(s):
+    return (
+        s.begin_sample,
+        s.end_sample,
+        s.begin_cycle,
+        s.end_cycle,
+        s.min_level,
+        s.is_refresh,
+        s.low_confidence,
+        s.region,
+    )
+
+
+class TestRecorderOnBitIdentity:
+    """Recording must never change a single output bit."""
+
+    def test_batch_profile_identical(self):
+        x = make_dip_signal()
+        plain = _profiler(x).profile()
+        recorded = _profiler(x).profile(flight=FlightRecorder())
+        assert [_stall_tuple(s) for s in recorded.stalls] == [
+            _stall_tuple(s) for s in plain.stalls
+        ]
+        assert plain.evidence is None
+        assert recorded.evidence is not None
+
+    def test_chunked_profile_identical(self):
+        x = make_dip_signal()
+        plain = _profiler(x).profile_chunked(chunk_samples=997)
+        recorded = _profiler(x).profile_chunked(
+            chunk_samples=997, flight=FlightRecorder()
+        )
+        assert [_stall_tuple(s) for s in recorded.stalls] == [
+            _stall_tuple(s) for s in plain.stalls
+        ]
+
+    @pytest.mark.parametrize("chunking", CHUNKING_NAMES)
+    def test_streaming_identical_across_chunkings(self, chunking):
+        x = make_dip_signal()
+        cfg = EmprofConfig(normalizer=NormalizerConfig(window_samples=301,
+                                                       smooth_samples=1))
+
+        def run(flight):
+            st = StreamingEmprof(
+                RATE_HZ, CLOCK_HZ,
+                normalizer=cfg.normalizer, detector=cfg.detector,
+                flight=flight,
+            )
+            for chunk in chunk_plan(x, chunking):
+                st.process(chunk)
+            return st.finish()
+
+        plain = run(None)
+        recorded = run(FlightRecorder())
+        assert [_stall_tuple(s) for s in recorded.stalls] == [
+            _stall_tuple(s) for s in plain.stalls
+        ]
+
+
+class TestDecisionEvents:
+    def test_one_emit_event_per_reported_stall(self):
+        x = make_dip_signal()
+        recorder = FlightRecorder()
+        report = _profiler(x).profile(flight=recorder)
+        emits = [e for e in recorder.events() if e.kind == "stall_emitted"]
+        assert len(emits) == len(report.stalls)
+        for event, stall in zip(emits, report.stalls):
+            assert abs(float(event.attrs["begin"]) - stall.begin_sample) < 1e-9
+
+    def test_finish_event_closes_the_log(self):
+        recorder = FlightRecorder()
+        _profiler(make_dip_signal()).profile(flight=recorder)
+        assert recorder.events()[-1].kind == "finish"
+
+    def test_rejection_logged_as_near_miss(self):
+        # One lone sample below threshold: a dip the detector must
+        # reject as too short, visible only in the flight log.
+        x = np.full(4000, 0.9)
+        x[2000] = 0.05
+        recorder = FlightRecorder()
+        report = _profiler(x).profile(flight=recorder)
+        assert report.stalls == []
+        rejected = [
+            e for e in recorder.events() if e.kind == "stall_rejected"
+        ]
+        assert len(rejected) == 1
+        assert rejected[0].attrs["reason"] == "too_few_samples"
+        assert int(rejected[0].attrs["trigger"]) == 2000
+
+    def test_carry_events_when_dip_straddles_chunks(self):
+        # Chunks shorter than a dip (7 < 13): every dip is still open
+        # at some boundary no matter how the normalizer's settling
+        # delay shifts the detector-space cuts.
+        x = make_dip_signal()
+        recorder = FlightRecorder()
+        cfg = EmprofConfig(normalizer=NormalizerConfig(window_samples=301,
+                                                       smooth_samples=1))
+        st = StreamingEmprof(
+            RATE_HZ, CLOCK_HZ,
+            normalizer=cfg.normalizer, detector=cfg.detector,
+            flight=recorder,
+        )
+        for chunk in chunk_plan(x, "prime-7"):
+            st.process(chunk)
+        st.finish()
+        kinds = {e.kind for e in recorder.events()}
+        assert "carry_open" in kinds
+        assert "carry_merge" in kinds
+
+
+class TestEvidence:
+    def test_trigger_and_margin_name_the_exact_decision(self):
+        x = make_dip_signal()
+        recorder = FlightRecorder()
+        report = _profiler(x).profile(flight=recorder)
+        evidence = report.evidence
+        assert len(evidence.stalls) == len(report.stalls)
+        for stall, ev in zip(report.stalls, evidence.stalls):
+            assert ev.begin_sample == stall.begin_sample
+            assert ev.end_sample == stall.end_sample
+            # The trigger is the first whole sample inside the
+            # refined interval.
+            assert stall.begin_sample <= ev.trigger_sample
+            assert ev.trigger_sample <= stall.begin_sample + 1
+            assert ev.min_level == stall.min_level
+            assert ev.depth_margin == pytest.approx(
+                evidence.threshold - stall.min_level
+            )
+            assert ev.complete
+
+    def test_stall_evidence_accessor_on_report(self):
+        report = _profiler(make_dip_signal()).profile(flight=FlightRecorder())
+        assert report.stall_evidence(0) == report.evidence.stalls[0]
+
+    def test_stall_evidence_without_recorder_raises(self):
+        report = _profiler(make_dip_signal()).profile()
+        with pytest.raises(ValueError):
+            report.stall_evidence(0)
+
+    def test_wrapped_ring_marks_evidence_incomplete(self):
+        x = make_dip_signal()
+        recorder = FlightRecorder(capacity=8)  # far too small
+        report = _profiler(x).profile(flight=recorder)
+        evidence = report.evidence
+        assert evidence.overwritten_events > 0
+        assert any(not ev.complete for ev in evidence.stalls)
+        # Incomplete evidence still names the stall's interval.
+        first = evidence.stalls[0]
+        assert first.begin_sample == report.stalls[0].begin_sample
+
+    def test_merge_chain_recorded_for_ragged_dip(self):
+        # A dip with a brief bump that stays below the recovery level:
+        # the hysteresis merge must appear in that stall's chain.
+        x = np.full(4000, 0.9)
+        x[2000:2020] = 0.05
+        x[2020:2022] = 0.5  # above threshold, below recovery
+        x[2022:2040] = 0.05
+        recorder = FlightRecorder()
+        report = _profiler(x).profile(flight=recorder)
+        assert len(report.stalls) == 1
+        ev = report.evidence.stalls[0]
+        assert len(ev.merge_chain) >= 1
+        assert ev.merge_chain[0]["reason"] in ("no_recovery", "short_gap")
+
+    def test_build_evidence_is_pure_over_the_log(self):
+        x = make_dip_signal()
+        recorder = FlightRecorder()
+        report = _profiler(x).profile(flight=recorder)
+        rebuilt = build_evidence(
+            report.stalls, recorder.events(), CFG.detector, recorder=recorder
+        )
+        assert rebuilt == report.evidence

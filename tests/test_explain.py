@@ -1,0 +1,258 @@
+"""`repro explain` internals: provenance cards, the near-miss log,
+stall alignment, diff attribution, and first-divergence search.
+
+The acceptance scenario lives here too: profile a clean signal and a
+faulted copy, diff them, and check the attribution pinpoints the
+injected fault window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.normalize import NormalizerConfig
+from repro.core.profiler import Emprof, EmprofConfig
+from repro.obs.explain import (
+    align_stalls,
+    diff_reports,
+    explain_report,
+    first_divergence,
+    near_miss_line,
+    near_misses_between,
+    stall_card,
+)
+from repro.obs.flight import FLIGHT_SCHEMA_VERSION, FlightEvent, FlightRecorder
+from repro.render import diff_text, explain_html, explain_text
+
+from tests.conftest import make_dip_signal
+
+RATE_HZ = 50e6
+CLOCK_HZ = 1e9
+CFG = EmprofConfig(normalizer=NormalizerConfig(window_samples=301))
+
+
+def _profile(x, flight=True):
+    recorder = FlightRecorder() if flight else None
+    report = Emprof(x, RATE_HZ, CLOCK_HZ, config=CFG).profile(flight=recorder)
+    return report, recorder
+
+
+@pytest.fixture(scope="module")
+def dip_report():
+    report, recorder = _profile(make_dip_signal())
+    return report, recorder
+
+
+class TestCards:
+    def test_one_card_per_stall_with_trigger_and_margin(self, dip_report):
+        report, _ = dip_report
+        cards = explain_report(report)
+        assert len(cards) == len(report.stalls)
+        for card, ev in zip(cards, report.evidence.stalls):
+            text = "\n".join(card.lines)
+            assert f"sample {ev.trigger_sample}" in text
+            assert f"margin {ev.depth_margin:.4f}" in text
+
+    def test_card_mentions_merges_when_present(self):
+        x = np.full(4000, 0.9)
+        x[2000:2020] = 0.05
+        x[2020:2022] = 0.5
+        x[2022:2040] = 0.05
+        report, _ = _profile(x)
+        (card,) = explain_report(report)
+        assert any("merged across a gap" in line for line in card.lines)
+
+    def test_explain_without_evidence_raises(self):
+        report, _ = _profile(make_dip_signal(), flight=False)
+        with pytest.raises(ValueError, match="no evidence"):
+            explain_report(report)
+
+    def test_card_to_dict_is_json_safe(self, dip_report):
+        import json
+
+        report, _ = dip_report
+        card = stall_card(report.evidence.stalls[0])
+        json.dumps(card.to_dict())
+
+
+class TestNearMisses:
+    def test_lone_spike_is_a_near_miss_not_a_stall(self):
+        x = np.full(4000, 0.9)
+        x[2000] = 0.05
+        report, _ = _profile(x)
+        assert report.stalls == []
+        misses = near_misses_between(report.evidence, 1900, 2100)
+        assert len(misses) == 1
+        assert misses[0].reason == "too_few_samples"
+        assert misses[0].trigger_sample == 2000
+        line = near_miss_line(misses[0])
+        assert "2000" in line and "rejected" in line
+
+    def test_window_filter_excludes_far_misses(self):
+        x = np.full(4000, 0.9)
+        x[2000] = 0.05
+        report, _ = _profile(x)
+        assert near_misses_between(report.evidence, 0, 100) == []
+
+
+class _Interval:
+    def __init__(self, begin, end):
+        self.begin_sample = begin
+        self.end_sample = end
+
+
+class TestAlign:
+    def test_identical_lists_pair_up(self):
+        a = [_Interval(0, 10), _Interval(20, 30)]
+        pairs, only_a, only_b = align_stalls(a, a)
+        assert pairs == [(0, 0), (1, 1)]
+        assert only_a == [] and only_b == []
+
+    def test_offset_overlap_still_pairs(self):
+        a = [_Interval(0, 10)]
+        b = [_Interval(8, 15)]
+        pairs, only_a, only_b = align_stalls(a, b)
+        assert pairs == [(0, 0)]
+
+    def test_disjoint_stalls_are_singletons(self):
+        a = [_Interval(0, 10), _Interval(100, 110)]
+        b = [_Interval(50, 60)]
+        pairs, only_a, only_b = align_stalls(a, b)
+        assert pairs == []
+        assert only_a == [0, 1]
+        assert only_b == [0]
+
+    def test_trailing_b_stalls_are_unmatched(self):
+        a = [_Interval(0, 10)]
+        b = [_Interval(5, 12), _Interval(90, 95)]
+        pairs, only_a, only_b = align_stalls(a, b)
+        assert pairs == [(0, 0)]
+        assert only_b == [1]
+
+
+class TestDiff:
+    def test_identical_runs_are_identical(self):
+        report_a, _ = _profile(make_dip_signal())
+        report_b, _ = _profile(make_dip_signal())
+        diff = diff_reports(report_a, report_b)
+        assert diff.identical
+        assert diff.deltas == ()
+        assert "identical" in diff_text(diff)
+
+    def test_diff_pinpoints_injected_fault_window(self):
+        # The acceptance scenario: erase one dip from the faulted copy
+        # (fill the window with busy level) - run B must lose exactly
+        # the stalls in that window, attributed as no_candidate there.
+        x = make_dip_signal()
+        report_a, _ = _profile(x)
+        assert len(report_a.stalls) >= 3
+        victim = report_a.stalls[2]
+        lo = int(victim.begin_sample) - 5
+        hi = int(victim.end_sample) + 5
+        y = x.copy()
+        y[lo:hi] = 0.9
+        report_b, _ = _profile(y)
+
+        diff = diff_reports(report_a, report_b)
+        assert not diff.identical
+        a_only = [d for d in diff.deltas if d.side == "a"]
+        assert len(a_only) >= 1
+        # Every lost stall lies inside the erased window.
+        for delta in a_only:
+            assert delta.begin_sample >= lo - 1
+            assert delta.end_sample <= hi + 1
+            assert delta.cause == "no_candidate"
+            assert "never crossed the threshold" in delta.detail
+        text = diff_text(diff)
+        assert "only in A" in text
+
+    def test_rejected_candidate_attribution(self):
+        # Run A: a 6-sample dip (reported).  Run B: the same dip
+        # shortened to one sample (rejected as too short) - the diff
+        # must name the rejection, not claim B saw nothing.
+        x = np.full(4000, 0.9)
+        x[2000:2006] = 0.05
+        y = np.full(4000, 0.9)
+        y[2000] = 0.05
+        report_a, _ = _profile(x)
+        report_b, _ = _profile(y)
+        assert len(report_a.stalls) == 1 and report_b.stalls == []
+        diff = diff_reports(report_a, report_b)
+        (delta,) = diff.deltas
+        assert delta.side == "a"
+        assert delta.cause == "rejected:too_few_samples"
+        assert "trigger sample 2000" in delta.detail
+
+    def test_missing_evidence_is_unknown(self):
+        report_a, _ = _profile(make_dip_signal())
+        report_b, _ = _profile(np.full(4000, 0.9), flight=False)
+        diff = diff_reports(report_a, report_b)
+        assert diff.deltas
+        assert all(d.cause == "unknown" for d in diff.deltas)
+
+
+def _ev(kind, pos, **attrs):
+    return FlightEvent(
+        schema_version=FLIGHT_SCHEMA_VERSION, kind=kind, pos=pos, attrs=attrs
+    )
+
+
+class TestFirstDivergence:
+    def test_equal_streams_agree(self):
+        a = [_ev("gap", 1.0, n=3), _ev("finish", 2.0)]
+        b = [_ev("gap", 1.0, n=3), _ev("finish", 2.0)]
+        assert first_divergence(a, b) is None
+
+    def test_kind_divergence(self):
+        a = [_ev("gap", 1.0), _ev("finish", 2.0)]
+        b = [_ev("gap", 1.0), _ev("resync", 2.0)]
+        idx, ea, eb = first_divergence(a, b)
+        assert idx == 1
+        assert ea.kind == "finish" and eb.kind == "resync"
+
+    def test_position_divergence_respects_tolerance(self):
+        a = [_ev("gap", 1.0)]
+        b = [_ev("gap", 1.0 + 1e-12)]
+        assert first_divergence(a, b) is None
+        c = [_ev("gap", 1.5)]
+        idx, _, _ = first_divergence(a, c)
+        assert idx == 0
+
+    def test_short_stream_diverges_at_its_end(self):
+        a = [_ev("gap", 1.0), _ev("finish", 2.0)]
+        b = [_ev("gap", 1.0)]
+        idx, ea, eb = first_divergence(a, b)
+        assert idx == 1
+        assert ea is not None and eb is None
+
+    def test_real_runs_diverge_at_the_fault(self):
+        x = make_dip_signal()
+        _, rec_a = _profile(x)
+        y = x.copy()
+        victim_lo = 2000
+        y[victim_lo:victim_lo + 200] = 0.9
+        _, rec_b = _profile(y)
+        hit = first_divergence(rec_a.events(), rec_b.events())
+        assert hit is not None
+
+
+class TestRenderers:
+    def test_explain_text_is_complete(self, dip_report):
+        report, _ = dip_report
+        text = explain_text(report)
+        assert f"{len(report.stalls)} stall(s)" in text
+        assert "stall #0:" in text
+        assert f"stall #{len(report.stalls) - 1}:" in text
+
+    def test_explain_html_is_self_contained(self, dip_report):
+        report, _ = dip_report
+        html = explain_html(report, title="t")
+        assert html.lower().startswith("<!doctype html>")
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+
+    def test_html_escapes_untrusted_strings(self, dip_report):
+        report, _ = dip_report
+        html = explain_html(report, title="<svg onload=x>")
+        assert "<svg onload" not in html

@@ -105,6 +105,60 @@ class TestReportRoundtrip:
         with pytest.raises(ValueError):
             repro_io.report_from_dict({"format": "nope", "stalls": []})
 
+    def test_report_without_evidence_has_no_evidence_key(self, report):
+        # Pre-flight report JSON must stay byte-for-byte compatible.
+        assert "evidence" not in repro_io.report_to_dict(report)
+
+    def test_evidence_round_trips(self, report, tmp_path):
+        from dataclasses import replace
+
+        from repro.obs.flight import FLIGHT_SCHEMA_VERSION, ReportEvidence
+
+        evidence = ReportEvidence(
+            schema_version=FLIGHT_SCHEMA_VERSION,
+            threshold=0.45,
+            recover_threshold=0.7,
+            min_duration_cycles=70.0,
+            min_duration_samples=4,
+            total_events=12,
+        )
+        with_evidence = replace(report, evidence=evidence)
+        path = tmp_path / "evidence.json"
+        repro_io.save_report(path, with_evidence)
+        loaded = repro_io.load_report(path)
+        assert loaded.evidence == evidence
+
+
+class TestFlightSidecarIO:
+    def test_save_and_load(self, tmp_path):
+        from repro.obs.flight import (
+            FLIGHT_SCHEMA_VERSION,
+            FlightEvent,
+            FlightRecorder,
+        )
+
+        recorder = FlightRecorder(capacity=8)
+        recorder.record(
+            FlightEvent(
+                schema_version=FLIGHT_SCHEMA_VERSION, kind="finish", pos=9.0
+            )
+        )
+        path = tmp_path / "run.flight"
+        assert repro_io.save_flight(path, recorder, capture="cap.npz") == 1
+        header, events = repro_io.load_flight(path)
+        assert header["capture"] == "cap.npz"
+        assert events[0].kind == "finish"
+
+    def test_load_missing_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            repro_io.load_flight(tmp_path / "absent.flight")
+
+    def test_load_garbage_is_corrupt_capture_error(self, tmp_path):
+        path = tmp_path / "garbage.flight"
+        path.write_text("not a flight sidecar\n")
+        with pytest.raises(CorruptCaptureError, match="flight"):
+            repro_io.load_flight(path)
+
 
 class TestGroundTruthRoundtrip:
     def test_roundtrip(self, truth, tmp_path):

@@ -189,6 +189,48 @@ class TestStats:
         assert len(sink.events) == 1
 
 
+class TestBusGauges:
+    def test_stats_carry_queue_depth_and_sinks(self, obs_on):
+        bus = EventBus(auto_drain=False)
+        bus.add_sink(InMemorySink())
+        bus.emit("heartbeat")
+        bus.emit("heartbeat")
+        stats = bus.stats()
+        assert stats["queue_depth"] == 2
+        assert stats["sinks"] == 1
+        assert bus.queue_depth == 2
+        assert bus.sink_count == 1
+        bus.drain()
+        assert bus.queue_depth == 0
+
+    def test_export_gauges_publishes_bus_health(self, obs_on):
+        from repro.obs.events import export_gauges
+        from repro.obs.metrics import MetricsRegistry
+
+        bus = EventBus(auto_drain=False, capacity=2)
+        bus.add_sink(InMemorySink())
+        for _ in range(5):
+            bus.emit("heartbeat")
+        registry = MetricsRegistry()
+        export_gauges(registry=registry, source=bus)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["eventbus_dropped_events"]["value"] == 3.0
+        assert gauges["eventbus_queue_depth"]["value"] == 2.0
+        assert gauges["eventbus_sinks"]["value"] == 1.0
+        assert gauges["eventbus_sink_errors"]["value"] == 0.0
+
+    def test_export_gauges_lands_in_prometheus_text(self, obs_on):
+        from repro.obs.events import export_gauges
+        from repro.obs.metrics import MetricsRegistry
+
+        bus = EventBus(auto_drain=False)
+        registry = MetricsRegistry()
+        export_gauges(registry=registry, source=bus)
+        text = registry.to_prometheus()
+        assert "eventbus_dropped_events" in text
+        assert "eventbus_queue_depth" in text
+
+
 class TestNDJSONFile:
     def test_write_and_read_back(self, obs_on, tmp_path):
         path = tmp_path / "events.ndjsonl"

@@ -1,0 +1,198 @@
+"""Flight recorder units: the ring, the sidecar, and the evidence
+serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.obs.flight import (
+    FLIGHT_FORMAT,
+    FLIGHT_KINDS,
+    FLIGHT_SCHEMA_VERSION,
+    FlightEvent,
+    FlightRecorder,
+    NearMiss,
+    ReportEvidence,
+    StallEvidence,
+    read_flight,
+)
+
+
+def _event(pos=0.0, kind="gap", **attrs):
+    return FlightEvent(
+        schema_version=FLIGHT_SCHEMA_VERSION, kind=kind, pos=pos, attrs=attrs
+    )
+
+
+class TestFlightEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown flight event kind"):
+            FlightEvent(
+                schema_version=FLIGHT_SCHEMA_VERSION, kind="warp", pos=0.0
+            )
+
+    def test_every_documented_kind_constructs(self):
+        for kind in FLIGHT_KINDS:
+            _event(kind=kind)
+
+    def test_dict_round_trip(self):
+        event = _event(pos=12.5, kind="stall_emitted", begin=12.1, end=40.0)
+        clone = FlightEvent.from_dict(event.to_dict())
+        assert clone.kind == event.kind
+        assert clone.pos == event.pos
+        assert dict(clone.attrs) == dict(event.attrs)
+        assert clone.schema_version == FLIGHT_SCHEMA_VERSION
+
+
+class TestFlightRecorder:
+    def test_keeps_newest_and_counts_overwrites(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record(_event(pos=float(i)))
+        assert len(rec) == 4
+        assert rec.total_recorded == 10
+        assert rec.overwritten == 6
+        assert [e.pos for e in rec.events()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_events_are_in_record_order_before_wrap(self):
+        rec = FlightRecorder(capacity=8)
+        for i in range(5):
+            rec.record(_event(pos=float(i)))
+        assert [e.pos for e in rec.events()] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert rec.overwritten == 0
+
+    def test_tail(self):
+        rec = FlightRecorder(capacity=8)
+        for i in range(6):
+            rec.record(_event(pos=float(i)))
+        assert [e.pos for e in rec.tail(2)] == [4.0, 5.0]
+        assert rec.tail(0) == []
+
+    def test_clear(self):
+        rec = FlightRecorder(capacity=4)
+        rec.record(_event())
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.total_recorded == 0
+        assert rec.events() == []
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestSidecar:
+    def test_spill_and_read_round_trip(self, tmp_path):
+        rec = FlightRecorder(capacity=16)
+        for i in range(5):
+            rec.record(_event(pos=float(i), kind="normalizer_emit", until=i))
+        path = tmp_path / "run.flight"
+        written = rec.spill(path, meta={"capture": "cap.npz"})
+        assert written == 5
+        header, events = read_flight(path)
+        assert header["format"] == FLIGHT_FORMAT
+        assert header["events"] == 5
+        assert header["total_recorded"] == 5
+        assert header["overwritten"] == 0
+        assert header["capture"] == "cap.npz"
+        assert [e.pos for e in events] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_header_counts_survive_wrap(self, tmp_path):
+        rec = FlightRecorder(capacity=2)
+        for i in range(5):
+            rec.record(_event(pos=float(i)))
+        path = tmp_path / "wrapped.flight"
+        assert rec.spill(path) == 2
+        header, events = read_flight(path)
+        assert header["overwritten"] == 3
+        assert [e.pos for e in events] == [3.0, 4.0]
+
+    def test_read_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "foreign.flight"
+        path.write_text(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(ValueError, match="not an EMPROF flight"):
+            read_flight(path)
+
+    def test_read_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.flight"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_flight(path)
+
+    def test_read_names_bad_event_line(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        rec.record(_event())
+        path = tmp_path / "torn.flight"
+        rec.spill(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(ValueError, match="line 3"):
+            read_flight(path)
+
+
+def _stall_evidence(**over):
+    base = dict(
+        index=0,
+        trigger_sample=120,
+        begin_sample=119.5,
+        end_sample=160.25,
+        threshold=0.45,
+        min_level=0.05,
+        depth_margin=0.40,
+        duration_cycles=1018.75,
+        merge_chain=({"pos": 130.0, "gap_len": 2, "gap_max": 0.5,
+                      "reason": "short_gap"},),
+        carried=True,
+        carry_chunks=2,
+        quality_overlaps=((118.0, 125.0),),
+        low_confidence=True,
+        is_refresh=False,
+        complete=True,
+    )
+    base.update(over)
+    return StallEvidence(**base)
+
+
+class TestEvidenceSerialization:
+    def test_stall_evidence_round_trip(self):
+        original = _stall_evidence()
+        clone = StallEvidence.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert clone == original
+
+    def test_near_miss_round_trip(self):
+        original = NearMiss(
+            trigger_sample=99,
+            begin_sample=98.5,
+            end_sample=101.0,
+            reason="too_few_samples",
+            measured=2.0,
+            limit=4.0,
+            min_level=0.3,
+            depth_margin=0.15,
+        )
+        clone = NearMiss.from_dict(json.loads(json.dumps(original.to_dict())))
+        assert clone == original
+
+    def test_report_evidence_round_trip(self):
+        original = ReportEvidence(
+            schema_version=FLIGHT_SCHEMA_VERSION,
+            threshold=0.45,
+            recover_threshold=0.7,
+            min_duration_cycles=70.0,
+            min_duration_samples=4,
+            stalls=(_stall_evidence(),),
+            near_misses=(),
+            total_events=512,
+            overwritten_events=3,
+        )
+        clone = ReportEvidence.from_dict(
+            json.loads(json.dumps(original.to_dict()))
+        )
+        assert clone == original
+        assert clone.for_stall(0) == original.stalls[0]
+
+    def test_malformed_report_evidence_is_value_error(self):
+        with pytest.raises(ValueError, match="malformed report evidence"):
+            ReportEvidence.from_dict({"threshold": 0.45})

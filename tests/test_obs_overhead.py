@@ -88,6 +88,50 @@ def test_disabled_obs_overhead_within_ten_percent(big_signal):
     )
 
 
+def test_flight_recording_overhead_within_ten_percent(big_signal):
+    """Recording the engine's decisions may cost at most 10 % on the
+    ~1M-sample signal — the recorder only reads state the engine
+    already computed, so the hooks must stay cheap."""
+    from repro.obs.flight import FlightRecorder
+
+    def plain():
+        return Emprof(big_signal, SAMPLE_RATE_HZ, CLOCK_HZ).profile()
+
+    def recorded():
+        return Emprof(big_signal, SAMPLE_RATE_HZ, CLOCK_HZ).profile(
+            flight=FlightRecorder()
+        )
+
+    obs_previous = set_obs_enabled(False)
+    contracts_previous = set_contracts_enabled(False)
+    try:
+        # Sanity: recording changes nothing observable.
+        assert len(recorded().stalls) == len(plain().stalls) > 50
+
+        plain_best = float("inf")
+        recorded_best = float("inf")
+        for _ in range(REPEATS):
+            plain_best = min(plain_best, _best_of(plain, 1))
+            recorded_best = min(recorded_best, _best_of(recorded, 1))
+    finally:
+        set_contracts_enabled(contracts_previous)
+        set_obs_enabled(obs_previous)
+
+    ratio = recorded_best / plain_best
+    assert ratio < 1.10, (
+        f"flight-recorded profile() is {ratio:.3f}x the unrecorded one "
+        f"({recorded_best * 1e3:.1f}ms vs {plain_best * 1e3:.1f}ms)"
+    )
+
+
+def test_recorder_off_means_no_recorder_objects(big_signal):
+    """Without a recorder the engine must not allocate flight state -
+    the off path is a single `is not None` test per decision site."""
+    emprof = Emprof(big_signal[:100_000], SAMPLE_RATE_HZ, CLOCK_HZ)
+    report = emprof.profile()
+    assert report.evidence is None
+
+
 def test_disabled_obs_emits_zero_events(big_signal):
     """EMPROF_OBS off means the event bus sees *nothing* — not merely
     cheap events, zero events."""

@@ -156,3 +156,70 @@ class TestHeartbeatGaps:
             for i in range(5)
         ]
         assert heartbeat_gaps(events)["w0"]["count"] == 5
+
+
+def _spawn(worker, t, source="main"):
+    return {
+        "kind": "worker_spawned",
+        "source": source,
+        "t_unix_s": t,
+        "attrs": {"worker": worker, "pid": 4242},
+    }
+
+
+class TestDeadBeforeFirstHeartbeat:
+    """A spawned worker killed before its first beat must stay visible."""
+
+    def test_spawned_never_beats_is_stalled_row(self):
+        events = [_spawn("w9", 0.5)]
+        events += [_beat("w0", 0.1 * i) for i in range(30)]
+        table = heartbeat_gaps(events)
+        row = table["w9"]
+        assert row["count"] == 0
+        assert row["stalled"] is True
+        assert row["first_unix_s"] is None
+        assert row["last_unix_s"] is None
+        # Silence measured from the spawn announcement to the horizon.
+        assert row["end_gap_s"] == pytest.approx(2.9 - 0.5)
+        # Healthy neighbour unaffected.
+        assert not table["w0"]["stalled"]
+
+    def test_spawned_then_beating_worker_uses_beat_row(self):
+        # Once a worker heartbeats, the spawn event must not shadow
+        # the real cadence-based row.
+        events = [_spawn("w0", 0.0)]
+        events += [_beat("w0", 0.1 * i) for i in range(10)]
+        row = heartbeat_gaps(events)["w0"]
+        assert row["count"] == 10
+        assert not row["stalled"]
+
+    def test_spawn_event_objects_carry_worker_attr(self):
+        from repro.obs.events import Event
+
+        events = [
+            Event(kind="worker_spawned", t_unix_s=0.0, seq=0, pid=1,
+                  source="main", attrs={"worker": "w3"}),
+            Event(kind="heartbeat", t_unix_s=5.0, seq=1, pid=1,
+                  source="w0"),
+        ]
+        table = heartbeat_gaps(events)
+        assert table["w3"]["count"] == 0
+        assert table["w3"]["stalled"] is True
+
+    def test_stitch_surfaces_dead_worker_and_renders(self):
+        payloads = [_payload(100, "main", [])]
+        events = [_spawn("w7", 1.0)]
+        events += [_beat("w0", 0.5 * i) for i in range(12)]
+        document = stitch_traces(payloads, events=events)
+        assert document["heartbeats"]["w7"]["count"] == 0
+        assert document["heartbeats"]["w7"]["stalled"] is True
+        text = render_stitched(document)
+        assert "w7" in text
+        assert "STALLED" in text
+
+    def test_spawn_without_worker_attr_falls_back_to_source(self):
+        events = [
+            {"kind": "worker_spawned", "source": "wX", "t_unix_s": 0.0},
+            _beat("w0", 4.0),
+        ]
+        assert heartbeat_gaps(events)["wX"]["stalled"] is True

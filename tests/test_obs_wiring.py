@@ -96,6 +96,29 @@ class TestProfileCliLedger:
         assert main(["obs", "regress", missing]) == 2
         assert main(["obs", "ledger", missing]) == 2
 
+    def test_ledger_defaults_to_bounded_tail(self, tmp_path, capsys):
+        # A long history must not flood the terminal by default: the
+        # last 20 entries plus a banner, with --tail 0 opting into all.
+        from repro.obs.ledger import record
+
+        ledger_path = tmp_path / "long.jsonl"
+        ledger = RunLedger(ledger_path, fsync=False)
+        for i in range(25):
+            ledger.append(
+                record(kind="profile", label=f"cap{i:02d}", wall_time_s=0.01)
+            )
+        assert main(["obs", "ledger", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "showing last 20 of 25 entries" in out
+        assert "--tail 0 for all" in out
+        assert "cap04" not in out  # oldest five hidden
+        assert "cap24" in out
+
+        assert main(["obs", "ledger", str(ledger_path), "--tail", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "showing last" not in out
+        assert "cap00" in out and "cap24" in out
+
 
 class TestCampaignTelemetry:
     def _specs(self, n=1, factory=StaticSource):
@@ -131,6 +154,33 @@ class TestCampaignTelemetry:
         assert run.extra["status"] == "failed"
         assert "HardwareMissingError" in run.extra["error"]
         assert summary.extra["counts"]["failed"] == 1
+
+    def test_flight_sidecars_written_and_retained(self, tmp_path):
+        campaign = Campaign(tmp_path / "camp", flight=True, flight_retain=2)
+        campaign.execute(self._specs(4))
+        sidecars = sorted(p.name for p in (tmp_path / "camp").glob("*.flight"))
+        assert sidecars == ["r2.flight", "r3.flight"]  # newest two kept
+        from repro import io as repro_io
+
+        header, events = repro_io.load_flight(tmp_path / "camp" / "r3.flight")
+        assert header["run"] == "r3"
+        assert events
+        # Saved reports carry the evidence too.
+        report = repro_io.load_report(campaign.report_path("r3"))
+        assert report.evidence is not None
+        assert len(report.evidence.stalls) == len(report.stalls)
+
+    def test_no_flight_by_default(self, tmp_path):
+        from repro import io as repro_io
+
+        campaign = Campaign(tmp_path / "camp")
+        campaign.execute(self._specs(1))
+        assert list((tmp_path / "camp").glob("*.flight")) == []
+        assert repro_io.load_report(campaign.report_path("r0")).evidence is None
+
+    def test_flight_retain_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            Campaign(tmp_path / "camp", flight=True, flight_retain=0)
 
     def test_manifest_entries_carry_timing(self, tmp_path):
         campaign = Campaign(tmp_path / "camp")
